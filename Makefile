@@ -1,0 +1,36 @@
+# Convenience targets for the OSPREY reproduction. Everything is pure Go;
+# no external dependencies are needed.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures figures-quick cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure into out/ (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/figures -all -out out
+
+figures-quick:
+	$(GO) run ./cmd/figures -quick -all -out out
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -rf out

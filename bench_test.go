@@ -1,0 +1,531 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations called out in DESIGN.md. Each benchmark is named for
+// the paper artifact it reproduces; cmd/figures renders the corresponding
+// data files. Run with:
+//
+//	go test -bench=. -benchmem
+package osprey_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"osprey"
+	"osprey/internal/abm"
+	"osprey/internal/aero"
+	"osprey/internal/calibrate"
+	"osprey/internal/epi"
+	"osprey/internal/gp"
+	"osprey/internal/mcmc"
+	"osprey/internal/metarvm"
+	"osprey/internal/music"
+	"osprey/internal/rng"
+	"osprey/internal/rt"
+	"osprey/internal/sobolidx"
+	"osprey/internal/wastewater"
+)
+
+// benchGoldstein is a reduced-but-real MCMC configuration so benchmark
+// iterations complete in tenths of seconds rather than minutes.
+func benchGoldstein() osprey.GoldsteinOptions {
+	return osprey.GoldsteinOptions{Iterations: 200, BurnIn: 300, Thin: 2}
+}
+
+// BenchmarkFigure1WorkflowPipeline measures one full automated daily cycle
+// of the Figure 1 workflow: four feed polls, four transforms, four
+// Goldstein analyses through the batch scheduler, and the population-
+// weighted aggregation.
+func BenchmarkFigure1WorkflowPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := osprey.New(osprey.Config{Identity: "bench", Nodes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wp, err := osprey.NewWastewaterPipeline(p, osprey.WastewaterConfig{
+			ScenarioDays: 100, StartDay: 70,
+			Goldstein: benchGoldstein(), Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := wp.PollAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		wp.Close()
+		p.Shutdown()
+	}
+}
+
+// BenchmarkFigure2GoldsteinRt measures one plant's semi-parametric Bayesian
+// R(t) estimation — the expensive step the paper routes to a compute node.
+func BenchmarkFigure2GoldsteinRt(b *testing.B) {
+	sc := wastewater.DefaultScenario(100)
+	s := wastewater.Generate(wastewater.ChicagoPlants()[0], sc, rng.New(1))
+	opt := benchGoldstein()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i + 1)
+		if _, err := rt.EstimateGoldstein(s.Observations, s.Plant, 100, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2CoriBaseline measures the "more standard" sliding-window
+// estimator the paper cites for contrast; the Goldstein/Cori time ratio is
+// the paper's justification for HPC resources.
+func BenchmarkFigure2CoriBaseline(b *testing.B) {
+	w := epi.DiscretizedGamma(5.2, 1.9, 14)
+	sc := wastewater.DefaultScenario(100)
+	seed := []float64{100, 100, 100, 100, 100}
+	inc := epi.RenewalSimulate(sc.Rt, seed, w, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := epi.CoriEstimate(inc, w, 7, 1, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2EnsembleAggregation measures the third workflow step: the
+// population-weighted pooling of four plant posteriors.
+func BenchmarkFigure2EnsembleAggregation(b *testing.B) {
+	sc := wastewater.DefaultScenario(100)
+	root := rng.New(3)
+	var ests []*rt.Estimate
+	for i, p := range wastewater.ChicagoPlants() {
+		s := wastewater.Generate(p, sc, root.Split(p.Name))
+		opt := benchGoldstein()
+		opt.Seed = uint64(i + 1)
+		est, err := rt.EstimateGoldstein(s.Observations, p, 100, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ests = append(ests, est)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.EnsembleWeighted(ests, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3MetaRVM measures one 90-day stochastic MetaRVM
+// simulation over the four-group default configuration of Figure 3.
+func BenchmarkFigure3MetaRVM(b *testing.B) {
+	cfg := metarvm.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := metarvm.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ModelEvaluation measures the GSA quantity of interest at
+// the center of the Table 1 parameter ranges.
+func BenchmarkTable1ModelEvaluation(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	x := space.Scale([]float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	for i := 0; i < b.N; i++ {
+		if _, err := metarvm.EvaluateGSA(x, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMusicOpts() osprey.MusicOptions {
+	return osprey.MusicOptions{
+		InitialDesign: 20, Budget: 50, CandidatePool: 80,
+		RefitEvery: 10, IndexSamples: 256,
+		GP: gp.Options{MaxIter: 60, Restarts: 0},
+	}
+}
+
+// BenchmarkFigure4MUSIC measures one fixed-seed MUSIC GSA trajectory (the
+// teal curves of Figure 4) at a reduced budget.
+func BenchmarkFigure4MUSIC(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	for i := 0; i < b.N; i++ {
+		opts := benchMusicOpts()
+		opts.Space = space
+		opts.Seed = uint64(i + 1)
+		alg, err := music.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = music.RunSequential(alg, func(x []float64) (float64, error) {
+			return metarvm.EvaluateGSA(x, 11)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4PCE measures the one-shot PCE baseline (the magenta
+// curves of Figure 4): nested LHS designs, degree-3 fit per size.
+func BenchmarkFigure4PCE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := osprey.RunPCEComparison(nil, uint64(i+1), 11, []int{60, 100, 150, 200}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Replicates measures the replicated study of Figure 5:
+// multiple MUSIC instances (one MetaRVM seed each) interleaved over one
+// EMEWS worker pool.
+func BenchmarkFigure5Replicates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := osprey.New(osprey.Config{Identity: "bench", Nodes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		cfg := osprey.GSAConfig{Replicates: 3, Music: benchMusicOpts(), Nodes: 4, WorkersPerNode: 2, Seed: uint64(i + 1)}
+		if _, err := osprey.RunGSA(p, cfg, true); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		p.Shutdown()
+	}
+}
+
+// BenchmarkInterleavedVsSequential is the §3.2 utilization experiment:
+// the same replicated study driven sequentially vs interleaved.
+func BenchmarkInterleavedVsSequential(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		interleaved bool
+	}{{"sequential", false}, {"interleaved", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, err := osprey.New(osprey.Config{Identity: "bench", Nodes: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				cfg := osprey.GSAConfig{
+					Replicates: 4, Music: benchMusicOpts(),
+					Nodes: 4, WorkersPerNode: 2,
+					ModelDelay: 2 * time.Millisecond, Seed: uint64(i + 1),
+				}
+				res, err := osprey.RunGSA(p, cfg, mode.interleaved)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Pool.UtilizationPct, "util%")
+				b.StopTimer()
+				p.Shutdown()
+			}
+		})
+	}
+}
+
+// BenchmarkIngestTransform measures the cheap login-node tier work of one
+// ingestion poll cycle — fetch, checksum, validate/transform, store,
+// version (the §2.2 "under a minute" claim; here: well under).
+func BenchmarkIngestTransform(b *testing.B) {
+	p, err := osprey.New(osprey.Config{Identity: "bench", Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown()
+	// A long, bounded scenario (R(t) = 1 keeps incidence flat) so every
+	// iteration can reveal fresh data; the plant samples every 2 days, so
+	// each iteration advances 2 days.
+	sc := wastewater.DefaultScenario(120)
+	sc.Days = 6000
+	sc.Rt = make([]float64, sc.Days)
+	for i := range sc.Rt {
+		sc.Rt[i] = 1
+	}
+	s := wastewater.Generate(wastewater.ChicagoPlants()[0], sc, rng.New(9))
+	src := wastewater.NewLiveSource(s, 30)
+	srv := httptest.NewServer(src)
+	defer srv.Close()
+
+	transformID, err := p.LoginCompute.RegisterFunction(p.Token.ID, "validate",
+		func(ctx context.Context, body []byte) ([]byte, error) {
+			obs, err := wastewater.ParseCSV(strings.NewReader(string(body)))
+			if err != nil {
+				return nil, err
+			}
+			var sb strings.Builder
+			sb.WriteString("day,concentration\n")
+			for _, o := range obs {
+				fmt.Fprintf(&sb, "%d,%.6g\n", o.Day, o.Concentration)
+			}
+			return []byte(sb.String()), nil
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flow, err := p.AERO.RegisterIngestion(aero.IngestionSpec{
+		Name: "bench-feed", URL: srv.URL,
+		Compute: p.LoginCompute, TransformID: transformID,
+		Storage: p.StorageTarget(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src.Advance(2) // new sample every iteration so the update path runs
+		b.StartTimer()
+		updated, err := flow.Poll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !updated && src.CurrentDay() < 6000 {
+			b.Fatal("poll saw no update despite advance")
+		}
+	}
+}
+
+// BenchmarkAblationAcquisition compares the EIGF acquisition against
+// pure-variance (ALM) and random refill on the MetaRVM GSA.
+func BenchmarkAblationAcquisition(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	for _, acq := range []music.AcqKind{music.EIGF, music.Variance, music.Random} {
+		b.Run(acq.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchMusicOpts()
+				opts.Space = space
+				opts.Acquisition = acq
+				opts.Seed = uint64(i + 1)
+				alg, err := music.New(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := music.RunSequential(alg, func(x []float64) (float64, error) {
+					return metarvm.EvaluateGSA(x, 11)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEnsembleWeights compares population-weighted against
+// unweighted pooling of the four plant posteriors.
+func BenchmarkAblationEnsembleWeights(b *testing.B) {
+	sc := wastewater.DefaultScenario(100)
+	root := rng.New(5)
+	var ests []*rt.Estimate
+	for i, p := range wastewater.ChicagoPlants() {
+		s := wastewater.Generate(p, sc, root.Split(p.Name))
+		opt := benchGoldstein()
+		opt.Seed = uint64(50 + i)
+		est, err := rt.EstimateGoldstein(s.Observations, p, 100, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ests = append(ests, est)
+	}
+	unweighted := []float64{1, 1, 1, 1}
+	for _, mode := range []struct {
+		name    string
+		weights []float64
+	}{{"population", nil}, {"unweighted", unweighted}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ens, err := rt.EnsembleWeighted(ests, mode.weights)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(ens.MeanAbsError(sc.Rt, 14, 93), "mae")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveMH compares the adaptive random-walk Metropolis
+// kernel against a fixed-scale kernel on a Goldstein-shaped posterior.
+func BenchmarkAblationAdaptiveMH(b *testing.B) {
+	logp := func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			scale := 1.0 + 3.0*float64(i%3) // anisotropic target
+			s += v * v / (scale * scale)
+		}
+		return -0.5 * s
+	}
+	x0 := make([]float64, 12)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"adaptive", false}, {"fixed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch, err := mcmc.RunComponentwise(logp, x0, mcmc.Options{
+					Iterations: 500, BurnIn: 500,
+					DisableAdapt: mode.disable,
+					Rand:         rng.New(uint64(i + 1)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(ch.ESS(0), "ess")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize compares single-point acquisition (the
+// paper's setting) against batched acquisition, which packs worker pools
+// better at a small acquisition-optimality cost.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	for _, q := range []int{1, 4} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchMusicOpts()
+				opts.Space = space
+				opts.BatchSize = q
+				opts.Seed = uint64(i + 1)
+				alg, err := music.New(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts, err := alg.InitialDesign()
+				if err != nil {
+					b.Fatal(err)
+				}
+				evalAll := func(pts [][]float64) []float64 {
+					vals := make([]float64, len(pts))
+					for k, p := range pts {
+						y, err := metarvm.EvaluateGSA(p, 11)
+						if err != nil {
+							b.Fatal(err)
+						}
+						vals[k] = y
+					}
+					return vals
+				}
+				if err := alg.Observe(pts, evalAll(pts)); err != nil {
+					b.Fatal(err)
+				}
+				for !alg.Done() {
+					batch, err := alg.NextBatch()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := alg.Observe(batch, evalAll(batch)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCalibrationABC measures the two calibration strategies against
+// the real MetaRVM simulator at a fixed small budget.
+func BenchmarkCalibrationABC(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	gen := func(x []float64, seed uint64) ([]float64, error) {
+		cfg := metarvm.DefaultConfig()
+		p, err := metarvm.ApplyGSAPoint(cfg.Params, x)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Params = p
+		cfg.Seed = seed
+		res, err := metarvm.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(res.Days))
+		for i, d := range res.Days {
+			out[i] = float64(d.NewHospitalizations)
+		}
+		return out, nil
+	}
+	truth := space.Scale([]float64{0.4, 0.5, 0.5, 0.5, 0.5})
+	observed, err := gen(truth, 999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"rejection", "surrogate"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := calibrate.Options{
+					Space: space, Observed: observed,
+					Budget: 60, AcceptFraction: 0.1, Seed: uint64(i + 1),
+				}
+				var res *calibrate.Result
+				var err error
+				if mode == "surrogate" {
+					res, err = calibrate.SurrogateABC(gen, calibrate.SurrogateABCOptions{Options: opts})
+				} else {
+					res, err = calibrate.ABCRejection(gen, opts)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Best().Distance, "best-dist")
+			}
+		})
+	}
+}
+
+// BenchmarkExpensiveModelTimeToSolution is the §3.3 argument made
+// concrete: on an expensive agent-based model (~40 ms/run vs MetaRVM's
+// ~2 ms), the surrogate-driven MUSIC needs far fewer model runs than a
+// direct pick–freeze Sobol estimate, so its time-to-solution advantage
+// grows with model cost. The run counts are reported as metrics.
+func BenchmarkExpensiveModelTimeToSolution(b *testing.B) {
+	space := metarvm.GSAParameterSpace()
+	b.Run("music-surrogate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := benchMusicOpts()
+			opts.Space = space
+			opts.InitialDesign = 15
+			opts.Budget = 40
+			opts.Seed = uint64(i + 1)
+			alg, err := music.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs := 0
+			if err := music.RunSequential(alg, func(x []float64) (float64, error) {
+				runs++
+				return abm.EvaluateGSA(x, 11)
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(runs), "model-runs")
+		}
+	})
+	b.Run("direct-saltelli", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runs := 0
+			if _, err := sobolidx.Estimate(func(u []float64) float64 {
+				runs++
+				y, err := abm.EvaluateGSA(space.Scale(u), 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return y
+			}, space.Dim(), sobolidx.Options{N: 32, Clamp01: true}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(runs), "model-runs")
+		}
+	})
+}

@@ -1,0 +1,88 @@
+// Command aero-server runs a standalone AERO metadata server over HTTP.
+// Platforms point at it with osprey.Config.Meta = aero.NewClient(url),
+// keeping the paper's separation between the central metadata service and
+// the user-owned storage and compute where data actually lives.
+//
+// Usage:
+//
+//	aero-server [-addr 127.0.0.1:7523] [-state aero-state.json]
+//
+// When -state is given, the store is loaded from the file at startup (if it
+// exists) and persisted on every mutation-free interval and at shutdown.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"osprey/internal/aero"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("aero-server: ")
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7523", "listen address")
+		state = flag.String("state", "", "optional JSON state file for persistence")
+	)
+	flag.Parse()
+
+	store := aero.NewStore()
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			if err := store.Load(f); err != nil {
+				log.Fatalf("loading state: %v", err)
+			}
+			f.Close()
+			log.Printf("loaded state from %s", *state)
+		}
+	}
+
+	save := func() {
+		if *state == "" {
+			return
+		}
+		tmp := *state + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("save: %v", err)
+			return
+		}
+		if err := store.Save(f); err != nil {
+			log.Printf("save: %v", err)
+			f.Close()
+			return
+		}
+		f.Close()
+		if err := os.Rename(tmp, *state); err != nil {
+			log.Printf("save: %v", err)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: aero.NewServer(store)}
+	go func() {
+		log.Printf("metadata service listening on http://%s", *addr)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	if *state != "" {
+		go func() {
+			for range time.Tick(30 * time.Second) {
+				save()
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+	save()
+	_ = srv.Close()
+}

@@ -1,0 +1,148 @@
+// Command osprey-daemon runs the paper's use case 1 as an always-on
+// service: the four simulated plant feeds advance on a clock, AERO timers
+// poll them, analyses and the aggregation trigger automatically, and a
+// status endpoint exposes what the platform is doing — the "fully
+// automated ... timely model-based epidemiological analyses" mode of §2.2.
+//
+// Usage:
+//
+//	osprey-daemon [-addr 127.0.0.1:7524] [-tick 10s] [-fast]
+//
+// Endpoints:
+//
+//	GET /            status summary (flows, runs, current simulated day)
+//	GET /ensemble    latest population-weighted ensemble R(t) (JSON)
+//	GET /plot        latest ensemble ASCII plot
+//	GET /events      AERO event trace
+//	GET /topology    GraphViz DOT of the workflow
+//	GET /metadata/…  the embedded AERO metadata API
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"osprey"
+	"osprey/internal/aero"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("osprey-daemon: ")
+	var (
+		addr = flag.String("addr", "127.0.0.1:7524", "status/metadata listen address")
+		tick = flag.Duration("tick", 10*time.Second, "wall-clock duration of one simulated day")
+		fast = flag.Bool("fast", false, "reduced MCMC settings (quicker cycles)")
+	)
+	flag.Parse()
+
+	store := aero.NewStore()
+	p, err := osprey.New(osprey.Config{Identity: "daemon", Nodes: 8, Meta: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	gopt := osprey.GoldsteinOptions{}
+	if *fast {
+		gopt = osprey.GoldsteinOptions{Iterations: 300, BurnIn: 500, Thin: 2}
+	}
+	wp, err := osprey.NewWastewaterPipeline(p, osprey.WastewaterConfig{
+		ScenarioDays: 365,
+		StartDay:     60,
+		Goldstein:    gopt,
+		PollInterval: *tick, // AERO timers poll each feed once per tick
+		Seed:         uint64(time.Now().UnixNano()),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wp.Close()
+	log.Printf("pipeline registered: plants %v, 1 simulated day per %v", wp.PlantNames(), *tick)
+
+	// The clock: each tick advances every feed by one day; the flows'
+	// own timers notice the update on their next poll.
+	day := 60
+	go func() {
+		ticker := time.NewTicker(*tick)
+		defer ticker.Stop()
+		for range ticker.C {
+			wp.Advance(1)
+			day++
+			if day >= 365 {
+				log.Print("scenario exhausted; feeds frozen")
+				return
+			}
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.Handle("/metadata/", http.StripPrefix("/metadata", aero.NewServer(store)))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "osprey-daemon: simulated day %d\n\n", day)
+		flows, err := store.ListFlows()
+		if err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		fmt.Fprintf(w, "%-14s %-22s %-10s %s\n", "ID", "NAME", "KIND", "RUNS")
+		for _, f := range flows {
+			fmt.Fprintf(w, "%-14s %-22s %-10s %d\n", f.ID, f.Name, f.Kind, f.Runs)
+		}
+		fmt.Fprintf(w, "\naggregate runs: %d\n", wp.Aggregate.Runs())
+		fmt.Fprint(w, "\nendpoints: /ensemble /plot /events /topology /metadata/...\n")
+	})
+	mux.HandleFunc("/ensemble", func(w http.ResponseWriter, r *http.Request) {
+		data, _, err := p.AERO.FetchLatest(wp.Aggregate.OutputUUIDs[0], p.Storage)
+		if err != nil {
+			http.Error(w, "no ensemble yet: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/plot", func(w http.ResponseWriter, r *http.Request) {
+		plots, err := wp.LatestPlots()
+		if err != nil {
+			http.Error(w, "no plots yet: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, plots["ensemble"])
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		for _, e := range p.AERO.Events() {
+			fmt.Fprintf(w, "%s %-16s %-14s %s\n", e.Time.Format(time.RFC3339), e.Kind, e.Flow, e.Detail)
+		}
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		dot, err := aero.ExportDOT(store, "osprey-daemon workflow")
+		if err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		fmt.Fprint(w, dot)
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("status on http://%s", *addr)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+	_ = srv.Close()
+}

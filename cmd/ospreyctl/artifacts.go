@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"osprey/internal/plot"
+	"osprey/internal/sde"
+)
+
+// artifactsCmd implements the SDE registry subcommands, operating on a
+// local JSON bundle file (the same format Export/Import exchange between
+// collaborating groups):
+//
+//	ospreyctl artifacts -file sde.json list
+//	ospreyctl artifacts -file sde.json search -kind model -tag epi -text music
+//	ospreyctl artifacts -file sde.json register -name metarvm -version 1.2 -kind model \
+//	    -desc "..." -tags epi,compartmental -langs R -modules deSolve
+//	ospreyctl artifacts -file sde.json add-env -name improv -langs R,python -scheduler pbs -nodes 16
+//	ospreyctl artifacts -file sde.json check <artifact-id> <env-name>
+func artifactsCmd(args []string) error {
+	fs := flag.NewFlagSet("artifacts", flag.ExitOnError)
+	file := fs.String("file", "sde.json", "registry bundle file")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: ospreyctl artifacts [-file F] list|search|register|add-env|check ...")
+	}
+
+	reg := sde.NewRegistry()
+	if f, err := os.Open(*file); err == nil {
+		if _, err := reg.Import(f); err != nil {
+			f.Close()
+			return fmt.Errorf("loading %s: %w", *file, err)
+		}
+		f.Close()
+	}
+	save := func() error {
+		f, err := os.Create(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return reg.Export(f, sde.Query{})
+	}
+
+	switch rest[0] {
+	case "list":
+		return printArtifacts(reg.Search(sde.Query{}))
+	case "search":
+		sf := flag.NewFlagSet("search", flag.ExitOnError)
+		kind := sf.String("kind", "", "model | me-algorithm | harness")
+		tag := sf.String("tag", "", "tag filter")
+		text := sf.String("text", "", "substring of name/description")
+		sf.Parse(rest[1:])
+		return printArtifacts(reg.Search(sde.Query{
+			Kind: sde.ArtifactKind(*kind), Tag: *tag, Text: *text,
+		}))
+	case "register":
+		rf := flag.NewFlagSet("register", flag.ExitOnError)
+		name := rf.String("name", "", "artifact name (required)")
+		version := rf.String("version", "", "version (required)")
+		kind := rf.String("kind", "model", "model | me-algorithm | harness")
+		desc := rf.String("desc", "", "description")
+		tags := rf.String("tags", "", "comma-separated tags")
+		langs := rf.String("langs", "", "comma-separated required languages")
+		modules := rf.String("modules", "", "comma-separated required modules")
+		scheduler := rf.String("scheduler", "", "required scheduler")
+		minNodes := rf.Int("min-nodes", 0, "minimum nodes")
+		rf.Parse(rest[1:])
+		art, err := reg.Register(sde.Artifact{
+			Name: *name, Version: *version, Kind: sde.ArtifactKind(*kind),
+			Description: *desc,
+			Tags:        splitList(*tags),
+			Requires: sde.Requirements{
+				Languages: splitList(*langs),
+				Modules:   splitList(*modules),
+				Scheduler: *scheduler,
+				MinNodes:  *minNodes,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered %s (%s@%s)\n", art.ID, art.Name, art.Version)
+		return save()
+	case "add-env":
+		ef := flag.NewFlagSet("add-env", flag.ExitOnError)
+		name := ef.String("name", "", "environment name (required)")
+		langs := ef.String("langs", "", "comma-separated languages")
+		scheduler := ef.String("scheduler", "", "batch scheduler")
+		nodes := ef.Int("nodes", 1, "node count")
+		modules := ef.String("modules", "", "comma-separated modules")
+		ef.Parse(rest[1:])
+		if err := reg.AddEnvironment(sde.Environment{
+			Name: *name, Languages: splitList(*langs),
+			Scheduler: *scheduler, Nodes: *nodes, Modules: splitList(*modules),
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("environment %s recorded\n", *name)
+		return save()
+	case "check":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: ospreyctl artifacts check <artifact-id> <env-name>")
+		}
+		rep, err := reg.CheckPortability(rest[1], rest[2])
+		if err != nil {
+			return err
+		}
+		if rep.Portable {
+			fmt.Printf("%s is portable to %s\n", rep.Artifact, rep.Environment)
+			return nil
+		}
+		fmt.Printf("%s is NOT portable to %s; missing:\n", rep.Artifact, rep.Environment)
+		for _, m := range rep.Missing {
+			fmt.Printf("  - %s\n", m)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown artifacts subcommand %q", rest[0])
+	}
+}
+
+func printArtifacts(arts []*sde.Artifact) error {
+	var rows [][]string
+	for _, a := range arts {
+		rows = append(rows, []string{
+			a.ID, a.Name, a.Version, string(a.Kind),
+			strings.Join(a.Tags, ","), a.Description,
+		})
+	}
+	return plot.Table(os.Stdout, []string{"ID", "Name", "Version", "Kind", "Tags", "Description"}, rows)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

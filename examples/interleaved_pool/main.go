@@ -1,0 +1,75 @@
+// The §3.2 Shared Development Environment utilization study: why the paper
+// interleaves its MUSIC instances.
+//
+// A MUSIC run starts with a batch of initial-design evaluations that can
+// fill a worker pool, but every subsequent iteration submits a single
+// parameter set. Run sequentially, the pool sits mostly idle during the
+// long one-at-a-time refinement phase. Interleaving N instances keeps up to
+// N tasks in flight, recovering utilization and shrinking the makespan —
+// with bit-identical results, because each instance owns its random
+// stream.
+//
+//	go run ./examples/interleaved_pool [-instances 6] [-delay 5ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"osprey"
+)
+
+func main() {
+	log.SetFlags(0)
+	instances := flag.Int("instances", 6, "number of MUSIC instances")
+	delay := flag.Duration("delay", 5*time.Millisecond, "artificial per-evaluation model cost")
+	flag.Parse()
+
+	run := func(interleaved bool) *osprey.GSAResult {
+		p, err := osprey.New(osprey.Config{Identity: "sde", Nodes: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Shutdown()
+		cfg := osprey.GSAConfig{
+			Replicates: *instances,
+			Nodes:      4, WorkersPerNode: 2,
+			ModelDelay: *delay,
+			Seed:       3,
+		}
+		cfg.Music.InitialDesign = 16
+		cfg.Music.Budget = 40
+		res, err := osprey.RunGSA(p, cfg, interleaved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("%d MUSIC instances, 8-worker pool, %v per model evaluation\n\n", *instances, *delay)
+	seq := run(false)
+	fmt.Printf("sequential:  makespan %8v  utilization %5.1f%%  (%d evaluations)\n",
+		seq.Elapsed.Round(time.Millisecond), seq.Pool.UtilizationPct, seq.Evaluations)
+	inter := run(true)
+	fmt.Printf("interleaved: makespan %8v  utilization %5.1f%%  (%d evaluations)\n",
+		inter.Elapsed.Round(time.Millisecond), inter.Pool.UtilizationPct, inter.Evaluations)
+
+	speedup := float64(seq.Elapsed) / float64(inter.Elapsed)
+	fmt.Printf("\nspeedup %.2fx, utilization gain %.1f points\n",
+		speedup, inter.Pool.UtilizationPct-seq.Pool.UtilizationPct)
+
+	// The decoupled design guarantee: scheduling does not change science.
+	maxDiff := 0.0
+	for r := range seq.FinalIndices {
+		for j := range seq.FinalIndices[r] {
+			d := math.Abs(seq.FinalIndices[r][j] - inter.FinalIndices[r][j])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("max index difference between modes: %g (identical results)\n", maxDiff)
+}

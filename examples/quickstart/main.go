@@ -1,0 +1,141 @@
+// Quickstart: the smallest complete OSPREY program.
+//
+// It assembles a platform, registers one AERO ingestion flow against a
+// local HTTP data source, chains one analysis flow off the ingested data,
+// and runs one EMEWS task round-trip through a scheduler-launched worker
+// pool — one touch of every subsystem.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"osprey"
+	"osprey/internal/aero"
+	"osprey/internal/emews"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A platform: storage endpoint, login + batch compute tiers, a
+	// simulated cluster, AERO metadata, an EMEWS task DB.
+	p, err := osprey.New(osprey.Config{Identity: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	// 2. A toy data source: an HTTP endpoint whose content we control.
+	var version atomic.Int32
+	version.Store(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "observation,%d\n", version.Load())
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// 3. An ingestion flow: poll the source, validate/transform on the
+	// login tier, store and version the product.
+	transformID, err := p.LoginCompute.RegisterFunction(p.Token.ID, "upper",
+		func(ctx context.Context, body []byte) ([]byte, error) {
+			return []byte(strings.ToUpper(string(body))), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ingest, err := p.AERO.RegisterIngestion(aero.IngestionSpec{
+		Name:        "toy-feed",
+		URL:         "http://" + ln.Addr().String(),
+		Compute:     p.LoginCompute,
+		TransformID: transformID,
+		Storage:     p.StorageTarget(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. An analysis flow triggered whenever the ingested data updates.
+	analyzeID, err := p.LoginCompute.RegisterFunction(p.Token.ID, "count",
+		func(ctx context.Context, payload []byte) ([]byte, error) {
+			var req aero.AnalysisRequest
+			if err := jsonUnmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			n := len(req.Inputs[0].Data)
+			return aero.EncodeOutputs(map[string][]byte{
+				"report": []byte(fmt.Sprintf("input is %d bytes", n)),
+			})
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := p.AERO.RegisterAnalysis(aero.AnalysisSpec{
+		Name:        "toy-analysis",
+		InputUUIDs:  []string{ingest.OutputUUID},
+		Policy:      aero.TriggerAny,
+		Compute:     p.LoginCompute,
+		AnalyzeID:   analyzeID,
+		OutputNames: []string{"report"},
+		Storage:     p.StorageTarget(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Drive two "daily" cycles: poll, data changes, analyses trigger.
+	for day := 1; day <= 2; day++ {
+		updated, err := ingest.Poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.AERO.WaitIdle()
+		report, _, err := p.AERO.FetchLatest(analysis.OutputUUIDs[0], p.Storage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %d: updated=%v analysisRuns=%d report=%q\n",
+			day, updated, analysis.Runs(), report)
+		version.Add(1) // tomorrow's data differs
+	}
+
+	// 6. One EMEWS round-trip: start a worker pool via the scheduler,
+	// submit a task, read its Future.
+	pool, err := emews.StartScheduledPool(p.Cluster, 1, 2, p.TaskDB, "demo",
+		func(ctx context.Context, payload string) (string, error) {
+			return "echo:" + payload, nil
+		}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Stop()
+	future, err := p.TaskDB.Submit("demo", 0, "hello-emews")
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := future.Result(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emews task result: %s\n", result)
+
+	// 7. Everything that happened is in the metadata service.
+	flows, _ := p.Meta.ListFlows()
+	fmt.Printf("metadata service now tracks %d flows\n", len(flows))
+}
+
+func jsonUnmarshal(b []byte, v any) error {
+	return json.Unmarshal(b, v)
+}

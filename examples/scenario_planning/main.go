@@ -1,0 +1,101 @@
+// Scenario planning: closing the loop between OSPREY's two use cases.
+//
+// A MetaRVM metapopulation simulation (use case 2's model) drives the
+// wastewater observation model whose inversion is use case 1's analysis:
+// we simulate a baseline epidemic and an intervention scenario (an NPI
+// window plus a vaccination surge), generate the noisy plant concentration
+// data each would produce, and check that the Goldstein R(t) estimator —
+// fed only the wastewater signal — detects the intervention's transmission
+// reduction. This is the paper's future-work loop of "epidemiological
+// analyses that can be directly integrated via OSPREY-enabled automation
+// into [public health] business processes".
+//
+//	go run ./examples/scenario_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osprey/internal/metarvm"
+	"osprey/internal/rng"
+	"osprey/internal/rt"
+	"osprey/internal/wastewater"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := metarvm.DefaultConfig()
+	cfg.Days = 120
+	cfg.Params.TS = 0.35 // moderate epidemic so the NPI lands mid-growth
+	cfg.Seed = 7
+
+	interventions := []metarvm.Intervention{
+		{Name: "stay-at-home", FromDay: 30, ToDay: 75, TransmissionScale: 0.45},
+		{Name: "vaccine-surge", FromDay: 30, ToDay: 90, VaccRateAdd: 0.01},
+	}
+
+	baseline, err := metarvm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, err := metarvm.RunWithInterventions(cfg, interventions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("MetaRVM scenario comparison (120 days):")
+	fmt.Printf("%-22s %12s %12s %12s\n", "scenario", "infections", "hospitalized", "deaths")
+	fmt.Printf("%-22s %12d %12d %12d\n", "baseline",
+		baseline.CumInfections, baseline.CumHospitalizations, baseline.CumDeaths)
+	fmt.Printf("%-22s %12d %12d %12d\n", "NPI + vaccine surge",
+		scenario.CumInfections, scenario.CumHospitalizations, scenario.CumDeaths)
+	averted := baseline.CumHospitalizations - scenario.CumHospitalizations
+	fmt.Printf("hospitalizations averted: %d (%.0f%%)\n\n", averted,
+		100*float64(averted)/float64(baseline.CumHospitalizations))
+
+	// Feed both incidence curves through the wastewater observation model
+	// and invert with the Goldstein estimator.
+	plant := wastewater.ChicagoPlants()[0]
+	estimate := func(name string, res *metarvm.Result, seed uint64) *rt.Estimate {
+		series, err := wastewater.GenerateFromIncidence(plant, res.DailyIncidence(),
+			wastewater.Scenario{}, rng.New(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := rt.EstimateGoldstein(series.Observations, plant, cfg.Days+1,
+			rt.GoldsteinOptions{Iterations: 400, BurnIn: 600, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return est
+	}
+	baseEst := estimate("baseline", baseline, 101)
+	scenEst := estimate("scenario", scenario, 102)
+
+	// Compare each scenario's estimated R(t) drop across the NPI start.
+	// The window is chosen to dodge the confound of susceptible
+	// depletion: both runs are identical before day 30, so the extra
+	// drop in the scenario run is the intervention's signature.
+	window := func(e *rt.Estimate, from, to int) float64 {
+		s, n := 0.0, 0
+		for d := from; d <= to; d++ {
+			s += e.Median[d]
+			n++
+		}
+		return s / float64(n)
+	}
+	fmt.Println("Wastewater-only R(t) around the NPI start (day 30):")
+	fmt.Printf("%-10s %18s %18s %8s\n", "scenario", "pre-NPI (d18-28)", "NPI (d38-60)", "drop")
+	bPre, bNPI := window(baseEst, 18, 28), window(baseEst, 38, 60)
+	sPre, sNPI := window(scenEst, 18, 28), window(scenEst, 38, 60)
+	fmt.Printf("%-10s %18.2f %18.2f %8.2f\n", "baseline", bPre, bNPI, bPre-bNPI)
+	fmt.Printf("%-10s %18.2f %18.2f %8.2f\n", "NPI", sPre, sNPI, sPre-sNPI)
+	if sPre-sNPI > bPre-bNPI {
+		fmt.Println("\nThe estimator sees the intervention in the sewage: the scenario's R(t)")
+		fmt.Println("falls further across the NPI start, using nothing but noisy concentrations.")
+	} else {
+		fmt.Println("\nwarning: estimator did not separate the scenarios at these settings")
+	}
+}

@@ -1,0 +1,96 @@
+// Use case 1 (§2, Figures 1-2): the automated multi-source wastewater R(t)
+// estimation workflow.
+//
+// Four simulated Chicago-area water reclamation plant feeds are served over
+// local HTTP. AERO ingestion flows poll them daily, validate and transform
+// updates on the login tier, and version every artifact. Each update
+// triggers a Goldstein-method semi-parametric Bayesian R(t) estimation on
+// the batch tier (queued through the simulated PBS scheduler), and once all
+// four estimates are fresh, the population-weighted ensemble aggregation
+// runs. Because the data are synthetic, the program scores every estimate
+// against the known ground-truth R(t).
+//
+//	go run ./examples/wastewater_rt [-days 5] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"osprey"
+)
+
+func main() {
+	log.SetFlags(0)
+	days := flag.Int("days", 3, "number of simulated daily polling cycles")
+	full := flag.Bool("full", false, "publication-scale MCMC settings (slower)")
+	flag.Parse()
+
+	gopt := osprey.GoldsteinOptions{Iterations: 300, BurnIn: 500, Thin: 2}
+	if *full {
+		gopt = osprey.GoldsteinOptions{} // package defaults: 1500/2000
+	}
+
+	p, err := osprey.New(osprey.Config{Identity: "epi-team", Nodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	wp, err := osprey.NewWastewaterPipeline(p, osprey.WastewaterConfig{
+		ScenarioDays: 120,
+		StartDay:     120 - *days - 1,
+		Goldstein:    gopt,
+		Seed:         2026,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wp.Close()
+
+	fmt.Println("Automated multi-source wastewater R(t) workflow")
+	fmt.Printf("plants: %v\n\n", wp.PlantNames())
+
+	truth := wp.TruthRt()
+	for day := 1; day <= *days; day++ {
+		start := time.Now()
+		updates, err := wp.PollAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d: %d feed updates, aggregate runs so far: %d (%v)\n",
+			day, updates, wp.Aggregate.Runs(), time.Since(start).Round(time.Millisecond))
+		wp.Advance(1) // tomorrow's samples arrive
+	}
+
+	fmt.Println("\nLatest estimates vs ground truth (days 14..end-7):")
+	fmt.Printf("%-18s %-12s %-8s %s\n", "source", "coverage95", "MAE", "band width")
+	for _, name := range wp.PlantNames() {
+		est, err := wp.LatestEstimate(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		end := len(est.Median) - 7
+		fmt.Printf("%-18s %-12.2f %-8.3f %.3f\n", name,
+			est.Coverage(truth, 14, end), est.MeanAbsError(truth, 14, end), est.BandWidth(14, end))
+	}
+	ens, err := wp.LatestEnsemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	end := len(ens.Median) - 7
+	fmt.Printf("%-18s %-12.2f %-8.3f %.3f\n", "ensemble",
+		ens.Coverage(truth, 14, end), ens.MeanAbsError(truth, 14, end), ens.BandWidth(14, end))
+
+	plots, err := wp.LatestPlots()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + plots["ensemble"])
+
+	fmt.Println("Provenance is queryable: every output traces back to the raw feed.")
+	fmt.Printf("cluster: %d batch jobs completed (the expensive R(t) analyses)\n",
+		p.Cluster.Stats().Completed)
+}

@@ -1,0 +1,3 @@
+module osprey
+
+go 1.22

@@ -1,0 +1,167 @@
+package abm
+
+import (
+	"testing"
+
+	"osprey/internal/metarvm"
+)
+
+func baseConfig(seed uint64) Config {
+	return Config{Agents: 8000, InitialInfected: 20, Days: 90,
+		Params: metarvm.NominalParams(), Seed: seed}
+}
+
+func TestPopulationConservation(t *testing.T) {
+	res, err := Run(baseConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Days {
+		total := d.S + d.E + d.Ia + d.Ip + d.Is + d.H + d.R + d.D
+		if total != 8000 {
+			t.Fatalf("day %d population %d != 8000", d.Day, total)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a, err := Run(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CumInfections != b.CumInfections || a.CumHospitalizations != b.CumHospitalizations {
+		t.Fatal("same-seed ABM runs differ")
+	}
+	c, err := Run(baseConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CumInfections == a.CumInfections {
+		t.Log("warning: two seeds matched exactly (possible but unlikely)")
+	}
+}
+
+func TestTransmissionMonotonicity(t *testing.T) {
+	lo := baseConfig(3)
+	lo.Params.TS = 0.15
+	hi := baseConfig(3)
+	hi.Params.TS = 0.8
+	rLo, err := Run(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHi, err := Run(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHi.CumInfections <= rLo.CumInfections {
+		t.Fatalf("higher TS infected fewer agents: %d vs %d", rHi.CumInfections, rLo.CumInfections)
+	}
+}
+
+func TestHouseholdTransmissionMatters(t *testing.T) {
+	// With households of mean size 3, a meaningful share of infections
+	// happens at home; shrinking households to singletons removes it.
+	withHH := baseConfig(4)
+	withHH.Params.TS = 0.6
+	r1, err := Run(withHH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HouseholdShare < 0.1 {
+		t.Fatalf("household share %v implausibly small", r1.HouseholdShare)
+	}
+	solo := withHH
+	solo.MeanHousehold = 1.0001 // all singleton households
+	r2, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.HouseholdShare > r1.HouseholdShare/2 {
+		t.Fatalf("singleton households still show share %v (with: %v)", r2.HouseholdShare, r1.HouseholdShare)
+	}
+}
+
+func TestNewlyExposedDoNotProgressSameDay(t *testing.T) {
+	// With a 1-day latent period, same-day progression would let an agent
+	// be infected and infectious within one step; the E count on the day
+	// of a large seed must stay visible.
+	cfg := baseConfig(5)
+	cfg.Params.DE = 1
+	cfg.Params.TS = 0.9
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural check: infections only ever come from infectious states,
+	// so day 1 new infections are bounded by seeds × contacts.
+	if res.Days[1].NewInfections > 20*30 {
+		t.Fatalf("day-1 infections %d exceed what 20 seeds can produce", res.Days[1].NewInfections)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := baseConfig(1)
+	cfg.InitialInfected = 10 * cfg.Agents
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("overfull seeding accepted")
+	}
+	bad := baseConfig(1)
+	bad.Params.PEA = 2
+	if _, err := Run(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestEvaluateGSAMatchesSpace(t *testing.T) {
+	space := metarvm.GSAParameterSpace()
+	x := space.Scale([]float64{0.6, 0.5, 0.5, 0.5, 0.5})
+	y, err := EvaluateGSA(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < 0 || y > 20000 {
+		t.Fatalf("QoI %v out of range for 20k agents", y)
+	}
+	if _, err := EvaluateGSA([]float64{1, 2}, 3); err == nil {
+		t.Fatal("short point accepted")
+	}
+	// Deterministic per seed.
+	y2, _ := EvaluateGSA(x, 3)
+	if y != y2 {
+		t.Fatal("ABM GSA evaluation not deterministic")
+	}
+}
+
+func TestABMAndMetaRVMAgreeOnDominantParameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The two models share the parameterization; a crude 2-point contrast
+	// on ts must point the same direction in both.
+	space := metarvm.GSAParameterSpace()
+	lo := space.Scale([]float64{0.15, 0.5, 0.5, 0.5, 0.5})
+	hi := space.Scale([]float64{0.85, 0.5, 0.5, 0.5, 0.5})
+	abmLo, _ := EvaluateGSA(lo, 5)
+	abmHi, _ := EvaluateGSA(hi, 5)
+	rvmLo, _ := metarvm.EvaluateGSA(lo, 5)
+	rvmHi, _ := metarvm.EvaluateGSA(hi, 5)
+	if (abmHi > abmLo) != (rvmHi > rvmLo) {
+		t.Fatalf("models disagree on ts direction: abm %v->%v, metarvm %v->%v",
+			abmLo, abmHi, rvmLo, rvmHi)
+	}
+}
+
+func BenchmarkABMRun(b *testing.B) {
+	cfg := Config{Params: metarvm.NominalParams()}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

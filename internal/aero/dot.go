@@ -1,0 +1,68 @@
+package aero
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExportDOT renders the registered flow/data topology as a GraphViz DOT
+// document — the machine-generated counterpart of the paper's Figure 1
+// diagram. Flow nodes are boxes (ingestion doubled), data identities are
+// ellipses, and edges follow the data: source URL → ingestion flow →
+// outputs; inputs → analysis flow → outputs.
+func ExportDOT(meta Metadata, title string) (string, error) {
+	flows, err := meta.ListFlows()
+	if err != nil {
+		return "", err
+	}
+	data, err := meta.ListData()
+	if err != nil {
+		return "", err
+	}
+	names := map[string]string{}
+	for _, d := range data {
+		names[d.UUID] = d.Name
+	}
+	label := func(uuid string) string {
+		if n := names[uuid]; n != "" {
+			return n
+		}
+		return uuid
+	}
+
+	var sb strings.Builder
+	sb.WriteString("digraph osprey {\n")
+	fmt.Fprintf(&sb, "  label=%q;\n", title)
+	sb.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	seenData := map[string]bool{}
+	declareData := func(uuid string) {
+		if seenData[uuid] {
+			return
+		}
+		seenData[uuid] = true
+		fmt.Fprintf(&sb, "  %q [shape=ellipse,label=%q];\n", uuid, label(uuid))
+	}
+	for _, f := range flows {
+		shape := "box"
+		if f.Kind == IngestionKind {
+			shape = "box,peripheries=2"
+		}
+		// %q renders the embedded newline as \n, which GraphViz treats
+		// as a line break inside the label.
+		fmt.Fprintf(&sb, "  %q [shape=%s,label=%q];\n", f.ID, shape,
+			fmt.Sprintf("%s\n(%s, %d runs)", f.Name, f.Kind, f.Runs))
+		for _, in := range f.InputUUIDs {
+			declareData(in)
+			fmt.Fprintf(&sb, "  %q -> %q;\n", in, f.ID)
+		}
+		for _, out := range f.OutputUUIDs {
+			declareData(out)
+			fmt.Fprintf(&sb, "  %q -> %q;\n", f.ID, out)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}

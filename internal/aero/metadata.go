@@ -1,0 +1,330 @@
+// Package aero implements the Automated Event-based Research Orchestration
+// platform of §2: a central metadata service plus distributed, user-owned
+// storage and compute ("bring your own storage and compute"). Ingestion
+// flows poll external data sources, validate/transform updates on a compute
+// endpoint, store raw and derived data on storage endpoints, and version
+// everything (checksum, timestamp, version number) in the metadata store.
+// Analysis flows register data UUIDs as inputs and are triggered when those
+// inputs update, with either any- or all-inputs policies. Data never passes
+// through the AERO server — only metadata does.
+package aero
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Version records one immutable version of a data item.
+type Version struct {
+	Num       int       `json:"num"`
+	Checksum  string    `json:"checksum"`
+	Timestamp time.Time `json:"timestamp"`
+	Size      int       `json:"size"`
+	// Storage coordinates (endpoint/collection/path) of the bytes. The
+	// metadata store never holds the data itself.
+	Endpoint   string `json:"endpoint"`
+	Collection string `json:"collection"`
+	Path       string `json:"path"`
+}
+
+// DataRecord is the metadata identity of a data item across its versions.
+type DataRecord struct {
+	UUID      string    `json:"uuid"`
+	Name      string    `json:"name"`
+	SourceURL string    `json:"source_url,omitempty"` // set for ingested raw data
+	Versions  []Version `json:"versions"`
+}
+
+// Latest returns the newest version, or nil if none exist.
+func (d *DataRecord) Latest() *Version {
+	if len(d.Versions) == 0 {
+		return nil
+	}
+	return &d.Versions[len(d.Versions)-1]
+}
+
+// FlowKind distinguishes ingestion from analysis flows.
+type FlowKind int
+
+const (
+	// IngestionKind flows poll an external source.
+	IngestionKind FlowKind = iota
+	// AnalysisKind flows consume registered data UUIDs.
+	AnalysisKind
+)
+
+func (k FlowKind) String() string {
+	if k == IngestionKind {
+		return "ingestion"
+	}
+	return "analysis"
+}
+
+// FlowRecord is the metadata registration of a flow.
+type FlowRecord struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Kind        FlowKind  `json:"kind"`
+	InputUUIDs  []string  `json:"input_uuids,omitempty"`
+	OutputUUIDs []string  `json:"output_uuids"`
+	Runs        int       `json:"runs"`
+	LastRun     time.Time `json:"last_run,omitempty"`
+}
+
+// ProvenanceEdge records that an output version was derived from an input
+// version by a flow run.
+type ProvenanceEdge struct {
+	FlowID        string    `json:"flow_id"`
+	InputUUID     string    `json:"input_uuid"`
+	InputVersion  int       `json:"input_version"`
+	OutputUUID    string    `json:"output_uuid"`
+	OutputVersion int       `json:"output_version"`
+	Timestamp     time.Time `json:"timestamp"`
+}
+
+// Metadata is the API surface of the AERO metadata service. It is
+// implemented by the in-process Store and by the HTTP Client, so platforms
+// can run against a local or remote server interchangeably.
+type Metadata interface {
+	CreateData(name, sourceURL string) (*DataRecord, error)
+	GetData(uuid string) (*DataRecord, error)
+	AppendVersion(uuid string, v Version) (*DataRecord, error)
+	ListData() ([]*DataRecord, error)
+
+	CreateFlow(rec FlowRecord) (*FlowRecord, error)
+	GetFlow(id string) (*FlowRecord, error)
+	ListFlows() ([]*FlowRecord, error)
+	RecordRun(flowID string, at time.Time) error
+
+	AddProvenance(edge ProvenanceEdge) error
+	Provenance(uuid string) ([]ProvenanceEdge, error)
+}
+
+// ErrNotFound is returned for unknown UUIDs and flow IDs.
+var ErrNotFound = errors.New("aero: not found")
+
+// Store is the in-process metadata database. It is safe for concurrent use
+// and serializable to JSON for persistence.
+type Store struct {
+	mu    sync.RWMutex
+	next  int
+	data  map[string]*DataRecord
+	flows map[string]*FlowRecord
+	prov  []ProvenanceEdge
+}
+
+// NewStore creates an empty metadata store.
+func NewStore() *Store {
+	return &Store{data: map[string]*DataRecord{}, flows: map[string]*FlowRecord{}}
+}
+
+func (s *Store) newID(prefix string) string {
+	s.next++
+	return fmt.Sprintf("%s-%08d", prefix, s.next)
+}
+
+// CreateData registers a new data identity and returns its record.
+func (s *Store) CreateData(name, sourceURL string) (*DataRecord, error) {
+	if name == "" {
+		return nil, errors.New("aero: data name required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &DataRecord{UUID: s.newID("data"), Name: name, SourceURL: sourceURL}
+	s.data[rec.UUID] = rec
+	return cloneData(rec), nil
+}
+
+// GetData returns a copy of the record for uuid.
+func (s *Store) GetData(uuid string) (*DataRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.data[uuid]
+	if !ok {
+		return nil, fmt.Errorf("%w: data %s", ErrNotFound, uuid)
+	}
+	return cloneData(rec), nil
+}
+
+// AppendVersion adds a version with the next version number. The Num field
+// of v is assigned by the store.
+func (s *Store) AppendVersion(uuid string, v Version) (*DataRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.data[uuid]
+	if !ok {
+		return nil, fmt.Errorf("%w: data %s", ErrNotFound, uuid)
+	}
+	v.Num = len(rec.Versions) + 1
+	if v.Timestamp.IsZero() {
+		v.Timestamp = time.Now()
+	}
+	rec.Versions = append(rec.Versions, v)
+	return cloneData(rec), nil
+}
+
+// ListData returns copies of all records sorted by UUID.
+func (s *Store) ListData() ([]*DataRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*DataRecord, 0, len(s.data))
+	for _, rec := range s.data {
+		out = append(out, cloneData(rec))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	return out, nil
+}
+
+// CreateFlow registers a flow; the ID is assigned by the store.
+func (s *Store) CreateFlow(rec FlowRecord) (*FlowRecord, error) {
+	if rec.Name == "" {
+		return nil, errors.New("aero: flow name required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.ID = s.newID("flow")
+	cp := rec
+	s.flows[rec.ID] = &cp
+	out := cp
+	return &out, nil
+}
+
+// GetFlow returns a copy of the flow record.
+func (s *Store) GetFlow(id string) (*FlowRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.flows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: flow %s", ErrNotFound, id)
+	}
+	cp := *f
+	return &cp, nil
+}
+
+// ListFlows returns copies of all flows sorted by ID.
+func (s *Store) ListFlows() ([]*FlowRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*FlowRecord, 0, len(s.flows))
+	for _, f := range s.flows {
+		cp := *f
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// RecordRun increments a flow's run counter.
+func (s *Store) RecordRun(flowID string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flows[flowID]
+	if !ok {
+		return fmt.Errorf("%w: flow %s", ErrNotFound, flowID)
+	}
+	f.Runs++
+	f.LastRun = at
+	return nil
+}
+
+// AddProvenance appends a derivation edge.
+func (s *Store) AddProvenance(edge ProvenanceEdge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prov = append(s.prov, edge)
+	return nil
+}
+
+// Provenance returns the edges touching uuid (as input or output).
+func (s *Store) Provenance(uuid string) ([]ProvenanceEdge, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ProvenanceEdge
+	for _, e := range s.prov {
+		if e.InputUUID == uuid || e.OutputUUID == uuid {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Lineage walks provenance edges backward from uuid, returning every
+// ancestor data UUID (deduplicated, breadth-first).
+func (s *Store) Lineage(uuid string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{uuid: true}
+	queue := []string{uuid}
+	var out []string
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range s.prov {
+			if e.OutputUUID == cur && !seen[e.InputUUID] {
+				seen[e.InputUUID] = true
+				out = append(out, e.InputUUID)
+				queue = append(queue, e.InputUUID)
+			}
+		}
+	}
+	return out, nil
+}
+
+type storeSnapshot struct {
+	Next  int              `json:"next"`
+	Data  []*DataRecord    `json:"data"`
+	Flows []*FlowRecord    `json:"flows"`
+	Prov  []ProvenanceEdge `json:"provenance"`
+}
+
+// Save serializes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := storeSnapshot{Next: s.next, Prov: append([]ProvenanceEdge(nil), s.prov...)}
+	for _, d := range s.data {
+		snap.Data = append(snap.Data, cloneData(d))
+	}
+	for _, f := range s.flows {
+		cp := *f
+		snap.Flows = append(snap.Flows, &cp)
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Data, func(i, j int) bool { return snap.Data[i].UUID < snap.Data[j].UUID })
+	sort.Slice(snap.Flows, func(i, j int) bool { return snap.Flows[i].ID < snap.Flows[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load replaces the store contents from a JSON snapshot.
+func (s *Store) Load(r io.Reader) error {
+	var snap storeSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("aero: load: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = snap.Next
+	s.data = map[string]*DataRecord{}
+	for _, d := range snap.Data {
+		s.data[d.UUID] = cloneData(d)
+	}
+	s.flows = map[string]*FlowRecord{}
+	for _, f := range snap.Flows {
+		cp := *f
+		s.flows[f.ID] = &cp
+	}
+	s.prov = append([]ProvenanceEdge(nil), snap.Prov...)
+	return nil
+}
+
+func cloneData(d *DataRecord) *DataRecord {
+	cp := *d
+	cp.Versions = append([]Version(nil), d.Versions...)
+	return &cp
+}

@@ -1,0 +1,334 @@
+package aero
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes a metadata Store over HTTP. Only metadata crosses this
+// API — never data bytes — preserving AERO's central design property.
+//
+// Routes:
+//
+//	POST /data                 {name, source_url}        -> DataRecord
+//	GET  /data                                           -> []DataRecord
+//	GET  /data/{uuid}                                    -> DataRecord
+//	POST /data/{uuid}/versions Version                   -> DataRecord
+//	GET  /data/{uuid}/provenance                         -> []ProvenanceEdge
+//	POST /flows                FlowRecord                -> FlowRecord
+//	GET  /flows                                          -> []FlowRecord
+//	GET  /flows/{id}                                     -> FlowRecord
+//	POST /flows/{id}/runs      {at}                      -> 204
+//	POST /provenance           ProvenanceEdge            -> 204
+//	GET  /healthz                                        -> 200 "ok"
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a store in the HTTP API.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/data", s.handleData)
+	s.mux.HandleFunc("/data/", s.handleDataItem)
+	s.mux.HandleFunc("/flows", s.handleFlows)
+	s.mux.HandleFunc("/flows/", s.handleFlowItem)
+	s.mux.HandleFunc("/provenance", s.handleProvenance)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrNotFound) {
+		code = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		recs, err := s.store.ListData()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, recs)
+	case http.MethodPost:
+		var req struct {
+			Name      string `json:"name"`
+			SourceURL string `json:"source_url"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, err := s.store.CreateData(req.Name, req.SourceURL)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusCreated, rec)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleDataItem(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/data/")
+	parts := strings.Split(rest, "/")
+	uuid := parts[0]
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		rec, err := s.store.GetData(uuid)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case len(parts) == 2 && parts[1] == "versions" && r.Method == http.MethodPost:
+		var v Version
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, err := s.store.AppendVersion(uuid, v)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, rec)
+	case len(parts) == 2 && parts[1] == "provenance" && r.Method == http.MethodGet:
+		edges, err := s.store.Provenance(uuid)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, edges)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		flows, err := s.store.ListFlows()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, flows)
+	case http.MethodPost:
+		var rec FlowRecord
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := s.store.CreateFlow(rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusCreated, out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleFlowItem(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/flows/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		rec, err := s.store.GetFlow(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case len(parts) == 2 && parts[1] == "runs" && r.Method == http.MethodPost:
+		var req struct {
+			At time.Time `json:"at"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.store.RecordRun(id, req.At); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var edge ProvenanceEdge
+	if err := json.NewDecoder(r.Body).Decode(&edge); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.AddProvenance(edge); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Client is the HTTP implementation of Metadata, so a Platform can run
+// against a remote AERO server exactly as it does against a local Store.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient points a metadata client at an AERO server.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+var _ Metadata = (*Client)(nil)
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%w: %s", ErrNotFound, strings.TrimSpace(string(msg)))
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("aero: server %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// CreateData implements Metadata.
+func (c *Client) CreateData(name, sourceURL string) (*DataRecord, error) {
+	var rec DataRecord
+	err := c.do(http.MethodPost, "/data", map[string]string{"name": name, "source_url": sourceURL}, &rec)
+	if err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// GetData implements Metadata.
+func (c *Client) GetData(uuid string) (*DataRecord, error) {
+	var rec DataRecord
+	if err := c.do(http.MethodGet, "/data/"+uuid, nil, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// AppendVersion implements Metadata.
+func (c *Client) AppendVersion(uuid string, v Version) (*DataRecord, error) {
+	var rec DataRecord
+	if err := c.do(http.MethodPost, "/data/"+uuid+"/versions", v, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// ListData implements Metadata.
+func (c *Client) ListData() ([]*DataRecord, error) {
+	var recs []*DataRecord
+	if err := c.do(http.MethodGet, "/data", nil, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// CreateFlow implements Metadata.
+func (c *Client) CreateFlow(rec FlowRecord) (*FlowRecord, error) {
+	var out FlowRecord
+	if err := c.do(http.MethodPost, "/flows", rec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetFlow implements Metadata.
+func (c *Client) GetFlow(id string) (*FlowRecord, error) {
+	var out FlowRecord
+	if err := c.do(http.MethodGet, "/flows/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListFlows implements Metadata.
+func (c *Client) ListFlows() ([]*FlowRecord, error) {
+	var out []*FlowRecord
+	if err := c.do(http.MethodGet, "/flows", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecordRun implements Metadata.
+func (c *Client) RecordRun(flowID string, at time.Time) error {
+	return c.do(http.MethodPost, "/flows/"+flowID+"/runs", map[string]time.Time{"at": at}, nil)
+}
+
+// AddProvenance implements Metadata.
+func (c *Client) AddProvenance(edge ProvenanceEdge) error {
+	return c.do(http.MethodPost, "/provenance", edge, nil)
+}
+
+// Provenance implements Metadata.
+func (c *Client) Provenance(uuid string) ([]ProvenanceEdge, error) {
+	var out []ProvenanceEdge
+	if err := c.do(http.MethodGet, "/data/"+uuid+"/provenance", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package aero
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pushVersion stores bytes on the rig endpoint and versions the identity.
+func pushVersion(t *testing.T, rig *testRig, uuid, path, content string) {
+	t.Helper()
+	p := rig.platform
+	if err := rig.endpoint.Put("osprey", path, "alice", []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Meta.AppendVersion(uuid, Version{
+		Checksum: content, Size: len(content),
+		Endpoint: "eagle", Collection: "osprey", Path: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.notifyUpdate(uuid, rec.Latest().Num)
+}
+
+func TestSubscribeReceivesUpdates(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	d, _ := p.Meta.CreateData("watched", "")
+	ch, cancel := p.Subscribe(d.UUID, 4)
+	defer cancel()
+
+	pushVersion(t, rig, d.UUID, "w/v1", "one")
+	pushVersion(t, rig, d.UUID, "w/v2", "two")
+
+	for want := 1; want <= 2; want++ {
+		select {
+		case u := <-ch:
+			if u.UUID != d.UUID || u.Version != want {
+				t.Fatalf("update %d = %+v", want, u)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("update %d never arrived", want)
+		}
+	}
+}
+
+func TestSubscribeWildcardAndFiltering(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	a, _ := p.Meta.CreateData("a", "")
+	b, _ := p.Meta.CreateData("b", "")
+
+	all, cancelAll := p.Subscribe("", 8)
+	defer cancelAll()
+	onlyA, cancelA := p.Subscribe(a.UUID, 8)
+	defer cancelA()
+
+	pushVersion(t, rig, a.UUID, "a/v1", "x")
+	pushVersion(t, rig, b.UUID, "b/v1", "y")
+
+	gotAll := 0
+	timeout := time.After(time.Second)
+	for gotAll < 2 {
+		select {
+		case <-all:
+			gotAll++
+		case <-timeout:
+			t.Fatalf("wildcard subscriber got %d of 2", gotAll)
+		}
+	}
+	select {
+	case u := <-onlyA:
+		if u.UUID != a.UUID {
+			t.Fatalf("filtered subscriber got %s", u.UUID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("filtered subscriber got nothing")
+	}
+	select {
+	case u := <-onlyA:
+		t.Fatalf("filtered subscriber got extra event %+v", u)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSubscribeCancelClosesChannel(t *testing.T) {
+	rig := newRig(t, nil)
+	ch, cancel := rig.platform.Subscribe("", 1)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	d, _ := p.Meta.CreateData("busy", "")
+	_, cancel := p.Subscribe(d.UUID, 1) // tiny buffer, never drained
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		pushVersion(t, rig, d.UUID, "busy/v"+string(rune('0'+i)), string(rune('a'+i)))
+	}
+	if p.DroppedUpdates() == 0 {
+		t.Fatal("expected dropped updates for a full buffer")
+	}
+}
+
+func TestPruneVersions(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	p.RegisterEndpoint(rig.endpoint)
+	d, _ := p.Meta.CreateData("history", "")
+	for i := 1; i <= 5; i++ {
+		pushVersion(t, rig, d.UUID, "h/v"+string(rune('0'+i)), string(rune('a'+i)))
+	}
+	removed, err := p.PruneVersions(d.UUID, RetentionPolicy{KeepLast: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d objects, want 3", removed)
+	}
+	rec, _ := p.Meta.GetData(d.UUID)
+	if len(rec.Versions) != 5 {
+		t.Fatal("metadata rows must survive pruning")
+	}
+	for i, v := range rec.Versions {
+		pruned := v.Path == ""
+		if i < 3 && !pruned {
+			t.Fatalf("version %d not pruned", v.Num)
+		}
+		if i >= 3 && pruned {
+			t.Fatalf("recent version %d pruned", v.Num)
+		}
+	}
+	// Remaining objects still fetchable.
+	if _, _, err := p.FetchLatest(d.UUID, rig.endpoint); err != nil {
+		t.Fatal(err)
+	}
+	// Pruning again is a no-op.
+	removed, err = p.PruneVersions(d.UUID, RetentionPolicy{KeepLast: 2})
+	if err != nil || removed != 0 {
+		t.Fatalf("idempotent prune: %d, %v", removed, err)
+	}
+}
+
+func TestPruneValidation(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	if _, err := p.PruneVersions("data-x", RetentionPolicy{}); err == nil {
+		t.Fatal("zero retention accepted")
+	}
+	if _, err := p.PruneVersions("data-bogus", RetentionPolicy{KeepLast: 1}); err == nil {
+		t.Fatal("unknown uuid accepted")
+	}
+}
+
+func TestSubscriberSeesIngestionPipeline(t *testing.T) {
+	// End-to-end: a watch on an ingestion output fires when Poll ingests.
+	rig := newRig(t, nil)
+	p := rig.platform
+	src := &mutableSource{}
+	src.set("v1")
+	srv := httptest.NewServer(httpBody(src))
+	defer srv.Close()
+	ident, _ := rig.compute.RegisterFunction(rig.token.ID, "id", func(ctx context.Context, b []byte) ([]byte, error) {
+		return b, nil
+	})
+	flow, err := p.RegisterIngestion(IngestionSpec{
+		Name: "watched-feed", URL: srv.URL, Compute: rig.compute, TransformID: ident,
+		Storage: StorageTarget{Endpoint: rig.endpoint, Collection: "osprey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Subscribe(flow.OutputUUID, 2)
+	defer cancel()
+	if _, err := flow.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-ch:
+		if u.Version != 1 {
+			t.Fatalf("unexpected version %d", u.Version)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ingestion did not notify the subscriber")
+	}
+}
+
+func TestAnalysisRetriesTransientFailures(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	d, _ := p.Meta.CreateData("in", "")
+
+	attempts := 0
+	fn, _ := rig.compute.RegisterFunction(rig.token.ID, "flaky", func(ctx context.Context, payload []byte) ([]byte, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, errTransient
+		}
+		return EncodeOutputs(map[string][]byte{"out": []byte("done")})
+	})
+	flow, err := p.RegisterAnalysis(AnalysisSpec{
+		Name: "flaky-analysis", InputUUIDs: []string{d.UUID}, Policy: TriggerAny,
+		Compute: rig.compute, AnalyzeID: fn,
+		OutputNames: []string{"out"},
+		Storage:     StorageTarget{Endpoint: rig.endpoint, Collection: "osprey"},
+		MaxRetries:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushVersion(t, rig, d.UUID, "in/v1", "x")
+	p.WaitIdle()
+	if attempts != 3 {
+		t.Fatalf("function ran %d times, want 3", attempts)
+	}
+	data, _, err := p.FetchLatest(flow.OutputUUIDs[0], rig.endpoint)
+	if err != nil || string(data) != "done" {
+		t.Fatalf("retried analysis output = %q, %v", data, err)
+	}
+	kinds := map[string]int{}
+	for _, e := range p.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["analysis.error"] != 2 || kinds["analysis.retried"] != 1 {
+		t.Fatalf("event log wrong: %v", kinds)
+	}
+}
+
+var errTransient = errors.New("transient compute failure")
+
+func TestExportDOT(t *testing.T) {
+	rig := newRig(t, nil)
+	p := rig.platform
+	src := &mutableSource{}
+	src.set("v1")
+	srv := httptest.NewServer(httpBody(src))
+	defer srv.Close()
+	ident, _ := rig.compute.RegisterFunction(rig.token.ID, "id", func(ctx context.Context, b []byte) ([]byte, error) {
+		return b, nil
+	})
+	ing, err := p.RegisterIngestion(IngestionSpec{
+		Name: "dot-feed", URL: srv.URL, Compute: rig.compute, TransformID: ident,
+		Storage: StorageTarget{Endpoint: rig.endpoint, Collection: "osprey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, _ := rig.compute.RegisterFunction(rig.token.ID, "an", func(ctx context.Context, payload []byte) ([]byte, error) {
+		return EncodeOutputs(map[string][]byte{"o": []byte("y")})
+	})
+	if _, err := p.RegisterAnalysis(AnalysisSpec{
+		Name: "dot-analysis", InputUUIDs: []string{ing.OutputUUID}, Policy: TriggerAny,
+		Compute: rig.compute, AnalyzeID: an,
+		OutputNames: []string{"o"},
+		Storage:     StorageTarget{Endpoint: rig.endpoint, Collection: "osprey"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	dot, err := ExportDOT(p.Meta, "Figure 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"digraph osprey", "rankdir=LR",
+		"dot-feed", "dot-analysis",
+		"dot-feed/transformed", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Every edge must reference declared nodes (syntactic sanity: the
+	// analysis input edge points at the ingestion output data node).
+	if !strings.Contains(dot, `peripheries=2`) {
+		t.Fatal("ingestion flow not double-bordered")
+	}
+}

@@ -1,0 +1,341 @@
+// Package calibrate fits MetaRVM-style simulator parameters to observed
+// epidemic data. The paper motivates its GSA as a tool that "facilitates
+// dimensional reduction to aid in model calibration efforts" (§3.1.1); this
+// package supplies the calibration step itself, in two flavors:
+//
+//   - ABC rejection: simulate at many design points, keep the parameter
+//     sets whose output is closest to the observations — assumption-free
+//     and embarrassingly parallel (each evaluation is one EMEWS task).
+//   - Surrogate-accelerated ABC: fit a Gaussian-process surrogate to the
+//     simulator's distance surface on a small design, then screen a huge
+//     candidate set through the surrogate and simulate only the promising
+//     fraction — the same surrogate machinery MUSIC uses, pointed at
+//     calibration.
+//
+// Both return weighted posterior samples over the parameter space that
+// downstream flows (scenario projection, R(t) priors) can consume.
+package calibrate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"osprey/internal/design"
+	"osprey/internal/gp"
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// Simulator evaluates a parameter point (native scale) into an output
+// series comparable with the observations (e.g. daily hospitalizations).
+type Simulator func(x []float64, seed uint64) ([]float64, error)
+
+// Distance measures discrepancy between a simulated and an observed
+// series. Implementations must be nonnegative, 0 = perfect match.
+type Distance func(sim, obs []float64) float64
+
+// RMSE is the default distance: root mean squared error over the
+// overlapping prefix.
+func RMSE(sim, obs []float64) float64 {
+	n := len(sim)
+	if len(obs) < n {
+		n = len(obs)
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := sim[i] - obs[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// NormalizedRMSE scales RMSE by the observation standard deviation, making
+// tolerances comparable across data magnitudes.
+func NormalizedRMSE(sim, obs []float64) float64 {
+	sd := stats.StdDev(obs)
+	if !(sd > 0) {
+		return RMSE(sim, obs)
+	}
+	return RMSE(sim, obs) / sd
+}
+
+// Sample is one retained parameter set.
+type Sample struct {
+	X        []float64
+	Distance float64
+	Weight   float64
+}
+
+// Result is a calibration posterior.
+type Result struct {
+	Samples []Sample
+	// Evaluations counts simulator runs performed.
+	Evaluations int
+	// Threshold is the distance cut that defined acceptance.
+	Threshold float64
+}
+
+// PosteriorMean returns the weighted posterior mean parameter vector.
+func (r *Result) PosteriorMean() []float64 {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	d := len(r.Samples[0].X)
+	out := make([]float64, d)
+	totalW := 0.0
+	for _, s := range r.Samples {
+		for j, v := range s.X {
+			out[j] += s.Weight * v
+		}
+		totalW += s.Weight
+	}
+	if totalW <= 0 {
+		return nil
+	}
+	for j := range out {
+		out[j] /= totalW
+	}
+	return out
+}
+
+// PosteriorQuantile returns the weighted per-coordinate q-quantile.
+func (r *Result) PosteriorQuantile(q float64) []float64 {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	d := len(r.Samples[0].X)
+	out := make([]float64, d)
+	xs := make([]float64, len(r.Samples))
+	ws := make([]float64, len(r.Samples))
+	for j := 0; j < d; j++ {
+		for i, s := range r.Samples {
+			xs[i] = s.X[j]
+			ws[i] = s.Weight
+		}
+		out[j] = stats.WeightedQuantile(xs, ws, q)
+	}
+	return out
+}
+
+// Best returns the minimum-distance sample.
+func (r *Result) Best() *Sample {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	best := &r.Samples[0]
+	for i := range r.Samples[1:] {
+		if r.Samples[i+1].Distance < best.Distance {
+			best = &r.Samples[i+1]
+		}
+	}
+	return best
+}
+
+// Options configures a calibration run.
+type Options struct {
+	// Space bounds the parameters (required).
+	Space *design.Space
+	// Observed is the target series (required).
+	Observed []float64
+	// Distance defaults to NormalizedRMSE.
+	Distance Distance
+	// Budget is the number of simulator evaluations (default 500).
+	Budget int
+	// AcceptFraction keeps the best fraction of evaluated points
+	// (default 0.1); the acceptance threshold is implied.
+	AcceptFraction float64
+	// Replicates averages each point's distance over this many simulator
+	// seeds to tame aleatoric noise (default 1).
+	Replicates int
+	// Seed drives the design and simulator seeds.
+	Seed uint64
+}
+
+func (o *Options) defaults() error {
+	if o.Space == nil || o.Space.Dim() == 0 {
+		return errors.New("calibrate: Options.Space is required")
+	}
+	if len(o.Observed) == 0 {
+		return errors.New("calibrate: Options.Observed is required")
+	}
+	if o.Distance == nil {
+		o.Distance = NormalizedRMSE
+	}
+	if o.Budget <= 0 {
+		o.Budget = 500
+	}
+	if o.AcceptFraction <= 0 || o.AcceptFraction > 1 {
+		o.AcceptFraction = 0.1
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 1
+	}
+	return nil
+}
+
+// evaluate runs the simulator (averaging replicates) and returns the
+// distance at x.
+func evaluate(sim Simulator, o *Options, x []float64, stream *rng.Stream) (float64, error) {
+	total := 0.0
+	for rep := 0; rep < o.Replicates; rep++ {
+		out, err := sim(x, stream.Uint64()%1000000+1)
+		if err != nil {
+			return 0, err
+		}
+		total += o.Distance(out, o.Observed)
+	}
+	return total / float64(o.Replicates), nil
+}
+
+// ABCRejection runs plain rejection ABC over an LHS design of Budget
+// points, keeping the best AcceptFraction as equally weighted posterior
+// samples.
+func ABCRejection(sim Simulator, opts Options) (*Result, error) {
+	if err := (&opts).defaults(); err != nil {
+		return nil, err
+	}
+	if sim == nil {
+		return nil, errors.New("calibrate: nil simulator")
+	}
+	root := rng.New(opts.Seed)
+	pts := design.LatinHypercubeIn(root.Split("design"), opts.Budget, opts.Space)
+	seedStream := root.Split("sim-seeds")
+
+	type scored struct {
+		x []float64
+		d float64
+	}
+	all := make([]scored, 0, len(pts))
+	evals := 0
+	for _, x := range pts {
+		d, err := evaluate(sim, &opts, x, seedStream)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: simulator failed at %v: %w", x, err)
+		}
+		evals += opts.Replicates
+		all = append(all, scored{x: x, d: d})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	keep := int(math.Ceil(opts.AcceptFraction * float64(len(all))))
+	if keep < 1 {
+		keep = 1
+	}
+	res := &Result{Evaluations: evals, Threshold: all[keep-1].d}
+	for _, s := range all[:keep] {
+		res.Samples = append(res.Samples, Sample{
+			X: append([]float64(nil), s.x...), Distance: s.d, Weight: 1,
+		})
+	}
+	return res, nil
+}
+
+// SurrogateABCOptions extends Options for the GP-screened variant.
+type SurrogateABCOptions struct {
+	Options
+	// PilotFraction of the budget trains the surrogate (default 0.4).
+	PilotFraction float64
+	// ScreenPool is the size of the candidate set screened through the
+	// surrogate (default 20x budget).
+	ScreenPool int
+	// GP carries surrogate fitting options.
+	GP gp.Options
+}
+
+// SurrogateABC trains a GP on a pilot design of the distance surface,
+// screens a large candidate pool through the surrogate's predicted
+// distance, and spends the remaining simulator budget only on the
+// candidates the surrogate ranks best. Returns the same Result shape as
+// ABCRejection; Evaluations counts true simulator runs only.
+func SurrogateABC(sim Simulator, opts SurrogateABCOptions) (*Result, error) {
+	if err := (&opts.Options).defaults(); err != nil {
+		return nil, err
+	}
+	if sim == nil {
+		return nil, errors.New("calibrate: nil simulator")
+	}
+	if opts.PilotFraction <= 0 || opts.PilotFraction >= 1 {
+		opts.PilotFraction = 0.4
+	}
+	if opts.ScreenPool <= 0 {
+		opts.ScreenPool = 20 * opts.Budget
+	}
+	if opts.GP.MaxIter == 0 {
+		opts.GP.MaxIter = 80
+	}
+	root := rng.New(opts.Seed)
+	seedStream := root.Split("sim-seeds")
+
+	nPilot := int(float64(opts.Budget) * opts.PilotFraction)
+	if nPilot < opts.Space.Dim()+3 {
+		nPilot = opts.Space.Dim() + 3
+	}
+	if nPilot >= opts.Budget {
+		return nil, errors.New("calibrate: budget too small for a pilot design")
+	}
+	pilot := design.LatinHypercubeIn(root.Split("pilot"), nPilot, opts.Space)
+	evals := 0
+
+	type scored struct {
+		x []float64
+		d float64
+	}
+	var all []scored
+	unit := make([][]float64, 0, nPilot)
+	dist := make([]float64, 0, nPilot)
+	for _, x := range pilot {
+		d, err := evaluate(sim, &opts.Options, x, seedStream)
+		if err != nil {
+			return nil, err
+		}
+		evals += opts.Replicates
+		all = append(all, scored{x: x, d: d})
+		unit = append(unit, opts.Space.Unscale(x))
+		// Model log distance: the surface spans orders of magnitude.
+		dist = append(dist, math.Log1p(d))
+	}
+	surrogate, err := gp.Fit(unit, dist, opts.GP)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: surrogate fit: %w", err)
+	}
+
+	// Screen a large pool; simulate the surrogate's favorites.
+	pool := design.LatinHypercube(root.Split("screen"), opts.ScreenPool, opts.Space.Dim())
+	type cand struct {
+		u    []float64
+		pred float64
+	}
+	cands := make([]cand, len(pool))
+	for i, u := range pool {
+		m, _ := surrogate.Predict(u)
+		cands[i] = cand{u: u, pred: m}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pred < cands[j].pred })
+	remaining := opts.Budget - nPilot
+	for i := 0; i < remaining && i < len(cands); i++ {
+		x := opts.Space.Scale(cands[i].u)
+		d, err := evaluate(sim, &opts.Options, x, seedStream)
+		if err != nil {
+			return nil, err
+		}
+		evals += opts.Replicates
+		all = append(all, scored{x: x, d: d})
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	keep := int(math.Ceil(opts.AcceptFraction * float64(len(all))))
+	if keep < 1 {
+		keep = 1
+	}
+	res := &Result{Evaluations: evals, Threshold: all[keep-1].d}
+	for _, s := range all[:keep] {
+		res.Samples = append(res.Samples, Sample{
+			X: append([]float64(nil), s.x...), Distance: s.d, Weight: 1,
+		})
+	}
+	return res, nil
+}

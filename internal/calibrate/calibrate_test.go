@@ -1,0 +1,209 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/design"
+	"osprey/internal/metarvm"
+)
+
+// quadratic test simulator: output is a constant series whose level depends
+// on the parameters; the "observation" is generated at a known truth.
+func toySim(truth []float64) Simulator {
+	return func(x []float64, seed uint64) ([]float64, error) {
+		level := 0.0
+		for j := range x {
+			d := x[j] - truth[j]
+			level += d * d
+		}
+		out := make([]float64, 20)
+		for i := range out {
+			out[i] = 10 + 50*level + 0.3*float64(i)
+		}
+		return out, nil
+	}
+}
+
+func toySpace() *design.Space {
+	return design.NewSpace(
+		design.Parameter{Name: "a", Lo: 0, Hi: 1},
+		design.Parameter{Name: "b", Lo: 0, Hi: 1},
+	)
+}
+
+func toyObserved() []float64 {
+	out := make([]float64, 20)
+	for i := range out {
+		out[i] = 10 + 0.3*float64(i) // level at truth
+	}
+	return out
+}
+
+func TestDistanceFunctions(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if RMSE(a, a) != 0 {
+		t.Fatal("RMSE of identical series nonzero")
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if !math.IsInf(RMSE(nil, nil), 1) {
+		t.Fatal("empty RMSE should be +Inf")
+	}
+	// Normalized version is scale-free.
+	obs := []float64{10, 20, 30, 40}
+	sim := []float64{11, 21, 31, 41}
+	obs10 := []float64{100, 200, 300, 400}
+	sim10 := []float64{110, 210, 310, 410}
+	if math.Abs(NormalizedRMSE(sim, obs)-NormalizedRMSE(sim10, obs10)) > 1e-12 {
+		t.Fatal("NormalizedRMSE not scale-free")
+	}
+}
+
+func TestABCRejectionRecoversTruth(t *testing.T) {
+	truth := []float64{0.3, 0.7}
+	res, err := ABCRejection(toySim(truth), Options{
+		Space: toySpace(), Observed: toyObserved(),
+		Budget: 400, AcceptFraction: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 400 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+	if len(res.Samples) != 20 {
+		t.Fatalf("kept %d samples, want 20", len(res.Samples))
+	}
+	mean := res.PosteriorMean()
+	for j := range truth {
+		if math.Abs(mean[j]-truth[j]) > 0.1 {
+			t.Fatalf("posterior mean[%d] = %v, want %v", j, mean[j], truth[j])
+		}
+	}
+	best := res.Best()
+	if best.Distance > res.Threshold {
+		t.Fatal("best sample exceeds the acceptance threshold")
+	}
+	lo := res.PosteriorQuantile(0.05)
+	hi := res.PosteriorQuantile(0.95)
+	for j := range truth {
+		if lo[j] > truth[j] || hi[j] < truth[j] {
+			t.Fatalf("90%% interval [%v,%v] misses truth %v", lo[j], hi[j], truth[j])
+		}
+	}
+}
+
+func TestABCValidation(t *testing.T) {
+	if _, err := ABCRejection(nil, Options{Space: toySpace(), Observed: toyObserved()}); err == nil {
+		t.Fatal("nil simulator accepted")
+	}
+	if _, err := ABCRejection(toySim([]float64{0.5, 0.5}), Options{Observed: toyObserved()}); err == nil {
+		t.Fatal("missing space accepted")
+	}
+	if _, err := ABCRejection(toySim([]float64{0.5, 0.5}), Options{Space: toySpace()}); err == nil {
+		t.Fatal("missing observations accepted")
+	}
+}
+
+func TestSurrogateABCBeatsRejectionAtEqualBudget(t *testing.T) {
+	truth := []float64{0.62, 0.38}
+	budget := 120
+	run := func(surrogate bool) float64 {
+		if surrogate {
+			res, err := SurrogateABC(toySim(truth), SurrogateABCOptions{
+				Options: Options{
+					Space: toySpace(), Observed: toyObserved(),
+					Budget: budget, AcceptFraction: 0.1, Seed: 3,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Best().Distance
+		}
+		res, err := ABCRejection(toySim(truth), Options{
+			Space: toySpace(), Observed: toyObserved(),
+			Budget: budget, AcceptFraction: 0.1, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best().Distance
+	}
+	plain := run(false)
+	smart := run(true)
+	t.Logf("best distance: rejection %.4f vs surrogate %.4f", plain, smart)
+	if smart > plain*1.05 {
+		t.Fatalf("surrogate screening (%.4f) did not improve on rejection (%.4f)", smart, plain)
+	}
+}
+
+func TestSurrogateABCBudgetAccounting(t *testing.T) {
+	truth := []float64{0.5, 0.5}
+	res, err := SurrogateABC(toySim(truth), SurrogateABCOptions{
+		Options: Options{
+			Space: toySpace(), Observed: toyObserved(),
+			Budget: 60, AcceptFraction: 0.1, Seed: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 60 {
+		t.Fatalf("true simulator evaluations = %d, want exactly the budget", res.Evaluations)
+	}
+	if _, err := SurrogateABC(toySim(truth), SurrogateABCOptions{
+		Options: Options{Space: toySpace(), Observed: toyObserved(), Budget: 4, Seed: 4},
+	}); err == nil {
+		t.Fatal("budget smaller than pilot accepted")
+	}
+}
+
+func TestCalibrateMetaRVMTransmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Planted-truth recovery on the real simulator: calibrate ts against
+	// a hospitalization curve generated at a known ts.
+	const trueTS = 0.42
+	space := design.NewSpace(design.Parameter{Name: "ts", Lo: 0.1, Hi: 0.9})
+	gen := func(ts float64, seed uint64) []float64 {
+		cfg := metarvm.DefaultConfig()
+		cfg.Params.TS = ts
+		cfg.Seed = seed
+		res, err := metarvm.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(res.Days))
+		for i, d := range res.Days {
+			out[i] = float64(d.NewHospitalizations)
+		}
+		return out
+	}
+	observed := gen(trueTS, 999)
+
+	sim := func(x []float64, seed uint64) ([]float64, error) {
+		return gen(x[0], seed), nil
+	}
+	res, err := ABCRejection(sim, Options{
+		Space: space, Observed: observed,
+		Budget: 80, AcceptFraction: 0.1, Replicates: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.PosteriorMean()
+	if math.Abs(mean[0]-trueTS) > 0.08 {
+		t.Fatalf("calibrated ts = %v, truth %v", mean[0], trueTS)
+	}
+}
+
+func TestResultEmpty(t *testing.T) {
+	r := &Result{}
+	if r.PosteriorMean() != nil || r.Best() != nil || r.PosteriorQuantile(0.5) != nil {
+		t.Fatal("empty result should return nils")
+	}
+}

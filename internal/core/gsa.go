@@ -1,0 +1,415 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"osprey/internal/abm"
+	"osprey/internal/design"
+	"osprey/internal/emews"
+	"osprey/internal/metarvm"
+	"osprey/internal/music"
+	"osprey/internal/pce"
+	"osprey/internal/rng"
+)
+
+// GSAConfig parameterizes the use case 2 study: N replicate MUSIC
+// instances over one EMEWS worker pool, evaluating the MetaRVM model at
+// Table 1 points.
+type GSAConfig struct {
+	// Replicates is the number of MUSIC instances, one per MetaRVM random
+	// seed (the paper runs 10; "the workflow itself has separately been
+	// scaled to 100").
+	Replicates int
+	// Music configures each instance. Music.Space defaults to the Table 1
+	// space; Music.Seed is overridden per replicate.
+	Music music.Options
+	// Nodes / WorkersPerNode size the scheduler-launched worker pool
+	// (defaults 4 / 2).
+	Nodes, WorkersPerNode int
+	// TaskType names the EMEWS queue (default "metarvm").
+	TaskType string
+	// ModelDelay adds artificial per-evaluation cost, standing in for the
+	// expensive agent-based models the paper says would benefit most.
+	ModelDelay time.Duration
+	// Model selects the simulator: "metarvm" (default, ~2 ms/run) or
+	// "abm", the agent-based model whose higher cost (~40 ms/run) is the
+	// regime where the paper says MUSIC's sample efficiency pays off most.
+	Model string
+	// MeanReplicates, when > 0, switches to the conventional design the
+	// paper contrasts with its per-replicate approach: each task returns
+	// the QoI averaged over this many stochastic model runs, and every
+	// MUSIC instance sees the mean response instead of one fixed seed
+	// ("GSA is often performed on the mean response, calculated across
+	// multiple replicates", §3.1.2).
+	MeanReplicates int
+	// Seed derives the replicate seeds.
+	Seed uint64
+}
+
+func (c *GSAConfig) defaults() {
+	if c.Replicates <= 0 {
+		c.Replicates = 10
+	}
+	if c.Music.Space == nil {
+		c.Music.Space = metarvm.GSAParameterSpace()
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 2
+	}
+	if c.Model == "" {
+		c.Model = "metarvm"
+	}
+	if c.TaskType == "" {
+		c.TaskType = c.Model
+	}
+}
+
+// gsaTask is the EMEWS task payload: a Table 1 point plus the replicate's
+// model seed (or, in mean-response mode, the number of seeds to average).
+type gsaTask struct {
+	X    []float64 `json:"x"`
+	Seed uint64    `json:"seed"`
+	// MeanOver > 0 averages the QoI over seeds Seed..Seed+MeanOver-1.
+	MeanOver int `json:"mean_over,omitempty"`
+}
+
+type gsaResult struct {
+	Y float64 `json:"y"`
+}
+
+// GSAResult is the outcome of a replicated GSA study.
+type GSAResult struct {
+	// Histories[r] is replicate r's index-convergence trajectory
+	// (the lines of Figure 5; replicate 0 with a fixed seed is the MUSIC
+	// curve of Figure 4).
+	Histories [][]music.Snapshot
+	// FinalIndices[r] is replicate r's final first-order estimate.
+	FinalIndices [][]float64
+	// Pool reports worker utilization (the §3.2 claim).
+	Pool emews.PoolStats
+	// Elapsed is the wall-clock makespan of the study.
+	Elapsed time.Duration
+	// Evaluations is the total number of model runs.
+	Evaluations int
+}
+
+// instanceState tracks one interleaved MUSIC instance.
+type instanceState struct {
+	alg     *music.Algorithm
+	pending []*emews.Future
+	points  [][]float64 // points matching pending futures
+	seed    uint64      // MetaRVM replicate seed
+}
+
+// modelEvaluator selects the simulator behind the worker pool.
+func modelEvaluator(model string) (func([]float64, uint64) (float64, error), error) {
+	switch model {
+	case "", "metarvm":
+		return metarvm.EvaluateGSA, nil
+	case "abm":
+		return abm.EvaluateGSA, nil
+	default:
+		return nil, fmt.Errorf("core: unknown GSA model %q", model)
+	}
+}
+
+// modelHandler evaluates simulator tasks on the worker pool.
+func modelHandler(evaluate func([]float64, uint64) (float64, error), delay time.Duration) emews.Handler {
+	return func(ctx context.Context, payload string) (string, error) {
+		var task gsaTask
+		if err := json.Unmarshal([]byte(payload), &task); err != nil {
+			return "", err
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		var y float64
+		if task.MeanOver > 0 {
+			total := 0.0
+			for k := 0; k < task.MeanOver; k++ {
+				v, err := evaluate(task.X, task.Seed+uint64(k))
+				if err != nil {
+					return "", err
+				}
+				total += v
+			}
+			y = total / float64(task.MeanOver)
+		} else {
+			v, err := evaluate(task.X, task.Seed)
+			if err != nil {
+				return "", err
+			}
+			y = v
+		}
+		out, err := json.Marshal(gsaResult{Y: y})
+		return string(out), err
+	}
+}
+
+// RunGSA executes the replicated MUSIC study. When interleaved is true the
+// instances share the pool cooperatively (the paper's design); when false
+// each instance runs to completion before the next starts (the ablation
+// whose poor utilization motivates interleaving).
+func RunGSA(p *Platform, cfg GSAConfig, interleaved bool) (*GSAResult, error) {
+	cfg.defaults()
+	if p == nil {
+		return nil, errors.New("core: nil platform")
+	}
+
+	evaluate, err := modelEvaluator(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	// Initialization: set up the task queue, then start a worker pool by
+	// submitting a job to the scheduler (§3.2).
+	pool, err := emews.StartScheduledPool(
+		p.Cluster, cfg.Nodes, cfg.WorkersPerNode,
+		p.TaskDB, cfg.TaskType, modelHandler(evaluate, cfg.ModelDelay), 0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Stop()
+
+	root := rng.New(cfg.Seed)
+	instances := make([]*instanceState, cfg.Replicates)
+	for i := range instances {
+		opts := cfg.Music
+		opts.Seed = cfg.Seed + uint64(i)*7919
+		alg, err := music.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = &instanceState{
+			alg:  alg,
+			seed: uint64(root.Split(fmt.Sprintf("replicate/%d", i)).Uint64()%100000 + 1),
+		}
+	}
+
+	start := time.Now()
+	evals := 0
+	submit := func(inst *instanceState, pts [][]float64) error {
+		for _, pt := range pts {
+			payload, err := json.Marshal(gsaTask{X: pt, Seed: inst.seed, MeanOver: cfg.MeanReplicates})
+			if err != nil {
+				return err
+			}
+			f, err := p.TaskDB.Submit(cfg.TaskType, 0, string(payload))
+			if err != nil {
+				return err
+			}
+			inst.pending = append(inst.pending, f)
+			inst.points = append(inst.points, pt)
+			evals++
+		}
+		return nil
+	}
+	// Seed every instance's initial design (or, sequentially, one at a
+	// time inside the drain loop below).
+	for _, inst := range instances {
+		pts, err := inst.alg.InitialDesign()
+		if err != nil {
+			return nil, err
+		}
+		if err := submit(inst, pts); err != nil {
+			return nil, err
+		}
+		if !interleaved {
+			if err := drainInstance(p, cfg, inst, submit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if interleaved {
+		if err := interleave(p, cfg, instances, submit); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &GSAResult{Elapsed: time.Since(start), Evaluations: evals}
+	for _, inst := range instances {
+		res.Histories = append(res.Histories, inst.alg.History())
+		idx, err := inst.alg.Indices()
+		if err != nil {
+			return nil, err
+		}
+		res.FinalIndices = append(res.FinalIndices, idx)
+	}
+	pool.Stop()
+	res.Pool = pool.Stats()
+	return res, nil
+}
+
+// harvest collects any completed futures of the instance; all-or-nothing
+// batches are observed together so the surrogate sees the full initial
+// design at once.
+func harvest(inst *instanceState, block bool) (done bool, err error) {
+	if len(inst.pending) == 0 {
+		return true, nil
+	}
+	if block {
+		for _, f := range inst.pending {
+			if _, err := f.Result(context.Background()); err != nil {
+				return false, err
+			}
+		}
+	} else {
+		// The paper's cooperative pattern: check a single future, then
+		// cede control to the next instance.
+		if _, _, finished := inst.pending[0].TryResult(); !finished {
+			return false, nil
+		}
+		for _, f := range inst.pending {
+			if _, _, finished := f.TryResult(); !finished {
+				return false, nil
+			}
+		}
+	}
+	vals := make([]float64, len(inst.pending))
+	for i, f := range inst.pending {
+		s, err := f.Result(context.Background())
+		if err != nil {
+			return false, err
+		}
+		var r gsaResult
+		if err := json.Unmarshal([]byte(s), &r); err != nil {
+			return false, err
+		}
+		vals[i] = r.Y
+	}
+	if err := inst.alg.Observe(inst.points, vals); err != nil {
+		return false, err
+	}
+	inst.pending = nil
+	inst.points = nil
+	return true, nil
+}
+
+type submitFn func(*instanceState, [][]float64) error
+
+// drainInstance runs one instance to completion, blocking on each batch
+// (the sequential ablation).
+func drainInstance(p *Platform, cfg GSAConfig, inst *instanceState, submit submitFn) error {
+	for {
+		if _, err := harvest(inst, true); err != nil {
+			return err
+		}
+		if inst.alg.Done() {
+			return nil
+		}
+		pt, err := inst.alg.NextPoint()
+		if err != nil {
+			return err
+		}
+		if err := submit(inst, [][]float64{pt}); err != nil {
+			return err
+		}
+	}
+}
+
+// interleave pumps all instances cooperatively until every budget is
+// exhausted: each pass gives each instance one non-blocking completion
+// check and, when its batch is fully harvested, its next submission.
+func interleave(p *Platform, cfg GSAConfig, instances []*instanceState, submit submitFn) error {
+	for {
+		allDone := true
+		progressed := false
+		for _, inst := range instances {
+			if inst.alg.Done() && len(inst.pending) == 0 {
+				continue
+			}
+			allDone = false
+			ready, err := harvest(inst, false)
+			if err != nil {
+				return err
+			}
+			if !ready {
+				continue
+			}
+			progressed = true
+			if inst.alg.Done() {
+				continue
+			}
+			pt, err := inst.alg.NextPoint()
+			if err != nil {
+				return err
+			}
+			if err := submit(inst, [][]float64{pt}); err != nil {
+				return err
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if !progressed {
+			// Nothing completed this pass; yield briefly rather than
+			// spinning against the task database.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// PCEComparison fits one-shot PCE surrogates on LHS designs of increasing
+// size against a fixed-seed MetaRVM response, returning first-order index
+// estimates per design size — the magenta curves of Figure 4.
+type PCEComparison struct {
+	Sizes   []int
+	Indices [][]float64 // Indices[k] corresponds to Sizes[k]
+}
+
+// RunPCEComparison evaluates the model once on the largest design and fits
+// nested subsets, mirroring "curves showing how the estimated indices
+// evolve as additional samples are added one at a time" (§3.3).
+func RunPCEComparison(space *design.Space, seed uint64, modelSeed uint64, sizes []int, degree int) (*PCEComparison, error) {
+	if space == nil {
+		space = metarvm.GSAParameterSpace()
+	}
+	if len(sizes) == 0 {
+		return nil, errors.New("core: no design sizes given")
+	}
+	if degree <= 0 {
+		degree = 3 // the paper's best-performing PCE degree
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	pts := design.LatinHypercubeIn(rng.New(seed).Split("pce"), max, space)
+	ys := make([]float64, max)
+	for i, pt := range pts {
+		y, err := metarvm.EvaluateGSA(pt, modelSeed)
+		if err != nil {
+			return nil, err
+		}
+		ys[i] = y
+	}
+	unit := make([][]float64, max)
+	for i, pt := range pts {
+		unit[i] = space.Unscale(pt)
+	}
+	out := &PCEComparison{}
+	for _, n := range sizes {
+		if n > max {
+			continue
+		}
+		m, err := pce.Fit(unit[:n], ys[:n], pce.Options{Degree: degree, Ridge: 1e-8})
+		if err != nil {
+			return nil, err
+		}
+		out.Sizes = append(out.Sizes, n)
+		out.Indices = append(out.Indices, m.FirstOrderIndices())
+	}
+	return out, nil
+}

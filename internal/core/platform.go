@@ -1,0 +1,132 @@
+// Package core assembles the OSPREY platform: it wires the simulated
+// research fabric (Globus-style auth/transfer/compute/timers), the batch
+// scheduler, the AERO metadata/event platform, and the EMEWS task database
+// into one deployment, and implements the paper's two use cases end to end
+// — the automated multi-source wastewater R(t) workflow of §2 (Figures 1-2)
+// and the interleaved MUSIC/PCE global sensitivity analysis of §3
+// (Figures 4-5, Table 1).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"osprey/internal/aero"
+	"osprey/internal/emews"
+	"osprey/internal/globus"
+	"osprey/internal/scheduler"
+)
+
+// Config describes an OSPREY deployment.
+type Config struct {
+	// Identity is the operating researcher (owner of collections).
+	Identity string
+	// Nodes sizes the simulated cluster (default 8).
+	Nodes int
+	// Collection is the storage collection name (default "osprey").
+	Collection string
+	// Meta optionally points the platform at a remote AERO metadata
+	// server; nil uses an in-process store.
+	Meta aero.Metadata
+	// BatchWalltime bounds batch compute tasks (default 10m).
+	BatchWalltime time.Duration
+}
+
+// Platform is a fully wired OSPREY deployment.
+type Platform struct {
+	Identity   string
+	Collection string
+
+	Auth     *globus.Auth
+	Token    *globus.Token
+	Storage  *globus.Endpoint
+	Transfer *globus.TransferService
+	Timers   *globus.TimerService
+
+	Cluster      *scheduler.Cluster
+	LoginCompute *globus.ComputeEndpoint // cheap transform/aggregate tier
+	BatchCompute *globus.ComputeEndpoint // scheduler-backed analysis tier
+
+	Meta aero.Metadata
+	AERO *aero.Platform
+
+	TaskDB *emews.DB
+}
+
+// New assembles a platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Identity == "" {
+		return nil, errors.New("core: Config.Identity is required")
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 8
+	}
+	if cfg.Collection == "" {
+		cfg.Collection = "osprey"
+	}
+	if cfg.BatchWalltime <= 0 {
+		cfg.BatchWalltime = 10 * time.Minute
+	}
+
+	auth := globus.NewAuth()
+	token := auth.Issue(cfg.Identity, 0,
+		globus.ScopeTransfer, globus.ScopeCompute, globus.ScopeTimers, globus.ScopeFlows)
+
+	storage := globus.NewEndpoint("eagle")
+	if err := storage.CreateCollection(cfg.Collection, cfg.Identity); err != nil {
+		return nil, err
+	}
+	cluster, err := scheduler.NewCluster(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	meta := cfg.Meta
+	if meta == nil {
+		meta = aero.NewStore()
+	}
+	timers := globus.NewTimerService(auth)
+	transfer := globus.NewTransferService(auth)
+	aeroPlat, err := aero.NewPlatform(aero.Config{
+		Meta:     meta,
+		Transfer: transfer,
+		Timers:   timers,
+		Identity: cfg.Identity,
+		TokenID:  token.ID,
+	})
+	if err != nil {
+		cluster.Shutdown()
+		return nil, err
+	}
+
+	return &Platform{
+		Identity:   cfg.Identity,
+		Collection: cfg.Collection,
+		Auth:       auth,
+		Token:      token,
+		Storage:    storage,
+		Transfer:   transfer,
+		Timers:     timers,
+		Cluster:    cluster,
+		LoginCompute: globus.NewComputeEndpoint("bebop-login", auth,
+			globus.LoginNodeEngine{}),
+		BatchCompute: globus.NewComputeEndpoint("bebop-compute", auth,
+			globus.BatchEngine{Cluster: cluster, Nodes: 1, Walltime: cfg.BatchWalltime}),
+		Meta:   meta,
+		AERO:   aeroPlat,
+		TaskDB: emews.NewDB(),
+	}, nil
+}
+
+// StorageTarget returns the platform's default AERO storage target.
+func (p *Platform) StorageTarget() aero.StorageTarget {
+	return aero.StorageTarget{Endpoint: p.Storage, Collection: p.Collection}
+}
+
+// Shutdown stops timers, closes the task database, and drains the cluster.
+func (p *Platform) Shutdown() {
+	p.Timers.StopAll()
+	p.TaskDB.Close()
+	p.AERO.WaitIdle()
+	p.Cluster.Shutdown()
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+
+	"osprey/internal/plot"
+	"osprey/internal/rt"
+)
+
+// renderEstimatePlot draws one plant's panel of Figure 2.
+func renderEstimatePlot(name string, est *rt.Estimate) string {
+	x := make([]float64, len(est.Days))
+	for i, d := range est.Days {
+		x[i] = float64(d)
+	}
+	c := &plot.Chart{
+		Title: "R(t) — " + name, XLabel: "day", YLabel: "R(t)",
+		Series: []plot.Series{{Name: "median", X: x, Y: est.Median}},
+		Band:   &plot.Band{X: x, Lower: est.Lower, Upper: est.Upper},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		return "plot error: " + err.Error()
+	}
+	return sb.String()
+}
+
+// renderEnsemblePlot draws the bottom panel of Figure 2.
+func renderEnsemblePlot(ens *rt.EnsembleEstimate) string {
+	x := make([]float64, len(ens.Days))
+	for i, d := range ens.Days {
+		x[i] = float64(d)
+	}
+	c := &plot.Chart{
+		Title: "R(t) — population-weighted ensemble", XLabel: "day", YLabel: "R(t)",
+		Series: []plot.Series{{Name: "median", X: x, Y: ens.Median}},
+		Band:   &plot.Band{X: x, Lower: ens.Lower, Upper: ens.Upper},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		return "plot error: " + err.Error()
+	}
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+// Package design provides experimental-design primitives for the model
+// exploration workflows: parameter spaces with named ranges (Table 1 of the
+// paper), Latin hypercube sampling (the MUSIC initial design), a Sobol'
+// low-discrepancy sequence (pick–freeze GSA sampling), and full-factorial
+// grids.
+package design
+
+import (
+	"fmt"
+
+	"osprey/internal/rng"
+)
+
+// Parameter is one named, bounded model input.
+type Parameter struct {
+	Name        string
+	Description string
+	Lo, Hi      float64
+}
+
+// Space is an ordered collection of parameters defining a hyper-rectangle.
+type Space struct {
+	Params []Parameter
+}
+
+// NewSpace builds a Space, validating that every range is nonempty.
+func NewSpace(params ...Parameter) *Space {
+	for _, p := range params {
+		if !(p.Lo < p.Hi) {
+			panic(fmt.Sprintf("design: parameter %q has empty range [%v,%v]", p.Name, p.Lo, p.Hi))
+		}
+	}
+	return &Space{Params: params}
+}
+
+// Dim returns the number of parameters.
+func (s *Space) Dim() int { return len(s.Params) }
+
+// Names returns the parameter names in order.
+func (s *Space) Names() []string {
+	out := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Index returns the position of the named parameter, or -1.
+func (s *Space) Index(name string) int {
+	for i, p := range s.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scale maps a unit-cube point u in [0,1]^d to the space's native ranges.
+func (s *Space) Scale(u []float64) []float64 {
+	if len(u) != s.Dim() {
+		panic("design: Scale dimension mismatch")
+	}
+	out := make([]float64, len(u))
+	for i, p := range s.Params {
+		out[i] = p.Lo + u[i]*(p.Hi-p.Lo)
+	}
+	return out
+}
+
+// Unscale maps a native-range point back to the unit cube.
+func (s *Space) Unscale(x []float64) []float64 {
+	if len(x) != s.Dim() {
+		panic("design: Unscale dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i, p := range s.Params {
+		out[i] = (x[i] - p.Lo) / (p.Hi - p.Lo)
+	}
+	return out
+}
+
+// Contains reports whether x lies within the space (inclusive bounds).
+func (s *Space) Contains(x []float64) bool {
+	if len(x) != s.Dim() {
+		return false
+	}
+	for i, p := range s.Params {
+		if x[i] < p.Lo || x[i] > p.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// ToMap converts an ordered point to a name->value map.
+func (s *Space) ToMap(x []float64) map[string]float64 {
+	m := make(map[string]float64, s.Dim())
+	for i, p := range s.Params {
+		m[p.Name] = x[i]
+	}
+	return m
+}
+
+// LatinHypercube returns n points in [0,1]^d arranged as a Latin hypercube:
+// each one-dimensional projection hits every one of the n equal strata
+// exactly once. The paper's MUSIC algorithm seeds its surrogate with an LHS
+// initial design (§3.2).
+func LatinHypercube(r *rng.Stream, n, d int) [][]float64 {
+	if n <= 0 || d <= 0 {
+		panic("design: LatinHypercube requires n > 0 and d > 0")
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		perm := r.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][j] = (float64(perm[i]) + r.Float64()) / float64(n)
+		}
+	}
+	return out
+}
+
+// LatinHypercubeIn returns an LHS design scaled into the space.
+func LatinHypercubeIn(r *rng.Stream, n int, s *Space) [][]float64 {
+	unit := LatinHypercube(r, n, s.Dim())
+	out := make([][]float64, n)
+	for i, u := range unit {
+		out[i] = s.Scale(u)
+	}
+	return out
+}
+
+// Uniform returns n points drawn uniformly at random in [0,1]^d.
+func Uniform(r *rng.Stream, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = r.Float64()
+		}
+	}
+	return out
+}
+
+// Grid returns a full-factorial grid with k levels per dimension (cell
+// midpoints), k^d points in total.
+func Grid(k, d int) [][]float64 {
+	if k <= 0 || d <= 0 {
+		panic("design: Grid requires k > 0 and d > 0")
+	}
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= k
+	}
+	out := make([][]float64, total)
+	for idx := 0; idx < total; idx++ {
+		pt := make([]float64, d)
+		rem := idx
+		for j := 0; j < d; j++ {
+			pt[j] = (float64(rem%k) + 0.5) / float64(k)
+			rem /= k
+		}
+		out[idx] = pt
+	}
+	return out
+}

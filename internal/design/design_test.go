@@ -1,0 +1,302 @@
+package design
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+func testSpace() *Space {
+	return NewSpace(
+		Parameter{Name: "a", Lo: 0, Hi: 10},
+		Parameter{Name: "b", Lo: -1, Hi: 1},
+		Parameter{Name: "c", Lo: 100, Hi: 200},
+	)
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := testSpace()
+	if s.Dim() != 3 {
+		t.Fatal("Dim wrong")
+	}
+	if s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Fatal("Index wrong")
+	}
+	names := s.Names()
+	if names[0] != "a" || names[2] != "c" {
+		t.Fatal("Names wrong")
+	}
+}
+
+func TestSpaceScaleRoundTrip(t *testing.T) {
+	s := testSpace()
+	f := func(u1, u2, u3 float64) bool {
+		u := []float64{
+			math.Abs(math.Mod(u1, 1)),
+			math.Abs(math.Mod(u2, 1)),
+			math.Abs(math.Mod(u3, 1)),
+		}
+		x := s.Scale(u)
+		if !s.Contains(x) {
+			return false
+		}
+		back := s.Unscale(x)
+		for i := range u {
+			if math.Abs(back[i]-u[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceScaleEndpoints(t *testing.T) {
+	s := testSpace()
+	lo := s.Scale([]float64{0, 0, 0})
+	hi := s.Scale([]float64{1, 1, 1})
+	if lo[0] != 0 || lo[1] != -1 || lo[2] != 100 {
+		t.Fatalf("low corner %v", lo)
+	}
+	if hi[0] != 10 || hi[1] != 1 || hi[2] != 200 {
+		t.Fatalf("high corner %v", hi)
+	}
+}
+
+func TestSpaceToMap(t *testing.T) {
+	s := testSpace()
+	m := s.ToMap([]float64{1, 0, 150})
+	if m["a"] != 1 || m["b"] != 0 || m["c"] != 150 {
+		t.Fatalf("ToMap wrong: %v", m)
+	}
+}
+
+func TestNewSpaceRejectsEmptyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range accepted")
+		}
+	}()
+	NewSpace(Parameter{Name: "x", Lo: 1, Hi: 1})
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	r := rng.New(1)
+	n, d := 50, 4
+	pts := LatinHypercube(r, n, d)
+	if len(pts) != n {
+		t.Fatalf("want %d points", n)
+	}
+	// Every 1-D projection must hit each of the n strata exactly once.
+	for j := 0; j < d; j++ {
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := pts[i][j]
+			if v < 0 || v >= 1 {
+				t.Fatalf("LHS point out of range: %v", v)
+			}
+			stratum := int(v * float64(n))
+			if seen[stratum] {
+				t.Fatalf("dimension %d stratum %d hit twice", j, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDeterministic(t *testing.T) {
+	a := LatinHypercube(rng.New(9), 10, 3)
+	b := LatinHypercube(rng.New(9), 10, 3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("LHS not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeIn(t *testing.T) {
+	s := testSpace()
+	pts := LatinHypercubeIn(rng.New(2), 20, s)
+	for _, p := range pts {
+		if !s.Contains(p) {
+			t.Fatalf("scaled LHS point outside space: %v", p)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	pts := Uniform(rng.New(3), 100, 5)
+	for _, p := range pts {
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("uniform point out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	pts := Grid(3, 2)
+	if len(pts) != 9 {
+		t.Fatalf("Grid(3,2) has %d points", len(pts))
+	}
+	// Midpoints of 3 cells are 1/6, 1/2, 5/6.
+	want := map[float64]bool{1.0 / 6: true, 0.5: true, 5.0 / 6: true}
+	for _, p := range pts {
+		for _, v := range p {
+			if !want[v] {
+				t.Fatalf("unexpected grid coordinate %v", v)
+			}
+		}
+	}
+}
+
+func TestSobolFirstPoints(t *testing.T) {
+	// The canonical base-2 sequence (after the skipped origin) starts
+	// 0.5, then 0.75/0.25, 0.25/0.75 in the first two dimensions.
+	s := NewSobolSeq(2)
+	p1 := s.Next()
+	if p1[0] != 0.5 || p1[1] != 0.5 {
+		t.Fatalf("first Sobol point = %v, want [0.5 0.5]", p1)
+	}
+	p2 := s.Next()
+	p3 := s.Next()
+	got := [][]float64{p2, p3}
+	want := [][]float64{{0.75, 0.25}, {0.25, 0.75}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Sobol point %d = %v, want %v", i+2, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSobolBalancedInDyadicBlocks(t *testing.T) {
+	// In every dimension, the first 2^k points place half the points in
+	// [0, 0.5) — a digital-net property that distinguishes Sobol from
+	// plain pseudo-random sampling. Because the generator skips the
+	// all-zeros origin, the window is shifted by one element, so counts
+	// may differ from n/2 by at most one.
+	for dim := 1; dim <= maxSobolDim; dim++ {
+		s := NewSobolSeq(dim)
+		n := 256
+		pts := s.Sample(n)
+		for j := 0; j < dim; j++ {
+			low := 0
+			for _, p := range pts {
+				if p[j] < 0.5 {
+					low++
+				}
+			}
+			if low < n/2-1 || low > n/2+1 {
+				t.Fatalf("dim %d coord %d: %d of %d points in lower half", dim, j, low, n)
+			}
+		}
+	}
+}
+
+func TestSobolUniformMeans(t *testing.T) {
+	s := NewSobolSeq(8)
+	n := 4096
+	sums := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		for j, v := range p {
+			sums[j] += v
+		}
+	}
+	for j, sum := range sums {
+		mean := sum / float64(n)
+		if math.Abs(mean-0.5) > 0.002 {
+			t.Fatalf("Sobol dim %d mean %v far from 0.5", j, mean)
+		}
+	}
+}
+
+func TestSobolIntegratesBetterThanRandom(t *testing.T) {
+	// Integrate f(x) = prod x_i over [0,1]^5 (true value 1/32); the QMC
+	// error should beat plain Monte Carlo at the same n.
+	f := func(p []float64) float64 {
+		v := 1.0
+		for _, x := range p {
+			v *= x
+		}
+		return v
+	}
+	n := 2048
+	s := NewSobolSeq(5)
+	qmc := 0.0
+	for i := 0; i < n; i++ {
+		qmc += f(s.Next())
+	}
+	qmc /= float64(n)
+
+	r := rng.New(7)
+	vals := make([]float64, n)
+	for i := range vals {
+		p := make([]float64, 5)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		vals[i] = f(p)
+	}
+	mc := stats.Mean(vals)
+
+	truth := 1.0 / 32
+	if math.Abs(qmc-truth) > math.Abs(mc-truth)+1e-6 {
+		t.Fatalf("QMC error %v worse than MC error %v", math.Abs(qmc-truth), math.Abs(mc-truth))
+	}
+	if math.Abs(qmc-truth) > 1e-3 {
+		t.Fatalf("QMC estimate %v too far from %v", qmc, truth)
+	}
+}
+
+func TestSobolSkip(t *testing.T) {
+	a := NewSobolSeq(3)
+	a.Skip(10)
+	b := NewSobolSeq(3)
+	for i := 0; i < 10; i++ {
+		b.Next()
+	}
+	pa, pb := a.Next(), b.Next()
+	for j := range pa {
+		if pa[j] != pb[j] {
+			t.Fatal("Skip diverged from explicit Next calls")
+		}
+	}
+}
+
+func TestSobolDimensionBounds(t *testing.T) {
+	for _, d := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSobolSeq(%d) did not panic", d)
+				}
+			}()
+			NewSobolSeq(d)
+		}()
+	}
+}
+
+func BenchmarkSobolNext(b *testing.B) {
+	s := NewSobolSeq(10)
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}
+
+func BenchmarkLatinHypercube(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = LatinHypercube(r, 100, 5)
+	}
+}

@@ -1,0 +1,38 @@
+package design_test
+
+import (
+	"fmt"
+
+	"osprey/internal/design"
+	"osprey/internal/rng"
+)
+
+func ExampleNewSpace() {
+	space := design.NewSpace(
+		design.Parameter{Name: "ts", Lo: 0.1, Hi: 0.9},
+		design.Parameter{Name: "phd", Lo: 0, Hi: 0.3},
+	)
+	x := space.Scale([]float64{0.5, 0.5}) // unit cube -> native ranges
+	fmt.Println(x[0], x[1])
+	fmt.Println(space.Contains(x))
+	// Output:
+	// 0.5 0.15
+	// true
+}
+
+func ExampleLatinHypercube() {
+	pts := design.LatinHypercube(rng.New(1), 4, 2)
+	// Each 1-D projection hits each of the 4 strata exactly once.
+	strata := make([]bool, 4)
+	for _, p := range pts {
+		strata[int(p[0]*4)] = true
+	}
+	fmt.Println(len(pts), strata[0] && strata[1] && strata[2] && strata[3])
+	// Output: 4 true
+}
+
+func ExampleNewSobolSeq() {
+	seq := design.NewSobolSeq(2)
+	fmt.Println(seq.Next()) // the canonical first point after the origin
+	// Output: [0.5 0.5]
+}

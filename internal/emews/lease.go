@@ -1,0 +1,73 @@
+package emews
+
+import (
+	"context"
+	"time"
+)
+
+// SetLeaseTimeout enables task leasing: a popped task that is neither
+// completed nor failed within d is considered lost (its worker crashed or
+// its node was reclaimed) and becomes eligible for ReapExpired. Zero
+// disables leasing. Set this before workers start popping.
+func (db *DB) SetLeaseTimeout(d time.Duration) {
+	db.mu.Lock()
+	db.leaseTimeout = d
+	db.mu.Unlock()
+}
+
+// ReapExpired requeues every running task whose lease has expired,
+// returning how many were reclaimed. Reclaimed tasks keep their attempt
+// count; a task that has exhausted MaxAttempts fails instead of requeueing.
+func (db *DB) ReapExpired() int {
+	db.mu.Lock()
+	if db.leaseTimeout <= 0 || db.closed {
+		db.mu.Unlock()
+		return 0
+	}
+	now := time.Now()
+	type lost struct {
+		id        int64
+		exhausted bool
+	}
+	var expired []lost
+	for _, t := range db.tasks {
+		if t.Status != StatusRunning {
+			continue
+		}
+		if now.Sub(t.Started) < db.leaseTimeout {
+			continue
+		}
+		expired = append(expired, lost{id: t.ID, exhausted: t.Attempts >= t.MaxAttempts})
+	}
+	db.mu.Unlock()
+
+	reclaimed := 0
+	for _, l := range expired {
+		// finish handles both paths: requeue (attempts remain) or
+		// terminal failure (budget exhausted).
+		if err := db.finish(l.id, StatusFailed, "", "lease expired (worker lost)"); err == nil {
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
+// StartReaper runs ReapExpired every interval until ctx is canceled — the
+// watchdog a long-lived deployment runs alongside its pools.
+func (db *DB) StartReaper(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				db.ReapExpired()
+			}
+		}
+	}()
+}

@@ -1,0 +1,293 @@
+package emews
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is newline-delimited JSON request/response over TCP,
+// mirroring EMEWS's separation of ME algorithm processes from worker pools
+// running on other resources. One request per line; one response per line.
+
+type wireRequest struct {
+	Op        string `json:"op"` // submit | pop | complete | fail | result | stats
+	Type      string `json:"type,omitempty"`
+	Priority  int    `json:"priority,omitempty"`
+	Payload   string `json:"payload,omitempty"`
+	TaskID    int64  `json:"task_id,omitempty"`
+	Result    string `json:"result,omitempty"`
+	ErrMsg    string `json:"err_msg,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type wireResponse struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	TaskID  int64  `json:"task_id,omitempty"`
+	Payload string `json:"payload,omitempty"`
+	Result  string `json:"result,omitempty"`
+	Done    bool   `json:"done,omitempty"`
+	Empty   bool   `json:"empty,omitempty"`
+	Stats   *Stats `json:"stats,omitempty"`
+}
+
+// Server exposes a DB over TCP.
+type Server struct {
+	db *DB
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a TCP server for db on addr (e.g. "127.0.0.1:0") and returns
+// it; the bound address is available via Addr.
+func Serve(db *DB, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{db: db, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var req wireRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(wireResponse{Error: "bad request: " + err.Error()})
+			continue
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req wireRequest) wireResponse {
+	switch req.Op {
+	case "submit":
+		f, err := s.db.Submit(req.Type, req.Priority, req.Payload)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, TaskID: f.TaskID}
+	case "pop":
+		ctx := context.Background()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		claim, err := s.db.Pop(ctx, req.Type)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return wireResponse{OK: true, Empty: true}
+		}
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, TaskID: claim.Task.ID, Payload: claim.Task.Payload}
+	case "complete":
+		if err := s.db.finish(req.TaskID, StatusComplete, req.Result, ""); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true}
+	case "fail":
+		if err := s.db.finish(req.TaskID, StatusFailed, "", req.ErrMsg); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true}
+	case "result":
+		t, err := s.db.Get(req.TaskID)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		switch t.Status {
+		case StatusComplete:
+			return wireResponse{OK: true, Done: true, Result: t.Result}
+		case StatusFailed:
+			return wireResponse{OK: true, Done: true, Error: t.ErrMsg}
+		case StatusCanceled:
+			return wireResponse{OK: true, Done: true, Error: "canceled"}
+		default:
+			return wireResponse{OK: true, Done: false}
+		}
+	case "stats":
+		st := s.db.Stats()
+		return wireResponse{OK: true, Stats: &st}
+	default:
+		return wireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a TCP client for a remote task DB. Methods are safe for
+// concurrent use (requests are serialized on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return wireResponse{}, err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return wireResponse{}, err
+	}
+	if resp.Error != "" && !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit inserts a task remotely and returns its ID.
+func (c *Client) Submit(taskType string, priority int, payload string) (int64, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "submit", Type: taskType, Priority: priority, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TaskID, nil
+}
+
+// Pop claims a task, waiting up to timeout (0 = wait indefinitely on the
+// server side). It returns ok=false if the wait timed out.
+func (c *Client) Pop(taskType string, timeout time.Duration) (id int64, payload string, ok bool, err error) {
+	resp, err := c.roundTrip(wireRequest{Op: "pop", Type: taskType, TimeoutMS: int(timeout / time.Millisecond)})
+	if err != nil {
+		return 0, "", false, err
+	}
+	if resp.Empty {
+		return 0, "", false, nil
+	}
+	return resp.TaskID, resp.Payload, true, nil
+}
+
+// Complete reports a successful evaluation.
+func (c *Client) Complete(taskID int64, result string) error {
+	_, err := c.roundTrip(wireRequest{Op: "complete", TaskID: taskID, Result: result})
+	return err
+}
+
+// Fail reports a failed evaluation.
+func (c *Client) Fail(taskID int64, errMsg string) error {
+	_, err := c.roundTrip(wireRequest{Op: "fail", TaskID: taskID, ErrMsg: errMsg})
+	return err
+}
+
+// Result polls a task's terminal result; done=false means still pending.
+func (c *Client) Result(taskID int64) (result string, done bool, err error) {
+	resp, err := c.roundTrip(wireRequest{Op: "result", TaskID: taskID})
+	if err != nil {
+		return "", false, err
+	}
+	if !resp.Done {
+		return "", false, nil
+	}
+	if resp.Error != "" {
+		return "", true, errors.New(resp.Error)
+	}
+	return resp.Result, true, nil
+}
+
+// WaitResult polls Result until the task terminates or ctx cancels.
+func (c *Client) WaitResult(ctx context.Context, taskID int64, pollEvery time.Duration) (string, error) {
+	if pollEvery <= 0 {
+		pollEvery = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(pollEvery)
+	defer ticker.Stop()
+	for {
+		res, done, err := c.Result(taskID)
+		if err != nil && done {
+			return "", err
+		}
+		if err != nil {
+			return "", err
+		}
+		if done {
+			return res, nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// RemoteStats fetches DB occupancy counters.
+func (c *Client) RemoteStats() (Stats, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("emews: missing stats in response")
+	}
+	return *resp.Stats, nil
+}

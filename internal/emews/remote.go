@@ -1,0 +1,116 @@
+package emews
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// RemotePool runs workers that consume tasks from a task database over the
+// TCP wire protocol — the EMEWS deployment shape where worker pools live on
+// a different resource than the ME algorithm and the database.
+type RemotePool struct {
+	addr     string
+	taskType string
+	handler  Handler
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	workers   int
+	processed int
+	failed    int
+}
+
+// StartRemotePool connects `workers` TCP workers to the database served at
+// addr and begins consuming tasks of taskType. Each worker holds its own
+// connection (Pop blocks the connection while waiting).
+func StartRemotePool(addr, taskType string, workers int, handler Handler) (*RemotePool, error) {
+	if workers <= 0 {
+		return nil, errors.New("emews: remote pool needs at least one worker")
+	}
+	if handler == nil {
+		return nil, errors.New("emews: remote pool needs a handler")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &RemotePool{addr: addr, taskType: taskType, handler: handler, cancel: cancel, workers: workers}
+
+	// Verify connectivity before declaring success.
+	probe, err := Dial(addr)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	probe.Close()
+
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker(ctx)
+	}
+	return p, nil
+}
+
+func (p *RemotePool) worker(ctx context.Context) {
+	defer p.wg.Done()
+	var client *Client
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if client == nil {
+			c, err := Dial(p.addr)
+			if err != nil {
+				// Server gone or unreachable; back off briefly.
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+				continue
+			}
+			client = c
+		}
+		id, payload, ok, err := client.Pop(p.taskType, 200*time.Millisecond)
+		if err != nil {
+			client.Close()
+			client = nil
+			continue
+		}
+		if !ok {
+			continue // poll timeout; loop to observe ctx
+		}
+		result, herr := p.handler(ctx, payload)
+		p.mu.Lock()
+		if herr != nil {
+			p.failed++
+		} else {
+			p.processed++
+		}
+		p.mu.Unlock()
+		if herr != nil {
+			_ = client.Fail(id, herr.Error())
+		} else {
+			_ = client.Complete(id, result)
+		}
+	}
+}
+
+// Stop terminates the workers and waits for them to exit.
+func (p *RemotePool) Stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// Stats reports the pool's processed/failed counters.
+func (p *RemotePool) Stats() (processed, failed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed, p.failed
+}

@@ -1,0 +1,446 @@
+// Package emews implements the EMEWS model-exploration substrate of §3: a
+// decoupled architecture built from a task database and a task API. Model
+// exploration (ME) algorithms submit parameter-set tasks to the database
+// and receive Futures; worker pools running on compute resources pop tasks,
+// evaluate the model, and push results back. Submission "returns a Future,
+// which encapsulates the asynchronous execution of the task" (§3.2), and it
+// is exactly this decoupling that lets multiple algorithm instances be
+// interleaved to keep a worker pool fully utilized.
+//
+// The database can be used in-process or served over TCP (see net.go),
+// mirroring EMEWS's separation between ME processes and worker pools on
+// different resources.
+package emews
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TaskStatus enumerates the task lifecycle.
+type TaskStatus int
+
+const (
+	StatusQueued TaskStatus = iota
+	StatusRunning
+	StatusComplete
+	StatusFailed
+	StatusCanceled
+)
+
+func (s TaskStatus) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusComplete:
+		return "complete"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", int(s))
+	}
+}
+
+// Task is one unit of work: an opaque payload (model input parameters,
+// conventionally JSON) tagged with a type that selects the worker pool.
+type Task struct {
+	ID       int64
+	Type     string
+	Priority int // higher runs first; FIFO within a priority level
+	Payload  string
+
+	Status TaskStatus
+	Result string
+	ErrMsg string
+
+	// Attempts counts pops; MaxAttempts > 1 enables automatic requeue on
+	// failure (worker crashes, transient model errors).
+	Attempts    int
+	MaxAttempts int
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Future is the submitter's handle to an asynchronous task evaluation.
+type Future struct {
+	TaskID int64
+	db     *DB
+	done   chan struct{}
+}
+
+// Done returns a channel closed when the task reaches a terminal state.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the task terminates (or ctx is canceled) and returns
+// the result payload.
+func (f *Future) Result(ctx context.Context) (string, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	t, err := f.db.Get(f.TaskID)
+	if err != nil {
+		return "", err
+	}
+	switch t.Status {
+	case StatusComplete:
+		return t.Result, nil
+	case StatusFailed:
+		return "", fmt.Errorf("emews: task %d failed: %s", t.ID, t.ErrMsg)
+	case StatusCanceled:
+		return "", fmt.Errorf("emews: task %d canceled", t.ID)
+	default:
+		return "", fmt.Errorf("emews: task %d in unexpected state %v", t.ID, t.Status)
+	}
+}
+
+// TryResult returns (result, err, true) if the task has terminated, or
+// (_, _, false) if it is still pending — the non-blocking check each
+// interleaved MUSIC instance performs before ceding control (§3.2).
+func (f *Future) TryResult() (string, error, bool) {
+	select {
+	case <-f.done:
+		res, err := f.Result(context.Background())
+		return res, err, true
+	default:
+		return "", nil, false
+	}
+}
+
+// Stats summarizes database occupancy.
+type Stats struct {
+	Queued, Running, Complete, Failed, Canceled int
+	Submitted                                   int
+}
+
+// DB is the EMEWS task database. All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	nextID int64
+	tasks  map[int64]*Task
+	// queues[type] is a priority heap of queued task IDs.
+	queues  map[string]*taskHeap
+	futures map[int64]*Future
+	stats   Stats
+	// leaseTimeout, when positive, bounds how long a popped task may run
+	// before ReapExpired reclaims it (see lease.go).
+	leaseTimeout time.Duration
+}
+
+// NewDB creates an empty task database.
+func NewDB() *DB {
+	db := &DB{
+		tasks:   map[int64]*Task{},
+		queues:  map[string]*taskHeap{},
+		futures: map[int64]*Future{},
+	}
+	db.cond = sync.NewCond(&db.mu)
+	return db
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("emews: task database closed")
+
+// Submit inserts a task and returns its Future.
+func (db *DB) Submit(taskType string, priority int, payload string) (*Future, error) {
+	return db.SubmitRetry(taskType, priority, payload, 1)
+}
+
+// SubmitRetry inserts a task that is automatically requeued on failure
+// until maxAttempts pops have been consumed.
+func (db *DB) SubmitRetry(taskType string, priority int, payload string, maxAttempts int) (*Future, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if taskType == "" {
+		return nil, errors.New("emews: task type required")
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	db.nextID++
+	t := &Task{
+		ID: db.nextID, Type: taskType, Priority: priority, Payload: payload,
+		MaxAttempts: maxAttempts,
+		Status:      StatusQueued, Submitted: time.Now(),
+	}
+	db.tasks[t.ID] = t
+	q, ok := db.queues[taskType]
+	if !ok {
+		q = &taskHeap{}
+		db.queues[taskType] = q
+	}
+	heap.Push(q, heapItem{id: t.ID, priority: priority, seq: t.ID})
+	f := &Future{TaskID: t.ID, db: db, done: make(chan struct{})}
+	db.futures[t.ID] = f
+	db.stats.Submitted++
+	db.stats.Queued++
+	db.cond.Broadcast()
+	return f, nil
+}
+
+// SubmitBatch submits several payloads of one type at a single priority.
+func (db *DB) SubmitBatch(taskType string, priority int, payloads []string) ([]*Future, error) {
+	out := make([]*Future, 0, len(payloads))
+	for _, p := range payloads {
+		f, err := db.Submit(taskType, priority, p)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Claim is a worker's lease on a running task.
+type Claim struct {
+	Task Task
+	db   *DB
+	used bool
+}
+
+// Pop blocks until a task of taskType is available (or ctx cancels /
+// the DB closes) and claims it.
+func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
+	// Wake the cond wait when ctx is canceled.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			db.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if db.closed {
+			return nil, ErrClosed
+		}
+		if q, ok := db.queues[taskType]; ok && q.Len() > 0 {
+			item := heap.Pop(q).(heapItem)
+			t := db.tasks[item.id]
+			t.Status = StatusRunning
+			t.Attempts++
+			t.Started = time.Now()
+			db.stats.Queued--
+			db.stats.Running++
+			return &Claim{Task: *t, db: db}, nil
+		}
+		db.cond.Wait()
+	}
+}
+
+// TryPop claims a task if one is immediately available.
+func (db *DB) TryPop(taskType string) (*Claim, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	q, ok := db.queues[taskType]
+	if !ok || q.Len() == 0 {
+		return nil, false, nil
+	}
+	item := heap.Pop(q).(heapItem)
+	t := db.tasks[item.id]
+	t.Status = StatusRunning
+	t.Attempts++
+	t.Started = time.Now()
+	db.stats.Queued--
+	db.stats.Running++
+	return &Claim{Task: *t, db: db}, true, nil
+}
+
+func (db *DB) finish(id int64, status TaskStatus, result, errMsg string) error {
+	db.mu.Lock()
+	t, ok := db.tasks[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("emews: unknown task %d", id)
+	}
+	if t.Status != StatusRunning && !(status == StatusCanceled && t.Status == StatusQueued) {
+		db.mu.Unlock()
+		return fmt.Errorf("emews: task %d not running (state %v)", id, t.Status)
+	}
+	// Automatic retry: a failed attempt with budget left goes back to the
+	// queue instead of terminating the future.
+	if status == StatusFailed && t.Status == StatusRunning && t.Attempts < t.MaxAttempts && !db.closed {
+		t.Status = StatusQueued
+		t.ErrMsg = errMsg
+		db.stats.Running--
+		db.stats.Queued++
+		q, ok := db.queues[t.Type]
+		if !ok {
+			q = &taskHeap{}
+			db.queues[t.Type] = q
+		}
+		heap.Push(q, heapItem{id: t.ID, priority: t.Priority, seq: t.ID})
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return nil
+	}
+	prev := t.Status
+	t.Status = status
+	t.Result = result
+	t.ErrMsg = errMsg
+	t.Finished = time.Now()
+	if prev == StatusRunning {
+		db.stats.Running--
+	} else {
+		db.stats.Queued--
+	}
+	switch status {
+	case StatusComplete:
+		db.stats.Complete++
+	case StatusFailed:
+		db.stats.Failed++
+	case StatusCanceled:
+		db.stats.Canceled++
+	}
+	f := db.futures[id]
+	db.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+	return nil
+}
+
+// Complete marks the claimed task successful with the given result.
+func (c *Claim) Complete(result string) error {
+	if c.used {
+		return errors.New("emews: claim already resolved")
+	}
+	c.used = true
+	return c.db.finish(c.Task.ID, StatusComplete, result, "")
+}
+
+// Fail marks the claimed task failed.
+func (c *Claim) Fail(errMsg string) error {
+	if c.used {
+		return errors.New("emews: claim already resolved")
+	}
+	c.used = true
+	return c.db.finish(c.Task.ID, StatusFailed, "", errMsg)
+}
+
+// Get returns a snapshot of the task.
+func (db *DB) Get(id int64) (Task, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tasks[id]
+	if !ok {
+		return Task{}, fmt.Errorf("emews: unknown task %d", id)
+	}
+	return *t, nil
+}
+
+// Stats snapshots occupancy counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// Close cancels all queued tasks and unblocks every waiting Pop with
+// ErrClosed. Running tasks may still Complete/Fail.
+func (db *DB) Close() {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	db.closed = true
+	var canceled []*Future
+	for _, q := range db.queues {
+		for q.Len() > 0 {
+			item := heap.Pop(q).(heapItem)
+			t := db.tasks[item.id]
+			t.Status = StatusCanceled
+			t.Finished = time.Now()
+			db.stats.Queued--
+			db.stats.Canceled++
+			if f := db.futures[t.ID]; f != nil {
+				canceled = append(canceled, f)
+			}
+		}
+	}
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	for _, f := range canceled {
+		close(f.done)
+	}
+}
+
+// AsCompleted returns a channel that yields futures in completion order,
+// closing after all have terminated or ctx is canceled. This is the batch
+// analogue of the per-future polling the interleaved MUSIC driver uses.
+func AsCompleted(ctx context.Context, futures []*Future) <-chan *Future {
+	out := make(chan *Future)
+	var wg sync.WaitGroup
+	for _, f := range futures {
+		wg.Add(1)
+		go func(f *Future) {
+			defer wg.Done()
+			select {
+			case <-f.Done():
+				select {
+				case out <- f:
+				case <-ctx.Done():
+				}
+			case <-ctx.Done():
+			}
+		}(f)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// heapItem orders queued tasks by priority (desc) then submission (asc).
+type heapItem struct {
+	id       int64
+	priority int
+	seq      int64
+}
+
+type taskHeap []heapItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,185 @@
+// Package epi provides the epidemic process primitives shared by the
+// wastewater R(t) use case: discretized generation-interval distributions,
+// renewal-equation epidemic simulation (the infection process underlying
+// the Goldstein estimator), the Cori et al. (2013) sliding-window R(t)
+// estimator that the paper cites as the "more standard" baseline, and a
+// reference SEIR model.
+package epi
+
+import (
+	"errors"
+	"math"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// DiscretizedGamma returns a probability mass function w[1..maxLag] obtained
+// by discretizing a Gamma(shape, rate) distribution onto integer days
+// 1..maxLag and renormalizing. w[0] is zero by construction (no same-day
+// transmission), matching standard serial-interval handling.
+func DiscretizedGamma(meanDays, sdDays float64, maxLag int) []float64 {
+	if meanDays <= 0 || sdDays <= 0 || maxLag < 1 {
+		panic("epi: DiscretizedGamma requires positive mean, sd and maxLag >= 1")
+	}
+	shape := meanDays * meanDays / (sdDays * sdDays)
+	rate := meanDays / (sdDays * sdDays)
+	w := make([]float64, maxLag+1)
+	total := 0.0
+	for s := 1; s <= maxLag; s++ {
+		p := stats.GammaCDF(float64(s), shape, rate) - stats.GammaCDF(float64(s-1), shape, rate)
+		w[s] = p
+		total += p
+	}
+	if total <= 0 {
+		panic("epi: degenerate generation interval")
+	}
+	for s := range w {
+		w[s] /= total
+	}
+	return w
+}
+
+// Infectiousness computes the total infectiousness Λ_t = Σ_s I_{t-s} w_s for
+// each day t given incidence and generation-interval pmf w (with w[0]=0).
+func Infectiousness(incidence []float64, w []float64) []float64 {
+	out := make([]float64, len(incidence))
+	for t := range incidence {
+		s := 0.0
+		for lag := 1; lag < len(w) && lag <= t; lag++ {
+			s += incidence[t-lag] * w[lag]
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// RenewalSimulate generates an incidence trajectory from a day-indexed R(t)
+// series via the stochastic renewal equation I_t ~ Poisson(R_t Λ_t). The
+// first len(seed) days are fixed to the seed values. A nil stream gives the
+// deterministic mean trajectory.
+func RenewalSimulate(rt []float64, seed []float64, w []float64, r *rng.Stream) []float64 {
+	n := len(rt)
+	inc := make([]float64, n)
+	for t := 0; t < n; t++ {
+		if t < len(seed) {
+			inc[t] = seed[t]
+			continue
+		}
+		lambda := 0.0
+		for lag := 1; lag < len(w) && lag <= t; lag++ {
+			lambda += inc[t-lag] * w[lag]
+		}
+		mean := rt[t] * lambda
+		if r == nil {
+			inc[t] = mean
+		} else {
+			inc[t] = float64(r.Poisson(mean))
+		}
+	}
+	return inc
+}
+
+// CoriResult holds the sliding-window posterior summary of R(t).
+type CoriResult struct {
+	// Mean, Lower and Upper are day-indexed posterior mean and 95%
+	// credible bounds; entries before the window fills are NaN.
+	Mean, Lower, Upper []float64
+	Window             int
+}
+
+// CoriEstimate implements the Cori et al. (2013) estimator: with a
+// Gamma(a, b) prior on R and a window of tau days ending at t, the
+// posterior is Gamma(a + Σ I, b + Σ Λ). This is the computationally cheap
+// baseline the paper contrasts with the Goldstein method.
+func CoriEstimate(incidence []float64, w []float64, window int, priorShape, priorRate float64) (*CoriResult, error) {
+	if window < 1 {
+		return nil, errors.New("epi: window must be >= 1")
+	}
+	if priorShape <= 0 || priorRate <= 0 {
+		return nil, errors.New("epi: prior parameters must be positive")
+	}
+	n := len(incidence)
+	lambda := Infectiousness(incidence, w)
+	res := &CoriResult{
+		Mean:   make([]float64, n),
+		Lower:  make([]float64, n),
+		Upper:  make([]float64, n),
+		Window: window,
+	}
+	for t := 0; t < n; t++ {
+		if t < window {
+			res.Mean[t], res.Lower[t], res.Upper[t] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		var sumI, sumL float64
+		for s := t - window + 1; s <= t; s++ {
+			sumI += incidence[s]
+			sumL += lambda[s]
+		}
+		shape := priorShape + sumI
+		rate := priorRate + sumL
+		if rate <= 0 {
+			res.Mean[t], res.Lower[t], res.Upper[t] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		res.Mean[t] = shape / rate
+		res.Lower[t] = stats.GammaQuantile(0.025, shape, rate)
+		res.Upper[t] = stats.GammaQuantile(0.975, shape, rate)
+	}
+	return res, nil
+}
+
+// SEIRParams parameterizes the reference SEIR model.
+type SEIRParams struct {
+	Beta  float64 // transmission rate per day
+	Sigma float64 // 1/latent period
+	Gamma float64 // 1/infectious period
+	N     float64 // population size
+}
+
+// SEIRState is one day's compartment occupancy.
+type SEIRState struct {
+	S, E, I, R float64
+	// NewInfections is the incidence (S->E flow) during the step.
+	NewInfections float64
+}
+
+// SEIRSimulate integrates the deterministic SEIR ODE with an RK4 step per
+// day for `days` days from the given initial state.
+func SEIRSimulate(p SEIRParams, init SEIRState, days int) []SEIRState {
+	out := make([]SEIRState, days+1)
+	out[0] = init
+	st := init
+	deriv := func(s SEIRState) (dS, dE, dI, dR float64) {
+		inf := p.Beta * s.S * s.I / p.N
+		return -inf, inf - p.Sigma*s.E, p.Sigma*s.E - p.Gamma*s.I, p.Gamma * s.I
+	}
+	for d := 1; d <= days; d++ {
+		// RK4 with h=1 day, substepped 4x for accuracy.
+		const sub = 4
+		h := 1.0 / sub
+		newInf := 0.0
+		for k := 0; k < sub; k++ {
+			s1S, s1E, s1I, s1R := deriv(st)
+			mid := SEIRState{S: st.S + h/2*s1S, E: st.E + h/2*s1E, I: st.I + h/2*s1I, R: st.R + h/2*s1R}
+			s2S, s2E, s2I, s2R := deriv(mid)
+			mid2 := SEIRState{S: st.S + h/2*s2S, E: st.E + h/2*s2E, I: st.I + h/2*s2I, R: st.R + h/2*s2R}
+			s3S, s3E, s3I, s3R := deriv(mid2)
+			end := SEIRState{S: st.S + h*s3S, E: st.E + h*s3E, I: st.I + h*s3I, R: st.R + h*s3R}
+			s4S, s4E, s4I, s4R := deriv(end)
+			dS := h / 6 * (s1S + 2*s2S + 2*s3S + s4S)
+			st.S += dS
+			st.E += h / 6 * (s1E + 2*s2E + 2*s3E + s4E)
+			st.I += h / 6 * (s1I + 2*s2I + 2*s3I + s4I)
+			st.R += h / 6 * (s1R + 2*s2R + 2*s3R + s4R)
+			newInf += -dS
+		}
+		st.NewInfections = newInf
+		out[d] = st
+	}
+	return out
+}
+
+// R0 returns the basic reproduction number of the SEIR parameterization.
+func (p SEIRParams) R0() float64 { return p.Beta / p.Gamma }

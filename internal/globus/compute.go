@@ -1,0 +1,225 @@
+package globus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"osprey/internal/scheduler"
+)
+
+// ComputeFunc is a registered function: payload in, result out. Registered
+// functions are the unit of remote execution, as in Globus Compute (funcX).
+type ComputeFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// Engine abstracts where a compute endpoint runs its tasks. The paper uses
+// two configurations (§2.2): a login-node endpoint for cheap transform and
+// aggregation steps, and a GlobusComputeEngine endpoint that queues a batch
+// job so the expensive R(t) analysis runs on a compute node.
+type Engine interface {
+	// Execute runs fn(payload) under the engine's resource policy.
+	Execute(ctx context.Context, fn ComputeFunc, payload []byte) ([]byte, error)
+	// Describe names the engine for provenance records.
+	Describe() string
+}
+
+// LoginNodeEngine executes immediately in-process (shared login node).
+type LoginNodeEngine struct{}
+
+// Execute runs the function inline.
+func (LoginNodeEngine) Execute(ctx context.Context, fn ComputeFunc, payload []byte) ([]byte, error) {
+	return fn(ctx, payload)
+}
+
+// Describe implements Engine.
+func (LoginNodeEngine) Describe() string { return "login-node" }
+
+// BatchEngine submits each task as a job to a simulated batch scheduler
+// (the GlobusComputeEngine configuration).
+type BatchEngine struct {
+	Cluster  *scheduler.Cluster
+	Nodes    int
+	Walltime time.Duration
+}
+
+// Execute submits a one-task job and waits for it.
+func (b BatchEngine) Execute(ctx context.Context, fn ComputeFunc, payload []byte) ([]byte, error) {
+	if b.Cluster == nil {
+		return nil, fmt.Errorf("globus: batch engine has no cluster")
+	}
+	var out []byte
+	job, err := b.Cluster.Submit(scheduler.JobSpec{
+		Name:     "globus-compute-task",
+		Nodes:    b.Nodes,
+		Walltime: b.Walltime,
+		Run: func(jobCtx context.Context, alloc scheduler.Allocation) error {
+			res, err := fn(jobCtx, payload)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-job.Done():
+		return out, job.Err()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Describe implements Engine.
+func (b BatchEngine) Describe() string {
+	return fmt.Sprintf("batch-scheduler(nodes=%d)", b.Nodes)
+}
+
+// TaskStatus enumerates compute task states.
+type TaskStatus int
+
+const (
+	TaskPending TaskStatus = iota
+	TaskRunning
+	TaskSucceeded
+	TaskFailed
+)
+
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskSucceeded:
+		return "succeeded"
+	case TaskFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", int(s))
+	}
+}
+
+// ComputeTask is a handle to an asynchronous function invocation.
+type ComputeTask struct {
+	ID       string
+	Function string
+	done     chan struct{}
+	mu       sync.Mutex
+	status   TaskStatus
+	result   []byte
+	err      error
+}
+
+// Status returns the task state.
+func (t *ComputeTask) Status() TaskStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Result blocks until the task terminates and returns its output.
+func (t *ComputeTask) Result() ([]byte, error) {
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.result, t.err
+}
+
+// ComputeEndpoint executes registered functions on its engine, guarded by
+// compute-scoped tokens.
+type ComputeEndpoint struct {
+	Name   string
+	engine Engine
+	auth   *Auth
+
+	mu    sync.RWMutex
+	funcs map[string]ComputeFunc
+	tasks map[string]*ComputeTask
+}
+
+// NewComputeEndpoint creates an endpoint running on the given engine.
+func NewComputeEndpoint(name string, auth *Auth, engine Engine) *ComputeEndpoint {
+	return &ComputeEndpoint{
+		Name: name, engine: engine, auth: auth,
+		funcs: map[string]ComputeFunc{},
+		tasks: map[string]*ComputeTask{},
+	}
+}
+
+// RegisterFunction stores fn and returns its function ID.
+func (c *ComputeEndpoint) RegisterFunction(tokenID, name string, fn ComputeFunc) (string, error) {
+	if _, err := c.auth.Validate(tokenID, ScopeCompute); err != nil {
+		return "", err
+	}
+	if fn == nil {
+		return "", fmt.Errorf("globus: nil function")
+	}
+	id := randomID("fn")
+	c.mu.Lock()
+	c.funcs[id] = fn
+	c.mu.Unlock()
+	_ = name // retained for API fidelity; IDs are the lookup key
+	return id, nil
+}
+
+// Submit invokes a registered function asynchronously.
+func (c *ComputeEndpoint) Submit(tokenID, funcID string, payload []byte) (*ComputeTask, error) {
+	if _, err := c.auth.Validate(tokenID, ScopeCompute); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	fn, ok := c.funcs[funcID]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: function %s", ErrNotFound, funcID)
+	}
+	task := &ComputeTask{ID: randomID("task"), Function: funcID, done: make(chan struct{})}
+	c.mu.Lock()
+	c.tasks[task.ID] = task
+	c.mu.Unlock()
+
+	go func() {
+		defer close(task.done)
+		task.mu.Lock()
+		task.status = TaskRunning
+		task.mu.Unlock()
+		res, err := c.engine.Execute(context.Background(), fn, payload)
+		task.mu.Lock()
+		defer task.mu.Unlock()
+		if err != nil {
+			task.status = TaskFailed
+			task.err = err
+			return
+		}
+		task.status = TaskSucceeded
+		task.result = res
+	}()
+	return task, nil
+}
+
+// Call is the synchronous convenience wrapper: Submit then Result.
+func (c *ComputeEndpoint) Call(tokenID, funcID string, payload []byte) ([]byte, error) {
+	task, err := c.Submit(tokenID, funcID, payload)
+	if err != nil {
+		return nil, err
+	}
+	return task.Result()
+}
+
+// Task looks up a task by ID.
+func (c *ComputeEndpoint) Task(id string) (*ComputeTask, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: task %s", ErrNotFound, id)
+	}
+	return t, nil
+}
+
+// EngineDescription reports the engine configuration for provenance.
+func (c *ComputeEndpoint) EngineDescription() string { return c.engine.Describe() }

@@ -1,0 +1,156 @@
+package globus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Step is one action of a flow. Steps receive the output of the previous
+// step as input (nil for the first step).
+type Step struct {
+	Name string
+	// MaxRetries re-runs the step on error (0 = no retries).
+	MaxRetries int
+	// RetryDelay waits between attempts.
+	RetryDelay time.Duration
+	Run        func(ctx context.Context, input any) (any, error)
+}
+
+// FlowRunStatus enumerates flow run outcomes.
+type FlowRunStatus int
+
+const (
+	FlowRunActive FlowRunStatus = iota
+	FlowRunSucceeded
+	FlowRunFailed
+)
+
+// StepRecord logs one step attempt for provenance.
+type StepRecord struct {
+	Step     string
+	Attempt  int
+	Err      string
+	Started  time.Time
+	Finished time.Time
+}
+
+// FlowRun is the execution trace of one flow invocation.
+type FlowRun struct {
+	ID     string
+	Flow   string
+	mu     sync.Mutex
+	status FlowRunStatus
+	output any
+	err    error
+	log    []StepRecord
+	done   chan struct{}
+}
+
+// Status returns the run state.
+func (r *FlowRun) Status() FlowRunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Result blocks until the run completes and returns the final step output.
+func (r *FlowRun) Result() (any, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.output, r.err
+}
+
+// Log returns a copy of the per-step provenance records.
+func (r *FlowRun) Log() []StepRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]StepRecord(nil), r.log...)
+}
+
+// FlowService runs named multi-step flows with per-step retry policies (the
+// Globus Flows stand-in).
+type FlowService struct {
+	auth *Auth
+	mu   sync.Mutex
+	defs map[string][]Step
+}
+
+// NewFlowService creates the service.
+func NewFlowService(auth *Auth) *FlowService {
+	return &FlowService{auth: auth, defs: map[string][]Step{}}
+}
+
+// Define registers a flow definition under a name.
+func (s *FlowService) Define(tokenID, name string, steps []Step) error {
+	if _, err := s.auth.Validate(tokenID, ScopeFlows); err != nil {
+		return err
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("globus: flow %q has no steps", name)
+	}
+	for _, st := range steps {
+		if st.Run == nil {
+			return fmt.Errorf("globus: flow %q step %q has no Run", name, st.Name)
+		}
+	}
+	s.mu.Lock()
+	s.defs[name] = append([]Step(nil), steps...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Start launches an asynchronous run of the named flow with the given
+// initial input.
+func (s *FlowService) Start(tokenID, name string, input any) (*FlowRun, error) {
+	if _, err := s.auth.Validate(tokenID, ScopeFlows); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	steps, ok := s.defs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: flow %q", ErrNotFound, name)
+	}
+	run := &FlowRun{ID: randomID("run"), Flow: name, done: make(chan struct{})}
+	go func() {
+		defer close(run.done)
+		cur := input
+		for _, st := range steps {
+			var out any
+			var err error
+			for attempt := 0; ; attempt++ {
+				rec := StepRecord{Step: st.Name, Attempt: attempt, Started: time.Now()}
+				out, err = st.Run(context.Background(), cur)
+				rec.Finished = time.Now()
+				if err != nil {
+					rec.Err = err.Error()
+				}
+				run.mu.Lock()
+				run.log = append(run.log, rec)
+				run.mu.Unlock()
+				if err == nil || attempt >= st.MaxRetries {
+					break
+				}
+				if st.RetryDelay > 0 {
+					time.Sleep(st.RetryDelay)
+				}
+			}
+			if err != nil {
+				run.mu.Lock()
+				run.status = FlowRunFailed
+				run.err = fmt.Errorf("globus: flow %q step %q: %w", name, st.Name, err)
+				run.mu.Unlock()
+				return
+			}
+			cur = out
+		}
+		run.mu.Lock()
+		run.status = FlowRunSucceeded
+		run.output = cur
+		run.mu.Unlock()
+	}()
+	return run, nil
+}

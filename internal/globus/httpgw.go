@@ -1,0 +1,249 @@
+package globus
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPGateway serves an Endpoint's collections over HTTP with bearer-token
+// authentication — the "guest collection" access path through which the
+// paper's outputs are "directly shareable with public health stakeholders
+// through standard Globus Collection permissions" (§2.2). The collection
+// ACL is enforced on every request: a stakeholder granted PermRead can GET
+// but not PUT.
+//
+// Routes (token in the Authorization: Bearer header, transfer scope):
+//
+//	GET    /collections/{coll}/files/{path...}   download
+//	PUT    /collections/{coll}/files/{path...}   upload
+//	DELETE /collections/{coll}/files/{path...}   delete
+//	GET    /collections/{coll}?prefix=p          list paths
+//	GET    /collections/{coll}/checksum/{path…}  SHA-256
+type HTTPGateway struct {
+	endpoint *Endpoint
+	auth     *Auth
+}
+
+// NewHTTPGateway wraps an endpoint in the HTTP access layer.
+func NewHTTPGateway(endpoint *Endpoint, auth *Auth) *HTTPGateway {
+	return &HTTPGateway{endpoint: endpoint, auth: auth}
+}
+
+func (g *HTTPGateway) identify(r *http.Request) (string, int, error) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return "", http.StatusUnauthorized, fmt.Errorf("missing bearer token")
+	}
+	tok, err := g.auth.Validate(strings.TrimPrefix(h, prefix), ScopeTransfer)
+	if err != nil {
+		return "", http.StatusUnauthorized, err
+	}
+	return tok.Identity, 0, nil
+}
+
+func httpStatusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case strings.Contains(err.Error(), "forbidden"):
+		return http.StatusForbidden
+	case strings.Contains(err.Error(), "not found"):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (g *HTTPGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	identity, code, err := g.identify(r)
+	if err != nil {
+		http.Error(w, err.Error(), code)
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/collections/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	coll, after, _ := strings.Cut(rest, "/")
+	if coll == "" {
+		http.NotFound(w, r)
+		return
+	}
+
+	switch {
+	case after == "" && r.Method == http.MethodGet:
+		paths, err := g.endpoint.List(coll, r.URL.Query().Get("prefix"), identity)
+		if err != nil {
+			http.Error(w, err.Error(), httpStatusFor(err))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, p := range paths {
+			fmt.Fprintln(w, p)
+		}
+	case strings.HasPrefix(after, "files/"):
+		path := strings.TrimPrefix(after, "files/")
+		switch r.Method {
+		case http.MethodGet:
+			data, err := g.endpoint.Get(coll, path, identity)
+			if err != nil {
+				http.Error(w, err.Error(), httpStatusFor(err))
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+		case http.MethodPut:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := g.endpoint.Put(coll, path, identity, body); err != nil {
+				http.Error(w, err.Error(), httpStatusFor(err))
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+		case http.MethodDelete:
+			if err := g.endpoint.Delete(coll, path, identity); err != nil {
+				http.Error(w, err.Error(), httpStatusFor(err))
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	case strings.HasPrefix(after, "checksum/") && r.Method == http.MethodGet:
+		path := strings.TrimPrefix(after, "checksum/")
+		sum, err := g.endpoint.Checksum(coll, path, identity)
+		if err != nil {
+			http.Error(w, err.Error(), httpStatusFor(err))
+			return
+		}
+		fmt.Fprintln(w, sum)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// RemoteCollection is the client side of HTTPGateway: file access to one
+// collection on a remote endpoint, authenticated by a bearer token.
+type RemoteCollection struct {
+	BaseURL    string // gateway root, e.g. http://host:port
+	Collection string
+	TokenID    string
+	HTTP       *http.Client
+}
+
+func (c *RemoteCollection) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *RemoteCollection) do(method, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.TokenID)
+	return c.client().Do(req)
+}
+
+func (c *RemoteCollection) fileURL(path string) string {
+	return fmt.Sprintf("%s/collections/%s/files/%s",
+		strings.TrimSuffix(c.BaseURL, "/"), c.Collection, path)
+}
+
+func remoteErr(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("globus: gateway %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+}
+
+// Get downloads a file.
+func (c *RemoteCollection) Get(path string) ([]byte, error) {
+	resp, err := c.do(http.MethodGet, c.fileURL(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Put uploads a file.
+func (c *RemoteCollection) Put(path string, data []byte) error {
+	resp, err := c.do(http.MethodPut, c.fileURL(path), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// Delete removes a file.
+func (c *RemoteCollection) Delete(path string) error {
+	resp, err := c.do(http.MethodDelete, c.fileURL(path), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// List returns paths under prefix.
+func (c *RemoteCollection) List(prefix string) ([]string, error) {
+	url := fmt.Sprintf("%s/collections/%s?prefix=%s",
+		strings.TrimSuffix(c.BaseURL, "/"), c.Collection, prefix)
+	resp, err := c.do(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+// Checksum fetches the SHA-256 of a file.
+func (c *RemoteCollection) Checksum(path string) (string, error) {
+	url := fmt.Sprintf("%s/collections/%s/checksum/%s",
+		strings.TrimSuffix(c.BaseURL, "/"), c.Collection, path)
+	resp, err := c.do(http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", remoteErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(body)), nil
+}

@@ -1,0 +1,98 @@
+package globus
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gatewayRig(t *testing.T) (*httptest.Server, *Auth, *Endpoint) {
+	t.Helper()
+	auth := NewAuth()
+	ep := NewEndpoint("eagle")
+	if err := ep.CreateCollection("shared", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHTTPGateway(ep, auth))
+	t.Cleanup(srv.Close)
+	return srv, auth, ep
+}
+
+func TestGatewayRoundTrip(t *testing.T) {
+	srv, auth, _ := gatewayRig(t)
+	tok := auth.Issue("alice", 0, ScopeTransfer)
+	rc := &RemoteCollection{BaseURL: srv.URL, Collection: "shared", TokenID: tok.ID}
+
+	if err := rc.Put("reports/rt.csv", []byte("day,median\n1,1.2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Get("reports/rt.csv")
+	if err != nil || !strings.HasPrefix(string(got), "day,median") {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	paths, err := rc.List("reports/")
+	if err != nil || len(paths) != 1 || paths[0] != "reports/rt.csv" {
+		t.Fatalf("List = %v, %v", paths, err)
+	}
+	sum, err := rc.Checksum("reports/rt.csv")
+	if err != nil || len(sum) != 64 {
+		t.Fatalf("Checksum = %q, %v", sum, err)
+	}
+	if err := rc.Delete("reports/rt.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Get("reports/rt.csv"); err == nil {
+		t.Fatal("deleted file still readable")
+	}
+}
+
+func TestGatewayEnforcesACL(t *testing.T) {
+	srv, auth, ep := gatewayRig(t)
+	owner := auth.Issue("alice", 0, ScopeTransfer)
+	ownerRC := &RemoteCollection{BaseURL: srv.URL, Collection: "shared", TokenID: owner.ID}
+	if err := ownerRC.Put("rt/ensemble.json", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stakeholder has a valid token but no grant yet.
+	stakeholder := auth.Issue("public-health-dept", 0, ScopeTransfer)
+	shRC := &RemoteCollection{BaseURL: srv.URL, Collection: "shared", TokenID: stakeholder.ID}
+	if _, err := shRC.Get("rt/ensemble.json"); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("ungranted read should 403: %v", err)
+	}
+	// Owner grants read-only — the §2.2 sharing mechanism.
+	if err := ep.SetPermission("shared", "alice", "public-health-dept", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shRC.Get("rt/ensemble.json"); err != nil {
+		t.Fatalf("granted read failed: %v", err)
+	}
+	// Read does not allow writes.
+	if err := shRC.Put("rt/evil.json", []byte("x")); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("read-only write should 403: %v", err)
+	}
+}
+
+func TestGatewayRejectsBadTokens(t *testing.T) {
+	srv, auth, _ := gatewayRig(t)
+	// No token.
+	rc := &RemoteCollection{BaseURL: srv.URL, Collection: "shared", TokenID: ""}
+	if _, err := rc.Get("x"); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("tokenless request should 401: %v", err)
+	}
+	// Wrong scope.
+	tok := auth.Issue("alice", 0, ScopeCompute)
+	rc2 := &RemoteCollection{BaseURL: srv.URL, Collection: "shared", TokenID: tok.ID}
+	if _, err := rc2.Get("x"); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("wrong-scope request should 401: %v", err)
+	}
+}
+
+func TestGatewayUnknownRoutes(t *testing.T) {
+	srv, auth, _ := gatewayRig(t)
+	tok := auth.Issue("alice", 0, ScopeTransfer)
+	rc := &RemoteCollection{BaseURL: srv.URL, Collection: "nope", TokenID: tok.ID}
+	if _, err := rc.Get("x"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown collection should 404: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package globus
+
+import (
+	"sync"
+	"time"
+)
+
+// TimerService schedules periodic callbacks (the Globus Timers stand-in
+// that drives AERO's daily polling of the wastewater feed). Timers can also
+// be fired manually, which lets tests and simulations advance "daily" polls
+// without waiting wall-clock time.
+type TimerService struct {
+	auth *Auth
+	mu   sync.Mutex
+	next int
+	ts   map[int]*Timer
+}
+
+// NewTimerService creates the service.
+func NewTimerService(auth *Auth) *TimerService {
+	return &TimerService{auth: auth, ts: map[int]*Timer{}}
+}
+
+// Timer is a periodic trigger.
+type Timer struct {
+	ID       int
+	Name     string
+	Interval time.Duration
+
+	mu       sync.Mutex
+	callback func()
+	stopped  bool
+	stopCh   chan struct{}
+	fires    int
+}
+
+// Schedule registers a callback to fire every interval. An interval of 0
+// creates a manual-only timer (fired via Fire), which is how simulations
+// model "daily" polls in compressed time.
+func (s *TimerService) Schedule(tokenID, name string, interval time.Duration, callback func()) (*Timer, error) {
+	if _, err := s.auth.Validate(tokenID, ScopeTimers); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.next++
+	t := &Timer{ID: s.next, Name: name, Interval: interval, callback: callback, stopCh: make(chan struct{})}
+	s.ts[t.ID] = t
+	s.mu.Unlock()
+
+	if interval > 0 {
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					t.Fire()
+				case <-t.stopCh:
+					return
+				}
+			}
+		}()
+	}
+	return t, nil
+}
+
+// Fire invokes the callback synchronously (unless stopped).
+func (t *Timer) Fire() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	cb := t.callback
+	t.fires++
+	t.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// Stop permanently disables the timer.
+func (t *Timer) Stop() {
+	t.mu.Lock()
+	if !t.stopped {
+		t.stopped = true
+		close(t.stopCh)
+	}
+	t.mu.Unlock()
+}
+
+// Fires reports how many times the timer has fired.
+func (t *Timer) Fires() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fires
+}
+
+// StopAll stops every registered timer.
+func (s *TimerService) StopAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.ts {
+		t.Stop()
+	}
+}

@@ -1,0 +1,424 @@
+// Package gp implements Gaussian-process regression: the surrogate model at
+// the heart of the MUSIC active-learning GSA (§3.1.2 of the paper). The
+// paper uses the R hetGP package; this implementation provides anisotropic
+// squared-exponential and Matérn-5/2 kernels with a fitted nugget, trained
+// by maximizing the log marginal likelihood with multi-start Nelder–Mead.
+//
+// The heteroskedastic extension of hetGP is not needed for the paper's
+// experiment design — each GSA replicate fixes the model's random seed, so
+// the response the surrogate sees is deterministic and a homoskedastic
+// nugget suffices (see DESIGN.md substitution table).
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"osprey/internal/linalg"
+	"osprey/internal/optim"
+)
+
+// KernelKind selects the covariance family.
+type KernelKind int
+
+const (
+	// SquaredExponential is the infinitely smooth RBF kernel.
+	SquaredExponential KernelKind = iota
+	// Matern52 is the twice-differentiable Matérn nu=5/2 kernel.
+	Matern52
+)
+
+func (k KernelKind) String() string {
+	switch k {
+	case SquaredExponential:
+		return "squared-exponential"
+	case Matern52:
+		return "matern52"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// corr evaluates the correlation (unit-variance kernel) between points a
+// and b under per-dimension lengthscales ls.
+func corr(kind KernelKind, a, b, ls []float64) float64 {
+	switch kind {
+	case SquaredExponential:
+		s := 0.0
+		for i := range a {
+			d := (a[i] - b[i]) / ls[i]
+			s += d * d
+		}
+		return math.Exp(-0.5 * s)
+	case Matern52:
+		s := 0.0
+		for i := range a {
+			d := (a[i] - b[i]) / ls[i]
+			s += d * d
+		}
+		r := math.Sqrt(5 * s)
+		return (1 + r + 5*s/3) * math.Exp(-r)
+	default:
+		panic("gp: unknown kernel kind")
+	}
+}
+
+// Options configures model fitting.
+type Options struct {
+	Kernel KernelKind
+	// MaxIter bounds each Nelder–Mead run (default 200).
+	MaxIter int
+	// Restarts is the number of extra multi-start points (default 2).
+	Restarts int
+	// FixedNugget, when > 0, pins the nugget variance (on the
+	// standardized-y scale) instead of fitting it.
+	FixedNugget float64
+}
+
+// GP is a fitted Gaussian-process regression model. Construct with Fit; the
+// zero value is not usable.
+type GP struct {
+	kind KernelKind
+	x    [][]float64
+	y    []float64 // standardized observations
+	dim  int
+
+	// Hyperparameters (on the standardized-y scale).
+	ls     []float64 // per-dimension lengthscales
+	sf2    float64   // signal variance
+	nugget float64   // observation noise variance
+
+	// Standardization of the raw targets.
+	yMean, yStd float64
+
+	chol   *linalg.Cholesky
+	alpha  []float64 // K⁻¹ y
+	lml    float64   // log marginal likelihood at the fitted parameters
+	jitter float64   // diagonal jitter applied during factorization
+	opts   Options
+}
+
+// ErrNoData is returned when Fit receives an empty training set.
+var ErrNoData = errors.New("gp: empty training set")
+
+// Fit trains a GP on inputs x (n points of equal dimension) and targets y.
+func Fit(x [][]float64, y []float64, opts Options) (*GP, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	for _, xi := range x {
+		if len(xi) != d {
+			return nil, errors.New("gp: ragged input points")
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Restarts < 0 {
+		opts.Restarts = 0
+	}
+
+	g := &GP{kind: opts.Kernel, dim: d, opts: opts}
+	g.x = make([][]float64, n)
+	for i := range x {
+		g.x[i] = append([]float64(nil), x[i]...)
+	}
+
+	// Standardize targets for stable hyperparameter scales.
+	mean, sd := 0.0, 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd < 1e-12 {
+		sd = 1 // constant targets: keep raw scale
+	}
+	g.yMean, g.yStd = mean, sd
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - mean) / sd
+	}
+
+	if err := g.optimize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// theta packs log hyperparameters: [log ls_1..log ls_d, log sf2, (log nugget)].
+func (g *GP) nTheta() int {
+	if g.opts.FixedNugget > 0 {
+		return g.dim + 1
+	}
+	return g.dim + 2
+}
+
+func (g *GP) applyTheta(theta []float64) {
+	g.ls = make([]float64, g.dim)
+	for i := 0; i < g.dim; i++ {
+		g.ls[i] = math.Exp(theta[i])
+	}
+	g.sf2 = math.Exp(theta[g.dim])
+	if g.opts.FixedNugget > 0 {
+		g.nugget = g.opts.FixedNugget
+	} else {
+		g.nugget = math.Exp(theta[g.dim+1])
+	}
+}
+
+// buildK assembles the full covariance matrix with the current parameters.
+func (g *GP) buildK() *linalg.Dense {
+	n := len(g.x)
+	k := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		k.Set(i, i, g.sf2+g.nugget)
+		for j := i + 1; j < n; j++ {
+			v := g.sf2 * corr(g.kind, g.x[i], g.x[j], g.ls)
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	return k
+}
+
+// factor refreshes the Cholesky factor and alpha = K⁻¹y; returns the log
+// marginal likelihood.
+func (g *GP) factor() (float64, error) {
+	k := g.buildK()
+	ch, jit, err := linalg.NewCholeskyJittered(k, 1e-10, 12)
+	if err != nil {
+		return math.Inf(-1), err
+	}
+	g.chol, g.jitter = ch, jit
+	g.alpha = ch.SolveVec(g.y)
+	n := float64(len(g.y))
+	lml := -0.5*linalg.Dot(g.y, g.alpha) - 0.5*ch.LogDet() - 0.5*n*math.Log(2*math.Pi)
+	g.lml = lml
+	return lml, nil
+}
+
+func (g *GP) optimize() error {
+	nt := g.nTheta()
+	obj := func(theta []float64) float64 {
+		for _, v := range theta {
+			// Guard against absurd scales that destabilize Cholesky.
+			if v < -14 || v > 14 {
+				return math.Inf(1)
+			}
+		}
+		g.applyTheta(theta)
+		lml, err := g.factor()
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -lml
+	}
+
+	starts := make([][]float64, 0, g.opts.Restarts+1)
+	base := make([]float64, nt)
+	for i := 0; i < g.dim; i++ {
+		base[i] = math.Log(0.3) // moderate lengthscale on unit-cube inputs
+	}
+	base[g.dim] = 0 // sf2 = 1 on standardized targets
+	if g.opts.FixedNugget <= 0 {
+		base[g.dim+1] = math.Log(1e-4)
+	}
+	starts = append(starts, base)
+	for r := 1; r <= g.opts.Restarts; r++ {
+		s := append([]float64(nil), base...)
+		for i := 0; i < g.dim; i++ {
+			s[i] = math.Log(0.1 * math.Pow(3, float64(r)))
+		}
+		if g.opts.FixedNugget <= 0 {
+			s[g.dim+1] = math.Log(math.Pow(10, float64(-2-r)))
+		}
+		starts = append(starts, s)
+	}
+
+	res := optim.MultiStart(obj, starts, optim.NelderMeadOptions{MaxIter: g.opts.MaxIter})
+	if math.IsInf(res.F, 1) {
+		return errors.New("gp: hyperparameter optimization failed to find a feasible point")
+	}
+	g.applyTheta(res.X)
+	_, err := g.factor()
+	return err
+}
+
+// Predict returns the posterior mean and variance at point x (raw scale).
+// The variance includes the latent-function uncertainty but not the nugget;
+// use PredictNoisy for the predictive variance of a new noisy observation.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if len(x) != g.dim {
+		panic("gp: Predict dimension mismatch")
+	}
+	n := len(g.x)
+	k := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = g.sf2 * corr(g.kind, x, g.x[i], g.ls)
+	}
+	mu := linalg.Dot(k, g.alpha)
+	v := g.chol.ForwardSolve(k)
+	variance = g.sf2 - linalg.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	mean = g.yMean + g.yStd*mu
+	variance *= g.yStd * g.yStd
+	return mean, variance
+}
+
+// PredictNoisy returns the predictive mean and variance for a new noisy
+// observation at x (latent variance plus nugget).
+func (g *GP) PredictNoisy(x []float64) (mean, variance float64) {
+	m, v := g.Predict(x)
+	return m, v + g.nugget*g.yStd*g.yStd
+}
+
+// PredictBatch evaluates Predict over many points.
+func (g *GP) PredictBatch(xs [][]float64) (means, variances []float64) {
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	for i, x := range xs {
+		means[i], variances[i] = g.Predict(x)
+	}
+	return means, variances
+}
+
+// Add appends a training observation. When reoptimize is true the
+// hyperparameters are refit from scratch; otherwise only the factorization
+// is refreshed with the existing hyperparameters (the cheap path used
+// between MUSIC refit intervals).
+func (g *GP) Add(x []float64, y float64, reoptimize bool) error {
+	if len(x) != g.dim {
+		return errors.New("gp: Add dimension mismatch")
+	}
+	g.x = append(g.x, append([]float64(nil), x...))
+	g.y = append(g.y, (y-g.yMean)/g.yStd)
+	if reoptimize {
+		// Re-standardize from raw targets to keep scales honest.
+		raw := make([]float64, len(g.y))
+		for i, v := range g.y {
+			raw[i] = g.yMean + g.yStd*v
+		}
+		ng, err := Fit(g.x, raw, g.opts)
+		if err != nil {
+			return err
+		}
+		*g = *ng
+		return nil
+	}
+	_, err := g.factor()
+	return err
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.x) }
+
+// Dim returns the input dimension.
+func (g *GP) Dim() int { return g.dim }
+
+// LogMarginalLikelihood returns the LML at the fitted hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
+
+// Lengthscales returns a copy of the fitted per-dimension lengthscales.
+func (g *GP) Lengthscales() []float64 { return append([]float64(nil), g.ls...) }
+
+// Nugget returns the fitted (or fixed) nugget variance on the raw-y scale.
+func (g *GP) Nugget() float64 { return g.nugget * g.yStd * g.yStd }
+
+// TrainingInputs returns the training inputs (borrowed; do not mutate).
+func (g *GP) TrainingInputs() [][]float64 { return g.x }
+
+// TrainingTargets returns the raw-scale training targets.
+func (g *GP) TrainingTargets() []float64 {
+	out := make([]float64, len(g.y))
+	for i, v := range g.y {
+		out[i] = g.yMean + g.yStd*v
+	}
+	return out
+}
+
+// Hyperparams is the exportable state of a fitted GP (excluding training
+// data), used to checkpoint and restore surrogates without re-running the
+// optimizer.
+type Hyperparams struct {
+	Kernel       KernelKind `json:"kernel"`
+	Lengthscales []float64  `json:"lengthscales"`
+	SignalVar    float64    `json:"signal_var"`
+	NuggetVar    float64    `json:"nugget_var"`
+	YMean        float64    `json:"y_mean"`
+	YStd         float64    `json:"y_std"`
+}
+
+// Hyperparams exports the fitted hyperparameters.
+func (g *GP) Hyperparams() Hyperparams {
+	return Hyperparams{
+		Kernel:       g.kind,
+		Lengthscales: append([]float64(nil), g.ls...),
+		SignalVar:    g.sf2,
+		NuggetVar:    g.nugget,
+		YMean:        g.yMean,
+		YStd:         g.yStd,
+	}
+}
+
+// Restore rebuilds a GP from training data and previously fitted
+// hyperparameters, skipping optimization. The result predicts identically
+// to the GP the hyperparameters came from (given the same data).
+func Restore(x [][]float64, y []float64, hp Hyperparams, opts Options) (*GP, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	if len(hp.Lengthscales) != d {
+		return nil, errors.New("gp: hyperparameter dimension mismatch")
+	}
+	if hp.YStd <= 0 || hp.SignalVar <= 0 {
+		return nil, errors.New("gp: invalid hyperparameters")
+	}
+	g := &GP{
+		kind: hp.Kernel, dim: d, opts: opts,
+		ls:  append([]float64(nil), hp.Lengthscales...),
+		sf2: hp.SignalVar, nugget: hp.NuggetVar,
+		yMean: hp.YMean, yStd: hp.YStd,
+	}
+	g.x = make([][]float64, n)
+	for i := range x {
+		if len(x[i]) != d {
+			return nil, errors.New("gp: ragged input points")
+		}
+		g.x[i] = append([]float64(nil), x[i]...)
+	}
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - hp.YMean) / hp.YStd
+	}
+	if _, err := g.factor(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// PredictMean returns only the posterior mean at x. It skips the O(n²)
+// triangular solve that the variance requires, which makes surrogate-based
+// Sobol index estimation (thousands of mean evaluations per snapshot)
+// roughly an order of magnitude cheaper.
+func (g *GP) PredictMean(x []float64) float64 {
+	if len(x) != g.dim {
+		panic("gp: PredictMean dimension mismatch")
+	}
+	n := len(g.x)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += g.alpha[i] * corr(g.kind, x, g.x[i], g.ls)
+	}
+	return g.yMean + g.yStd*g.sf2*s
+}

@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotPositiveDefinite when a
+// pivot is non-positive (within a small tolerance for numerical noise).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		lj[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s / dj
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// NewCholeskyJittered retries the factorization with exponentially growing
+// diagonal jitter until it succeeds or maxTries is exhausted. It returns the
+// factor along with the jitter that was finally applied. This is the
+// standard guard for Gaussian-process covariance matrices that are
+// numerically semi-definite.
+func NewCholeskyJittered(a *Dense, jitter0 float64, maxTries int) (*Cholesky, float64, error) {
+	if jitter0 <= 0 {
+		jitter0 = 1e-10
+	}
+	if ch, err := NewCholesky(a); err == nil {
+		return ch, 0, nil
+	}
+	j := jitter0
+	for try := 0; try < maxTries; try++ {
+		b := a.Clone().AddDiag(j)
+		if ch, err := NewCholesky(b); err == nil {
+			return ch, j, nil
+		}
+		j *= 10
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// SolveVec solves A x = b given the factorization, overwriting nothing.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.ForwardSolve(b)
+	return c.BackSolve(y)
+}
+
+// ForwardSolve solves L y = b.
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("linalg: ForwardSolve dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := c.L.Row(i)
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	return y
+}
+
+// BackSolve solves Lᵀ x = y.
+func (c *Cholesky) BackSolve(y []float64) []float64 {
+	n := c.L.Rows
+	if len(y) != n {
+		panic("linalg: BackSolve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// SolveMat solves A X = B column by column.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.Rows != c.L.Rows {
+		panic("linalg: SolveMat dimension mismatch")
+	}
+	out := NewDense(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// LogDet returns log |A| = 2 * sum(log L_ii).
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

@@ -1,0 +1,313 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"osprey/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := a.Mul(Identity(2))
+	if got.MaxAbsDiff(a) != 0 {
+		t.Fatal("A * I != A")
+	}
+	got2 := Identity(3).Mul(a)
+	if got2.MaxAbsDiff(a) != 0 {
+		t.Fatal("I * A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if a.Mul(b).MaxAbsDiff(want) > 1e-15 {
+		t.Fatal("matrix multiply wrong")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := NewDense(3+r.Intn(5), 2+r.Intn(5))
+		for i := range m.Data {
+			m.Data[i] = r.Normal()
+		}
+		return m.T().T().MaxAbsDiff(m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}, {0, 3, 1}})
+	got := a.MulVec([]float64{2, 1, 1})
+	if got[0] != 4 || got[1] != 4 {
+		t.Fatalf("MulVec got %v", got)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2 of empty should be 0")
+	}
+	// Overflow safety.
+	if math.IsInf(Norm2([]float64{1e300, 1e300}), 0) {
+		t.Fatal("Norm2 overflowed")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY got %v", y)
+	}
+}
+
+func randomSPD(r *rng.Stream, n int) *Dense {
+	b := NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = r.Normal()
+	}
+	a := b.Mul(b.T())
+	a.AddDiag(float64(n)) // ensure well conditioned
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		a := randomSPD(r, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		recon := ch.L.Mul(ch.L.T())
+		if recon.MaxAbsDiff(a) > 1e-9 {
+			t.Fatalf("L Lᵀ differs from A by %v", recon.MaxAbsDiff(a))
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		a := randomSPD(r, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.Normal()
+		}
+		b := a.MulVec(xTrue)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := ch.SolveVec(b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestCholeskyJittered(t *testing.T) {
+	// Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	ch, jit, err := NewCholeskyJittered(a, 1e-10, 20)
+	if err != nil {
+		t.Fatalf("jittered Cholesky failed: %v", err)
+	}
+	if jit <= 0 {
+		t.Fatal("expected nonzero jitter on a singular matrix")
+	}
+	if ch == nil {
+		t.Fatal("nil factor")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ch.LogDet(), math.Log(36), 1e-12) {
+		t.Fatalf("LogDet = %v, want %v", ch.LogDet(), math.Log(36))
+	}
+}
+
+func TestCholeskySolveMat(t *testing.T) {
+	r := rng.New(3)
+	a := randomSPD(r, 4)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := ch.SolveMat(Identity(4))
+	if a.Mul(inv).MaxAbsDiff(Identity(4)) > 1e-9 {
+		t.Fatal("A * A⁻¹ != I")
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square nonsingular system should be solved exactly.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := LeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("QR solve got %v", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	r := rng.New(4)
+	m, n := 30, 5
+	a := NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.Normal()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual must be orthogonal to the column space: Aᵀ(Ax - b) ≈ 0.
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	g := a.T().MulVec(res)
+	for _, v := range g {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("normal equations not satisfied: %v", g)
+		}
+	}
+}
+
+func TestQRRecoversPlantedCoefficients(t *testing.T) {
+	r := rng.New(5)
+	m, n := 200, 4
+	a := NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	xTrue := []float64{1.5, -2, 0.25, 3}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-9) {
+			t.Fatalf("coefficient %d: got %v want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected rank-deficiency error")
+	}
+	if got := NewQR(a).Rank(1e-10); got != 1 {
+		t.Fatalf("Rank = %d, want 1", got)
+	}
+}
+
+func TestRidgeLeastSquaresHandlesCollinearity(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3.0000001}})
+	x, err := RidgeLeastSquares(a, []float64{2, 4, 6}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ridge shrinks toward the symmetric solution x0 ≈ x1 ≈ 1.
+	pred := a.MulVec(x)
+	for i, want := range []float64{2, 4, 6} {
+		if !almostEq(pred[i], want, 1e-3) {
+			t.Fatalf("ridge prediction %v at %d, want %v", pred[i], i, want)
+		}
+	}
+}
+
+func TestAddScaleDiag(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Add(a)
+	if b.At(1, 0) != 6 {
+		t.Fatal("Add wrong")
+	}
+	c := a.Scale(0.5)
+	if c.At(0, 1) != 1 {
+		t.Fatal("Scale wrong")
+	}
+	d := a.Clone().AddDiag(10)
+	if d.At(0, 0) != 11 || d.At(1, 1) != 14 || d.At(0, 1) != 2 {
+		t.Fatal("AddDiag wrong")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows accepted ragged input")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func BenchmarkCholesky100(b *testing.B) {
+	r := rng.New(1)
+	a := randomSPD(r, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRLeastSquares(b *testing.B) {
+	r := rng.New(1)
+	a := NewDense(200, 20)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = r.Normal()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrRankDeficient is returned by least-squares solves when the design
+// matrix has (numerically) linearly dependent columns.
+var ErrRankDeficient = errors.New("linalg: rank-deficient least squares system")
+
+// QR holds a Householder QR factorization of an m x n matrix with m >= n.
+// The factor R is stored in the upper triangle of qr; the Householder
+// vectors occupy the lower triangle, with their leading coefficients in
+// rdiag implicit.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+}
+
+// NewQR factors a (m >= n required). The input matrix is not modified.
+func NewQR(a *Dense) *QR {
+	if a.Rows < a.Cols {
+		panic("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n)}
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, f.qr.At(i, k))
+		}
+		if nrm != 0 {
+			if f.qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				f.qr.Set(i, k, f.qr.At(i, k)/nrm)
+			}
+			f.qr.Set(k, k, f.qr.At(k, k)+1)
+			for j := k + 1; j < n; j++ {
+				s := 0.0
+				for i := k; i < m; i++ {
+					s += f.qr.At(i, k) * f.qr.At(i, j)
+				}
+				s = -s / f.qr.At(k, k)
+				for i := k; i < m; i++ {
+					f.qr.Set(i, j, f.qr.At(i, j)+s*f.qr.At(i, k))
+				}
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f
+}
+
+// Rank reports the numerical rank based on the R diagonal relative to the
+// largest diagonal entry.
+func (f *QR) Rank(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	max := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > max {
+			max = a
+		}
+	}
+	r := 0
+	for _, d := range f.rdiag {
+		if math.Abs(d) > tol*max {
+			r++
+		}
+	}
+	return r
+}
+
+// Solve returns the least-squares solution x minimizing ||A x - b||₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("linalg: QR Solve dimension mismatch")
+	}
+	max := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > max {
+			max = a
+		}
+	}
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= 1e-13*max {
+			return nil, ErrRankDeficient
+		}
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder reflections: y <- Qᵀ b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||₂ in one call.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	return NewQR(a).Solve(b)
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularized problem
+// min ||A x - b||² + lambda ||x||² by augmenting the system, which keeps the
+// QR path well conditioned for nearly collinear PCE design matrices.
+func RidgeLeastSquares(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	if lambda <= 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows, a.Cols
+	aug := NewDense(m+n, n)
+	for i := 0; i < m; i++ {
+		copy(aug.Row(i), a.Row(i))
+	}
+	s := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		aug.Set(m+j, j, s)
+	}
+	bb := make([]float64, m+n)
+	copy(bb, b)
+	return LeastSquares(aug, bb)
+}

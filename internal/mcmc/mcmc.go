@@ -1,0 +1,275 @@
+// Package mcmc implements adaptive random-walk Metropolis samplers. The
+// Goldstein-method R(t) estimator (§2.1 of the paper) is "a semi-parametric
+// Bayesian sampling framework" that is "significantly more computationally
+// expensive than more standard R(t) estimation methods"; this package
+// provides the sampling engine it runs on, with both blockwise and
+// component-wise kernels plus convergence summaries.
+package mcmc
+
+import (
+	"errors"
+	"math"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// LogDensity evaluates an unnormalized log posterior. It may return -Inf to
+// reject a point outright (hard constraint violations).
+type LogDensity func(x []float64) float64
+
+// Options configures a sampler run.
+type Options struct {
+	// Iterations is the number of post-burn-in kept iterations after
+	// thinning (default 1000).
+	Iterations int
+	// BurnIn iterations are discarded (default Iterations/2).
+	BurnIn int
+	// Thin keeps every Thin-th draw (default 1).
+	Thin int
+	// Scales are per-coordinate initial proposal standard deviations
+	// (default 0.1 for every coordinate).
+	Scales []float64
+	// Adapt enables Robbins–Monro scale adaptation during burn-in toward
+	// the target acceptance rate (default true unless DisableAdapt).
+	DisableAdapt bool
+	// TargetAcceptance defaults to 0.234 for blockwise and 0.44 for
+	// component-wise kernels.
+	TargetAcceptance float64
+	// Rand supplies randomness; required.
+	Rand *rng.Stream
+}
+
+// Chain holds the retained posterior draws.
+type Chain struct {
+	// Samples[i] is the i-th retained draw.
+	Samples [][]float64
+	// LogDens[i] is the log density at Samples[i].
+	LogDens []float64
+	// AcceptanceRate is measured after burn-in.
+	AcceptanceRate float64
+	// FinalScales are the (possibly adapted) proposal scales.
+	FinalScales []float64
+}
+
+func (o *Options) defaults(dim int, componentwise bool) error {
+	if o.Rand == nil {
+		return errors.New("mcmc: Options.Rand is required")
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1000
+	}
+	if o.BurnIn <= 0 {
+		o.BurnIn = o.Iterations / 2
+	}
+	if o.Thin <= 0 {
+		o.Thin = 1
+	}
+	if len(o.Scales) == 0 {
+		o.Scales = make([]float64, dim)
+		for i := range o.Scales {
+			o.Scales[i] = 0.1
+		}
+	} else if len(o.Scales) != dim {
+		return errors.New("mcmc: Scales length does not match dimension")
+	} else {
+		o.Scales = append([]float64(nil), o.Scales...)
+	}
+	if o.TargetAcceptance <= 0 || o.TargetAcceptance >= 1 {
+		if componentwise {
+			o.TargetAcceptance = 0.44
+		} else {
+			o.TargetAcceptance = 0.234
+		}
+	}
+	return nil
+}
+
+// Run draws from logp with a blockwise Gaussian random-walk Metropolis
+// kernel: all coordinates move together, with a global adapted step
+// multiplier over the per-coordinate scales.
+func Run(logp LogDensity, x0 []float64, opts Options) (*Chain, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, errors.New("mcmc: empty initial point")
+	}
+	if err := opts.defaults(dim, false); err != nil {
+		return nil, err
+	}
+	r := opts.Rand
+
+	x := append([]float64(nil), x0...)
+	lp := logp(x)
+	if math.IsInf(lp, -1) || math.IsNaN(lp) {
+		return nil, errors.New("mcmc: initial point has zero posterior density")
+	}
+
+	logMult := 0.0 // adapted log step multiplier
+	total := opts.BurnIn + opts.Iterations*opts.Thin
+	kept := make([][]float64, 0, opts.Iterations)
+	keptLp := make([]float64, 0, opts.Iterations)
+	prop := make([]float64, dim)
+	accPost, nPost := 0, 0
+
+	for it := 0; it < total; it++ {
+		mult := math.Exp(logMult)
+		for i := range prop {
+			prop[i] = x[i] + mult*opts.Scales[i]*r.Normal()
+		}
+		lpProp := logp(prop)
+		accepted := false
+		if !math.IsNaN(lpProp) && math.Log(r.Float64Open()) < lpProp-lp {
+			copy(x, prop)
+			lp = lpProp
+			accepted = true
+		}
+		if it < opts.BurnIn {
+			if !opts.DisableAdapt {
+				// Robbins–Monro: nudge the log multiplier toward the
+				// target acceptance rate with decaying gain.
+				gain := math.Min(0.5, 10.0/float64(it+10))
+				if accepted {
+					logMult += gain * (1 - opts.TargetAcceptance)
+				} else {
+					logMult -= gain * opts.TargetAcceptance
+				}
+			}
+			continue
+		}
+		nPost++
+		if accepted {
+			accPost++
+		}
+		if (it-opts.BurnIn)%opts.Thin == 0 {
+			kept = append(kept, append([]float64(nil), x...))
+			keptLp = append(keptLp, lp)
+		}
+	}
+
+	scales := make([]float64, dim)
+	mult := math.Exp(logMult)
+	for i := range scales {
+		scales[i] = mult * opts.Scales[i]
+	}
+	rate := 0.0
+	if nPost > 0 {
+		rate = float64(accPost) / float64(nPost)
+	}
+	return &Chain{Samples: kept, LogDens: keptLp, AcceptanceRate: rate, FinalScales: scales}, nil
+}
+
+// RunComponentwise draws from logp with a component-at-a-time random-walk
+// kernel: each iteration sweeps every coordinate with its own adapted
+// scale. This mixes far better than the blockwise kernel for the
+// high-dimensional latent log-R(t) increments of the Goldstein model.
+func RunComponentwise(logp LogDensity, x0 []float64, opts Options) (*Chain, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, errors.New("mcmc: empty initial point")
+	}
+	if err := opts.defaults(dim, true); err != nil {
+		return nil, err
+	}
+	r := opts.Rand
+
+	x := append([]float64(nil), x0...)
+	lp := logp(x)
+	if math.IsInf(lp, -1) || math.IsNaN(lp) {
+		return nil, errors.New("mcmc: initial point has zero posterior density")
+	}
+
+	logScale := make([]float64, dim) // per-coordinate adapted log multipliers
+	total := opts.BurnIn + opts.Iterations*opts.Thin
+	kept := make([][]float64, 0, opts.Iterations)
+	keptLp := make([]float64, 0, opts.Iterations)
+	accPost, nPost := 0, 0
+
+	for it := 0; it < total; it++ {
+		for i := 0; i < dim; i++ {
+			old := x[i]
+			x[i] = old + math.Exp(logScale[i])*opts.Scales[i]*r.Normal()
+			lpProp := logp(x)
+			accepted := false
+			if !math.IsNaN(lpProp) && math.Log(r.Float64Open()) < lpProp-lp {
+				lp = lpProp
+				accepted = true
+			} else {
+				x[i] = old
+			}
+			if it < opts.BurnIn {
+				if !opts.DisableAdapt {
+					gain := math.Min(0.5, 10.0/float64(it+10))
+					if accepted {
+						logScale[i] += gain * (1 - opts.TargetAcceptance)
+					} else {
+						logScale[i] -= gain * opts.TargetAcceptance
+					}
+				}
+			} else {
+				nPost++
+				if accepted {
+					accPost++
+				}
+			}
+		}
+		if it >= opts.BurnIn && (it-opts.BurnIn)%opts.Thin == 0 {
+			kept = append(kept, append([]float64(nil), x...))
+			keptLp = append(keptLp, lp)
+		}
+	}
+
+	scales := make([]float64, dim)
+	for i := range scales {
+		scales[i] = math.Exp(logScale[i]) * opts.Scales[i]
+	}
+	rate := 0.0
+	if nPost > 0 {
+		rate = float64(accPost) / float64(nPost)
+	}
+	return &Chain{Samples: kept, LogDens: keptLp, AcceptanceRate: rate, FinalScales: scales}, nil
+}
+
+// Coordinate extracts the trace of coordinate i.
+func (c *Chain) Coordinate(i int) []float64 {
+	out := make([]float64, len(c.Samples))
+	for j, s := range c.Samples {
+		out[j] = s[i]
+	}
+	return out
+}
+
+// Mean returns the posterior mean vector.
+func (c *Chain) Mean() []float64 {
+	if len(c.Samples) == 0 {
+		return nil
+	}
+	dim := len(c.Samples[0])
+	out := make([]float64, dim)
+	for _, s := range c.Samples {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(c.Samples))
+	}
+	return out
+}
+
+// Quantile returns the per-coordinate posterior q-quantile.
+func (c *Chain) Quantile(q float64) []float64 {
+	if len(c.Samples) == 0 {
+		return nil
+	}
+	dim := len(c.Samples[0])
+	out := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		out[i] = stats.Quantile(c.Coordinate(i), q)
+	}
+	return out
+}
+
+// ESS returns the effective sample size of coordinate i.
+func (c *Chain) ESS(i int) float64 {
+	return stats.EffectiveSampleSize(c.Coordinate(i))
+}

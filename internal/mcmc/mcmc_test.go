@@ -1,0 +1,197 @@
+package mcmc
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+func stdNormalLogp(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return -0.5 * s
+}
+
+func TestRequiresRand(t *testing.T) {
+	if _, err := Run(stdNormalLogp, []float64{0}, Options{}); err == nil {
+		t.Fatal("missing Rand accepted")
+	}
+}
+
+func TestRejectsEmptyStart(t *testing.T) {
+	if _, err := Run(stdNormalLogp, nil, Options{Rand: rng.New(1)}); err == nil {
+		t.Fatal("empty start accepted")
+	}
+}
+
+func TestRejectsInfeasibleStart(t *testing.T) {
+	logp := func(x []float64) float64 { return math.Inf(-1) }
+	if _, err := Run(logp, []float64{0}, Options{Rand: rng.New(1)}); err == nil {
+		t.Fatal("infeasible start accepted")
+	}
+}
+
+func TestRecoversStandardNormal(t *testing.T) {
+	ch, err := Run(stdNormalLogp, []float64{3}, Options{
+		Iterations: 8000, BurnIn: 3000, Rand: rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ch.Coordinate(0)
+	if m := stats.Mean(tr); math.Abs(m) > 0.1 {
+		t.Fatalf("posterior mean %v, want ~0", m)
+	}
+	if v := stats.Variance(tr); math.Abs(v-1) > 0.15 {
+		t.Fatalf("posterior variance %v, want ~1", v)
+	}
+}
+
+func TestAdaptationHitsTargetAcceptance(t *testing.T) {
+	ch, err := Run(stdNormalLogp, []float64{0, 0, 0}, Options{
+		Iterations: 6000, BurnIn: 6000, Rand: rng.New(2),
+		Scales: []float64{5, 5, 5}, // deliberately terrible initial scale
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ch.AcceptanceRate-0.234) > 0.12 {
+		t.Fatalf("acceptance rate %v far from target 0.234", ch.AcceptanceRate)
+	}
+}
+
+func TestComponentwiseRecoversCorrelatedGaussian(t *testing.T) {
+	// Bivariate normal with correlation 0.8.
+	rho := 0.8
+	logp := func(x []float64) float64 {
+		return -(x[0]*x[0] - 2*rho*x[0]*x[1] + x[1]*x[1]) / (2 * (1 - rho*rho))
+	}
+	ch, err := RunComponentwise(logp, []float64{2, -2}, Options{
+		Iterations: 6000, BurnIn: 3000, Rand: rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, x1 := ch.Coordinate(0), ch.Coordinate(1)
+	if c := stats.Correlation(x0, x1); math.Abs(c-rho) > 0.1 {
+		t.Fatalf("posterior correlation %v, want %v", c, rho)
+	}
+	if m := stats.Mean(x0); math.Abs(m) > 0.15 {
+		t.Fatalf("posterior mean %v, want 0", m)
+	}
+}
+
+func TestHardConstraintRespected(t *testing.T) {
+	// Truncated normal: x >= 0.
+	logp := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.Inf(-1)
+		}
+		return -0.5 * x[0] * x[0]
+	}
+	ch, err := Run(logp, []float64{1}, Options{Iterations: 4000, Rand: rng.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ch.Samples {
+		if s[0] < 0 {
+			t.Fatal("sample violated hard constraint")
+		}
+	}
+	// Mean of half-normal is sqrt(2/pi) ~ 0.798.
+	if m := stats.Mean(ch.Coordinate(0)); math.Abs(m-0.798) > 0.1 {
+		t.Fatalf("half-normal mean %v, want ~0.798", m)
+	}
+}
+
+func TestThinning(t *testing.T) {
+	ch, err := Run(stdNormalLogp, []float64{0}, Options{
+		Iterations: 100, BurnIn: 100, Thin: 5, Rand: rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Samples) != 100 {
+		t.Fatalf("thinned chain kept %d draws, want 100", len(ch.Samples))
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() *Chain {
+		ch, err := Run(stdNormalLogp, []float64{0, 0}, Options{Iterations: 200, Rand: rng.New(6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	a, b := run(), run()
+	for i := range a.Samples {
+		for j := range a.Samples[i] {
+			if a.Samples[i][j] != b.Samples[i][j] {
+				t.Fatal("same-seed chains diverged")
+			}
+		}
+	}
+}
+
+func TestQuantileAndMean(t *testing.T) {
+	ch, err := Run(stdNormalLogp, []float64{0}, Options{Iterations: 8000, BurnIn: 2000, Rand: rng.New(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := ch.Quantile(0.025)[0]
+	hi := ch.Quantile(0.975)[0]
+	if math.Abs(lo+1.96) > 0.25 || math.Abs(hi-1.96) > 0.25 {
+		t.Fatalf("95%% interval (%v, %v), want ~(-1.96, 1.96)", lo, hi)
+	}
+}
+
+func TestESSPositive(t *testing.T) {
+	ch, err := Run(stdNormalLogp, []float64{0}, Options{Iterations: 2000, Rand: rng.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess := ch.ESS(0); ess <= 1 || ess > 2000 {
+		t.Fatalf("ESS = %v out of sensible range", ess)
+	}
+}
+
+func TestMultiChainGelmanRubinConverges(t *testing.T) {
+	chains := make([][]float64, 3)
+	for c := range chains {
+		ch, err := Run(stdNormalLogp, []float64{float64(c) * 2}, Options{
+			Iterations: 4000, BurnIn: 3000, Rand: rng.New(uint64(100 + c)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains[c] = ch.Coordinate(0)
+	}
+	if rh := stats.GelmanRubin(chains); rh > 1.1 {
+		t.Fatalf("R-hat %v > 1.1 for a simple target", rh)
+	}
+}
+
+func BenchmarkRunBlockwise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(stdNormalLogp, make([]float64, 10), Options{
+			Iterations: 1000, BurnIn: 500, Rand: rng.New(1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunComponentwise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunComponentwise(stdNormalLogp, make([]float64, 10), Options{
+			Iterations: 200, BurnIn: 100, Rand: rng.New(1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

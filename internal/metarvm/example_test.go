@@ -1,0 +1,46 @@
+package metarvm_test
+
+import (
+	"fmt"
+
+	"osprey/internal/metarvm"
+)
+
+func ExampleTransitions() {
+	edges := metarvm.Transitions()
+	fmt.Println(len(edges), "transitions between", len(metarvm.CompartmentNames), "compartments")
+	fmt.Println(edges[2].From, "->", edges[2].To, "governed by", edges[2].Label)
+	// Output:
+	// 13 transitions between 9 compartments
+	// S -> E governed by ts (transmission)
+}
+
+func ExampleRun() {
+	cfg := metarvm.DefaultConfig()
+	res, err := metarvm.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Population is conserved on every day; the QoI is a count.
+	last := res.Days[len(res.Days)-1]
+	total := 0
+	for c := metarvm.S; c <= metarvm.D; c++ {
+		total += last.Total(c)
+	}
+	fmt.Println(total == 260000, res.CumHospitalizations >= 0)
+	// Output: true true
+}
+
+func ExampleGSAParameterSpace() {
+	space := metarvm.GSAParameterSpace()
+	for _, p := range space.Params {
+		fmt.Printf("%s (%g, %g)\n", p.Name, p.Lo, p.Hi)
+	}
+	// Output:
+	// ts (0.1, 0.9)
+	// tv (0.01, 0.5)
+	// pea (0.4, 0.9)
+	// psh (0.1, 0.4)
+	// phd (0, 0.3)
+}

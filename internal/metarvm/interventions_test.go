@@ -1,0 +1,164 @@
+package metarvm
+
+import (
+	"testing"
+)
+
+func TestInterventionValidation(t *testing.T) {
+	cases := []Intervention{
+		{Name: "empty-window", FromDay: 10, ToDay: 10, TransmissionScale: 0.5},
+		{Name: "negative-from", FromDay: -1, ToDay: 10, TransmissionScale: 0.5},
+		{Name: "neg-scale", FromDay: 0, ToDay: 10, TransmissionScale: -1},
+		{Name: "bad-vacc", FromDay: 0, ToDay: 10, VaccRateAdd: 2},
+	}
+	for _, iv := range cases {
+		if err := iv.Validate(); err == nil {
+			t.Fatalf("intervention %q validated", iv.Name)
+		}
+	}
+	good := Intervention{Name: "ok", FromDay: 0, ToDay: 30, TransmissionScale: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoInterventionsMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithInterventions(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CumInfections != b.CumInfections || a.CumHospitalizations != b.CumHospitalizations {
+		t.Fatal("empty intervention set changed the trajectory")
+	}
+}
+
+func TestLockdownReducesInfections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.TS = 0.7 // strong epidemic so the effect is unambiguous
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNPI, err := RunWithInterventions(cfg, []Intervention{{
+		Name: "lockdown", FromDay: 20, ToDay: 60, TransmissionScale: 0.3,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNPI.CumInfections >= base.CumInfections {
+		t.Fatalf("lockdown did not reduce infections: %d vs %d",
+			withNPI.CumInfections, base.CumInfections)
+	}
+}
+
+func TestVaccinationCampaignFillsV(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.VaccRate = 0
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := RunWithInterventions(cfg, []Intervention{{
+		Name: "campaign", FromDay: 0, ToDay: 45, VaccRateAdd: 0.02,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseV := base.Days[45].Total(V)
+	campV := campaign.Days[45].Total(V)
+	if campV <= baseV {
+		t.Fatalf("campaign did not fill V: %d vs %d", campV, baseV)
+	}
+}
+
+func TestGroupTargetedIntervention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.TS = 0.7
+	// Suppress transmission only for children; their share of infections
+	// should drop relative to the untouched run.
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targeted, err := RunWithInterventions(cfg, []Intervention{{
+		Name: "school-closure", FromDay: 0, ToDay: 90,
+		TransmissionScale: 0.2, Groups: []string{"0-17"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKids, _ := base.GroupSeries(R, "0-17")
+	targKids, _ := targeted.GroupSeries(R, "0-17")
+	last := len(baseKids) - 1
+	if targKids[last] >= baseKids[last] {
+		t.Fatalf("targeted closure did not protect the group: %v vs %v",
+			targKids[last], baseKids[last])
+	}
+}
+
+func TestInterventionUnknownGroupRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	_, err := RunWithInterventions(cfg, []Intervention{{
+		Name: "x", FromDay: 0, ToDay: 10, TransmissionScale: 0.5, Groups: []string{"martians"},
+	}})
+	if err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestDailyIncidenceMatchesCumulative(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := res.DailyIncidence()
+	sum := 0.0
+	for _, v := range inc {
+		sum += v
+	}
+	if int(sum) != res.CumInfections {
+		t.Fatalf("incidence sums to %v, cumulative is %d", sum, res.CumInfections)
+	}
+}
+
+func TestGroupSeriesAndAttackRate(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.GroupSeries(S, "no-such-group"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	s, err := res.GroupSeries(S, "18-44")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != cfg.Days+1 {
+		t.Fatalf("series length %d", len(s))
+	}
+	ar := res.AttackRate()
+	if ar < 0 || ar > 1 {
+		t.Fatalf("attack rate %v out of range", ar)
+	}
+}
+
+func TestSortedInterventions(t *testing.T) {
+	ivs := []Intervention{
+		{Name: "b", FromDay: 30, ToDay: 40, TransmissionScale: 1},
+		{Name: "a", FromDay: 10, ToDay: 20, TransmissionScale: 1},
+	}
+	sorted := SortedInterventions(ivs)
+	if sorted[0].Name != "a" || sorted[1].Name != "b" {
+		t.Fatal("not sorted by start day")
+	}
+	if ivs[0].Name != "b" {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,438 @@
+// Package metarvm implements the MetaRVM stochastic metapopulation model
+// (Fadikar et al. 2025) as described in §3.1.1 and Figure 3 of the paper:
+// an SEIR extension with Vaccinated, Asymptomatic/Presymptomatic/Symptomatic
+// infectious stages, Hospitalized, and Dead compartments, heterogeneous
+// mixing across demographic subgroups, vaccination, waning, and optional
+// reinfection.
+//
+// The dynamics are discrete-time (daily) with exact binomial/multinomial
+// transition draws, so every run conserves population and is reproducible
+// from a seed — the property the paper's replicate-wise GSA depends on.
+package metarvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"osprey/internal/design"
+	"osprey/internal/rng"
+)
+
+// Compartment indexes the nine MetaRVM compartments of Figure 3.
+type Compartment int
+
+const (
+	S  Compartment = iota // Susceptible
+	V                     // Vaccinated
+	E                     // Exposed
+	Ia                    // Infectious, asymptomatic
+	Ip                    // Infectious, presymptomatic
+	Is                    // Infectious, symptomatic
+	H                     // Hospitalized
+	R                     // Recovered
+	D                     // Dead
+	numCompartments
+)
+
+// CompartmentNames lists the compartments in Figure 3 order.
+var CompartmentNames = []string{"S", "V", "E", "Ia", "Ip", "Is", "H", "R", "D"}
+
+func (c Compartment) String() string {
+	if c < 0 || int(c) >= len(CompartmentNames) {
+		return fmt.Sprintf("Compartment(%d)", int(c))
+	}
+	return CompartmentNames[c]
+}
+
+// Transition is one directed edge of the compartment graph.
+type Transition struct {
+	From, To Compartment
+	// Label names the parameter(s) governing the edge, matching the
+	// annotations of Figure 3.
+	Label string
+}
+
+// Transitions returns the full MetaRVM compartment graph of Figure 3.
+func Transitions() []Transition {
+	return []Transition{
+		{S, V, "vaccination"},
+		{V, S, "1/dv (waning)"},
+		{S, E, "ts (transmission)"},
+		{V, E, "tv (transmission, vaccinated)"},
+		{E, Ia, "pea, 1/de"},
+		{E, Ip, "1-pea, 1/de"},
+		{Ia, R, "1/da"},
+		{Ip, Is, "1/dp"},
+		{Is, R, "psr=1-psh, 1/ds"},
+		{Is, H, "psh, 1/ds"},
+		{H, R, "1-phd, 1/dh"},
+		{H, D, "phd, 1/dh"},
+		{R, S, "1/dr (reinfection)"},
+	}
+}
+
+// Params holds the MetaRVM rate and proportion parameters. Durations are in
+// days; proportions in [0,1]. Fields mirror Figure 3's annotations.
+type Params struct {
+	TS  float64 // transmission rate for susceptible contacts
+	TV  float64 // transmission rate for vaccinated contacts
+	VE  float64 // additional vaccine efficacy multiplier on TV (0 = none)
+	DV  float64 // mean days of vaccine-conferred immunity (waning 1/dv)
+	DE  float64 // mean latent period (days in E)
+	DA  float64 // mean days asymptomatic (Ia)
+	DP  float64 // mean days presymptomatic (Ip)
+	DS  float64 // mean days symptomatic (Is)
+	DH  float64 // mean days hospitalized (H)
+	DR  float64 // mean days of natural immunity; 0 disables reinfection
+	PEA float64 // proportion of exposed who become asymptomatic
+	PSH float64 // proportion of symptomatic who are hospitalized (psr = 1-psh)
+	PHD float64 // proportion of hospitalized who die
+	// VaccRate is the daily per-capita vaccination rate of susceptibles.
+	VaccRate float64
+}
+
+// NominalParams returns the fixed nominal values used for parameters outside
+// the GSA ranges of Table 1.
+func NominalParams() Params {
+	return Params{
+		TS: 0.5, TV: 0.2, VE: 0,
+		DV: 180, DE: 3, DA: 5, DP: 2, DS: 5, DH: 7, DR: 0,
+		PEA: 0.6, PSH: 0.2, PHD: 0.1,
+		VaccRate: 0.002,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	type bound struct {
+		name     string
+		v        float64
+		lo, hi   float64
+		duration bool
+	}
+	checks := []bound{
+		{"ts", p.TS, 0, 10, false},
+		{"tv", p.TV, 0, 10, false},
+		{"ve", p.VE, 0, 1, false},
+		{"pea", p.PEA, 0, 1, false},
+		{"psh", p.PSH, 0, 1, false},
+		{"phd", p.PHD, 0, 1, false},
+		{"vaccRate", p.VaccRate, 0, 1, false},
+		{"de", p.DE, 0, 0, true},
+		{"da", p.DA, 0, 0, true},
+		{"dp", p.DP, 0, 0, true},
+		{"ds", p.DS, 0, 0, true},
+		{"dh", p.DH, 0, 0, true},
+	}
+	for _, c := range checks {
+		if c.duration {
+			if c.v <= 0 || math.IsNaN(c.v) {
+				return fmt.Errorf("metarvm: duration %s must be positive, got %v", c.name, c.v)
+			}
+			continue
+		}
+		if c.v < c.lo || c.v > c.hi || math.IsNaN(c.v) {
+			return fmt.Errorf("metarvm: %s = %v outside [%v,%v]", c.name, c.v, c.lo, c.hi)
+		}
+	}
+	if p.DV < 0 || p.DR < 0 {
+		return errors.New("metarvm: dv and dr must be nonnegative (0 disables)")
+	}
+	return nil
+}
+
+// Group is one demographic subpopulation.
+type Group struct {
+	Name            string
+	N               int // total population
+	InitialInfected int // seeded into Ip at day 0
+	InitialVacc     int // seeded into V at day 0
+}
+
+// Config specifies a simulation run.
+type Config struct {
+	Groups []Group
+	// Contact[g][h] is the mean daily contact rate of a member of group g
+	// with members of group h. If nil, homogeneous mixing with rate 1 is
+	// used.
+	Contact [][]float64
+	Days    int
+	Params  Params
+	// Seed drives the model's own random stream; the paper's GSA runs use
+	// "a unique random stream seed value" per replicate.
+	Seed uint64
+}
+
+// DefaultConfig returns the four-group configuration used by the GSA
+// experiments: children, young adults, older adults, seniors with
+// assortative mixing, 90 simulated days (the paper's horizon).
+func DefaultConfig() Config {
+	return Config{
+		Groups: []Group{
+			{Name: "0-17", N: 60000, InitialInfected: 12},
+			{Name: "18-44", N: 90000, InitialInfected: 20},
+			{Name: "45-64", N: 70000, InitialInfected: 12},
+			{Name: "65+", N: 40000, InitialInfected: 6},
+		},
+		// Contact rates are calibrated so the Table 1 transmission range
+		// spans sub- to super-critical dynamics over the 90-day horizon
+		// (R0 roughly 0.7 at ts=0.1 up to ~6 at ts=0.9), which is what
+		// makes the transmission parameters informative in the GSA.
+		Contact: [][]float64{
+			{0.60, 0.23, 0.13, 0.07},
+			{0.23, 0.50, 0.23, 0.10},
+			{0.13, 0.23, 0.40, 0.17},
+			{0.07, 0.10, 0.17, 0.33},
+		},
+		Days:   90,
+		Params: NominalParams(),
+		Seed:   1,
+	}
+}
+
+// DayRecord is one day's state (per-group compartment counts plus flows).
+type DayRecord struct {
+	Day int
+	// Counts[c][g] is the occupancy of compartment c in group g.
+	Counts [numCompartments][]int
+	// Daily flow totals across groups.
+	NewInfections, NewHospitalizations, NewDeaths int
+}
+
+// Total returns the day's total occupancy of compartment c across groups.
+func (d *DayRecord) Total(c Compartment) int {
+	t := 0
+	for _, v := range d.Counts[c] {
+		t += v
+	}
+	return t
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Config Config
+	Days   []DayRecord
+	// CumHospitalizations is the QoI of the paper's GSA: total number of
+	// hospitalizations over the simulation period.
+	CumHospitalizations int
+	CumDeaths           int
+	CumInfections       int
+	PeakHospitalized    int
+	PeakHospitalizedDay int
+}
+
+// Run simulates the model. It is deterministic given Config.Seed.
+func Run(cfg Config) (*Result, error) { return run(cfg, nil) }
+
+// run is the engine behind Run and RunWithInterventions; sched may be nil.
+func run(cfg Config, sched *schedule) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("metarvm: no groups configured")
+	}
+	if cfg.Days <= 0 {
+		return nil, errors.New("metarvm: Days must be positive")
+	}
+	g := len(cfg.Groups)
+	contact := cfg.Contact
+	if contact == nil {
+		contact = make([][]float64, g)
+		for i := range contact {
+			contact[i] = make([]float64, g)
+			for j := range contact[i] {
+				contact[i][j] = 1
+			}
+		}
+	}
+	if len(contact) != g {
+		return nil, errors.New("metarvm: contact matrix rows != groups")
+	}
+	for _, row := range contact {
+		if len(row) != g {
+			return nil, errors.New("metarvm: contact matrix is not square")
+		}
+		for _, v := range row {
+			if v < 0 {
+				return nil, errors.New("metarvm: negative contact rate")
+			}
+		}
+	}
+
+	p := cfg.Params
+	r := rng.New(cfg.Seed)
+
+	// state[c][grp]
+	var state [numCompartments][]int
+	for c := range state {
+		state[c] = make([]int, g)
+	}
+	for i, grp := range cfg.Groups {
+		if grp.N <= 0 {
+			return nil, fmt.Errorf("metarvm: group %q has nonpositive population", grp.Name)
+		}
+		if grp.InitialInfected+grp.InitialVacc > grp.N {
+			return nil, fmt.Errorf("metarvm: group %q seeds exceed population", grp.Name)
+		}
+		state[Ip][i] = grp.InitialInfected
+		state[V][i] = grp.InitialVacc
+		state[S][i] = grp.N - grp.InitialInfected - grp.InitialVacc
+	}
+
+	exitProb := func(meanDays float64) float64 {
+		if meanDays <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-1/meanDays)
+	}
+	pExitE := exitProb(p.DE)
+	pExitIa := exitProb(p.DA)
+	pExitIp := exitProb(p.DP)
+	pExitIs := exitProb(p.DS)
+	pExitH := exitProb(p.DH)
+	pWane := exitProb(p.DV)
+	pReinf := exitProb(p.DR)
+
+	res := &Result{Config: cfg}
+	record := func(day, newInf, newHosp, newDeaths int) {
+		var rec DayRecord
+		rec.Day = day
+		for c := range state {
+			rec.Counts[c] = append([]int(nil), state[c]...)
+		}
+		rec.NewInfections = newInf
+		rec.NewHospitalizations = newHosp
+		rec.NewDeaths = newDeaths
+		res.Days = append(res.Days, rec)
+		if h := rec.Total(H); h > res.PeakHospitalized {
+			res.PeakHospitalized = h
+			res.PeakHospitalizedDay = day
+		}
+	}
+	record(0, 0, 0, 0)
+
+	tvEff := p.TV * (1 - p.VE)
+	for day := 1; day <= cfg.Days; day++ {
+		// Force of infection per group from current infectious prevalence.
+		foi := make([]float64, g)
+		for gi := 0; gi < g; gi++ {
+			s := 0.0
+			for gj := 0; gj < g; gj++ {
+				prev := float64(state[Ia][gj]+state[Ip][gj]+state[Is][gj]) / float64(cfg.Groups[gj].N)
+				s += contact[gi][gj] * prev
+			}
+			foi[gi] = s
+		}
+
+		newInf, newHosp, newDeaths := 0, 0, 0
+		for gi := 0; gi < g; gi++ {
+			transScale, vaccAdd := 1.0, 0.0
+			if sched != nil {
+				transScale = sched.transScale[day][gi]
+				vaccAdd = sched.vaccAdd[day][gi]
+			}
+			// S: competing infection and vaccination hazards, then waning
+			// arrivals are handled on the V side.
+			hazInf := p.TS * transScale * foi[gi]
+			hazVacc := p.VaccRate + vaccAdd
+			pLeaveS := 1 - math.Exp(-(hazInf + hazVacc))
+			leaveS := r.Binomial(state[S][gi], pLeaveS)
+			var sInf int
+			if hazInf+hazVacc > 0 {
+				sInf = r.Binomial(leaveS, hazInf/(hazInf+hazVacc))
+			}
+			sVacc := leaveS - sInf
+
+			// V: competing infection (reduced) and waning.
+			hazInfV := tvEff * transScale * foi[gi]
+			hazWane := -math.Log(1 - pWane) // back to a rate
+			pLeaveV := 1 - math.Exp(-(hazInfV + hazWane))
+			leaveV := r.Binomial(state[V][gi], pLeaveV)
+			var vInf int
+			if hazInfV+hazWane > 0 {
+				vInf = r.Binomial(leaveV, hazInfV/(hazInfV+hazWane))
+			}
+			vWane := leaveV - vInf
+
+			// E exits split pea / 1-pea.
+			leaveE := r.Binomial(state[E][gi], pExitE)
+			eToIa := r.Binomial(leaveE, p.PEA)
+			eToIp := leaveE - eToIa
+
+			leaveIa := r.Binomial(state[Ia][gi], pExitIa)
+			leaveIp := r.Binomial(state[Ip][gi], pExitIp)
+
+			leaveIs := r.Binomial(state[Is][gi], pExitIs)
+			isToH := r.Binomial(leaveIs, p.PSH)
+			isToR := leaveIs - isToH
+
+			leaveH := r.Binomial(state[H][gi], pExitH)
+			hToD := r.Binomial(leaveH, p.PHD)
+			hToR := leaveH - hToD
+
+			leaveR := r.Binomial(state[R][gi], pReinf)
+
+			// Apply flows.
+			state[S][gi] += -sInf - sVacc + vWane + leaveR
+			state[V][gi] += sVacc - vInf - vWane
+			state[E][gi] += sInf + vInf - leaveE
+			state[Ia][gi] += eToIa - leaveIa
+			state[Ip][gi] += eToIp - leaveIp
+			state[Is][gi] += leaveIp - leaveIs
+			state[H][gi] += isToH - leaveH
+			state[R][gi] += leaveIa + isToR + hToR - leaveR
+			state[D][gi] += hToD
+
+			newInf += sInf + vInf
+			newHosp += isToH
+			newDeaths += hToD
+		}
+		res.CumInfections += newInf
+		res.CumHospitalizations += newHosp
+		res.CumDeaths += newDeaths
+		record(day, newInf, newHosp, newDeaths)
+	}
+	return res, nil
+}
+
+// GSAParameterSpace returns Table 1 of the paper: the five MetaRVM
+// parameters treated as uncertain in the GSA, with their ranges.
+func GSAParameterSpace() *design.Space {
+	return design.NewSpace(
+		design.Parameter{Name: "ts", Description: "Transmission rate for susceptible", Lo: 0.1, Hi: 0.9},
+		design.Parameter{Name: "tv", Description: "Transmission rate for vaccinated", Lo: 0.01, Hi: 0.5},
+		design.Parameter{Name: "pea", Description: "Proportion of asymptomatic cases", Lo: 0.4, Hi: 0.9},
+		design.Parameter{Name: "psh", Description: "Proportion of hospitalized", Lo: 0.1, Hi: 0.4},
+		design.Parameter{Name: "phd", Description: "Proportion of dead", Lo: 0, Hi: 0.3},
+	)
+}
+
+// ApplyGSAPoint overlays a Table 1 parameter vector (ordered as in
+// GSAParameterSpace) onto base parameters.
+func ApplyGSAPoint(base Params, x []float64) (Params, error) {
+	if len(x) != 5 {
+		return base, errors.New("metarvm: GSA point must have 5 coordinates")
+	}
+	base.TS, base.TV, base.PEA, base.PSH, base.PHD = x[0], x[1], x[2], x[3], x[4]
+	return base, nil
+}
+
+// EvaluateGSA runs the model at a Table 1 point (native scale) with the
+// given replicate seed and returns the paper's quantity of interest: total
+// hospitalizations at the end of the 90-day simulation.
+func EvaluateGSA(x []float64, seed uint64) (float64, error) {
+	cfg := DefaultConfig()
+	p, err := ApplyGSAPoint(cfg.Params, x)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Params = p
+	cfg.Seed = seed
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.CumHospitalizations), nil
+}

@@ -1,0 +1,110 @@
+package music
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"osprey/internal/gp"
+	"osprey/internal/rng"
+)
+
+// checkpoint is the serialized state of an Algorithm. Options are NOT
+// stored (they may contain a live Space); the caller supplies matching
+// options at Load time, and the checkpoint verifies compatibility.
+type checkpoint struct {
+	FormatVersion int         `json:"format_version"`
+	Dim           int         `json:"dim"`
+	InitialDesign int         `json:"initial_design"`
+	Budget        int         `json:"budget"`
+	X             [][]float64 `json:"x"` // unit-cube coordinates
+	Y             []float64   `json:"y"`
+	IssuedInit    bool        `json:"issued_init"`
+	SinceRefit    int         `json:"since_refit"`
+	History       []Snapshot  `json:"history"`
+	LastIndices   []float64   `json:"last_indices,omitempty"`
+	RNGState      []byte      `json:"rng_state"`
+	// Surrogate hyperparameters (nil if no surrogate was fitted yet).
+	// Restoring them — rather than refitting — is what makes resume
+	// bit-identical even mid-way between refit intervals.
+	GP *gp.Hyperparams `json:"gp,omitempty"`
+}
+
+const checkpointFormat = 1
+
+// Save serializes the instance's full state — observations, convergence
+// history, and exact RNG position — so an interrupted campaign resumes
+// bit-identically. This is the rapid-response property the SDE needs:
+// a preempted HPC job continues instead of restarting.
+func (a *Algorithm) Save(w io.Writer) error {
+	rngState, err := a.r.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	cp := checkpoint{
+		FormatVersion: checkpointFormat,
+		Dim:           a.Dim(),
+		InitialDesign: a.opts.InitialDesign,
+		Budget:        a.opts.Budget,
+		X:             a.x,
+		Y:             a.y,
+		IssuedInit:    a.issuedInit,
+		SinceRefit:    a.sinceRefit,
+		History:       a.history,
+		LastIndices:   a.lastIndices,
+		RNGState:      rngState,
+	}
+	if a.surrogate != nil {
+		hp := a.surrogate.Hyperparams()
+		cp.GP = &hp
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// Load reconstructs an Algorithm from a checkpoint. opts must describe the
+// same problem (space dimension, initial design, budget); the surrogate is
+// rebuilt from the checkpointed hyperparameters without reoptimization, so
+// the resumed run continues bit-identically to an uninterrupted one.
+func Load(r io.Reader, opts Options) (*Algorithm, error) {
+	if err := (&opts).defaults(); err != nil {
+		return nil, err
+	}
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("music: decode checkpoint: %w", err)
+	}
+	if cp.FormatVersion != checkpointFormat {
+		return nil, fmt.Errorf("music: unsupported checkpoint format %d", cp.FormatVersion)
+	}
+	if cp.Dim != opts.Space.Dim() {
+		return nil, fmt.Errorf("music: checkpoint dimension %d != space dimension %d", cp.Dim, opts.Space.Dim())
+	}
+	if cp.InitialDesign != opts.InitialDesign || cp.Budget != opts.Budget {
+		return nil, errors.New("music: checkpoint was created with different design/budget options")
+	}
+	if len(cp.X) != len(cp.Y) {
+		return nil, errors.New("music: corrupt checkpoint (x/y length mismatch)")
+	}
+	a := &Algorithm{opts: opts, r: rng.New(0)}
+	if err := a.r.UnmarshalBinary(cp.RNGState); err != nil {
+		return nil, err
+	}
+	a.x = cp.X
+	a.y = cp.Y
+	a.issuedInit = cp.IssuedInit
+	a.sinceRefit = cp.SinceRefit
+	a.history = cp.History
+	a.lastIndices = cp.LastIndices
+	if cp.GP != nil {
+		raw := make([]float64, len(a.y))
+		copy(raw, a.y)
+		g, err := gp.Restore(a.x, raw, *cp.GP, opts.GP)
+		if err != nil {
+			return nil, fmt.Errorf("music: restore surrogate: %w", err)
+		}
+		a.surrogate = g
+	}
+	return a, nil
+}

@@ -1,0 +1,502 @@
+package music
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"osprey/internal/design"
+	"osprey/internal/gp"
+)
+
+func unitSpace(d int) *design.Space {
+	params := make([]design.Parameter, d)
+	for i := range params {
+		params[i] = design.Parameter{Name: string(rune('a' + i)), Lo: 0, Hi: 1}
+	}
+	return design.NewSpace(params...)
+}
+
+// fastOpts keeps the GP small for unit tests.
+func fastOpts(space *design.Space, seed uint64) Options {
+	return Options{
+		Space: space, InitialDesign: 20, Budget: 45, CandidatePool: 60,
+		RefitEvery: 10, IndexSamples: 512, Seed: seed,
+		GP: gp.Options{MaxIter: 60, Restarts: 1},
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing space accepted")
+	}
+	if _, err := New(Options{Space: unitSpace(2), InitialDesign: 50, Budget: 40}); err == nil {
+		t.Fatal("budget below initial design accepted")
+	}
+}
+
+func TestInitialDesignOnce(t *testing.T) {
+	a, err := New(fastOpts(unitSpace(3), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := a.InitialDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("initial design size %d", len(pts))
+	}
+	for _, p := range pts {
+		if !a.opts.Space.Contains(p) {
+			t.Fatal("initial point outside space")
+		}
+	}
+	if _, err := a.InitialDesign(); err == nil {
+		t.Fatal("second initial design allowed")
+	}
+}
+
+func TestNextPointRequiresSurrogate(t *testing.T) {
+	a, _ := New(fastOpts(unitSpace(2), 2))
+	if _, err := a.NextPoint(); err == nil {
+		t.Fatal("NextPoint before Observe allowed")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	a, _ := New(fastOpts(unitSpace(2), 3))
+	if err := a.Observe([][]float64{{0.5, 0.5}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := a.Observe([][]float64{{0.5}}, []float64{1}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	if err := a.Observe([][]float64{{0.5, 0.5}}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN response accepted")
+	}
+}
+
+func TestSequentialRecoversAdditiveIndices(t *testing.T) {
+	// f = 4*x0 + 1*x1 (+0*x2): S = (16, 1, 0)/17.
+	space := unitSpace(3)
+	a, err := New(fastOpts(space, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x []float64) (float64, error) { return 4*x[0] + x[1], nil }
+	if err := RunSequential(a, f); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() {
+		t.Fatal("sequential run did not exhaust budget")
+	}
+	idx, err := a.Indices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{16.0 / 17, 1.0 / 17, 0}
+	for i := range want {
+		if math.Abs(idx[i]-want[i]) > 0.08 {
+			t.Fatalf("S_%d = %v, want %v (all: %v)", i, idx[i], want[i], idx)
+		}
+	}
+}
+
+func TestHistoryGrowsWithObservations(t *testing.T) {
+	space := unitSpace(2)
+	a, _ := New(fastOpts(space, 5))
+	if err := RunSequential(a, func(x []float64) (float64, error) { return x[0] * x[1], nil }); err != nil {
+		t.Fatal(err)
+	}
+	h := a.History()
+	// One snapshot at the initial design + one per refinement step.
+	want := 1 + (45 - 20)
+	if len(h) != want {
+		t.Fatalf("history length %d, want %d", len(h), want)
+	}
+	if h[0].N != 20 || h[len(h)-1].N != 45 {
+		t.Fatalf("history sample counts wrong: first %d last %d", h[0].N, h[len(h)-1].N)
+	}
+	for _, snap := range h {
+		for _, s := range snap.Indices {
+			if s < 0 || s > 1 {
+				t.Fatalf("index %v outside [0,1]", s)
+			}
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	space := unitSpace(2)
+	run := func() []float64 {
+		a, _ := New(fastOpts(space, 9))
+		if err := RunSequential(a, func(x []float64) (float64, error) {
+			return math.Sin(3*x[0]) + x[1], nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		idx, _ := a.Indices()
+		return idx
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed MUSIC runs diverged")
+		}
+	}
+}
+
+func TestEIGFConcentratesSamplesWhereFunctionVaries(t *testing.T) {
+	// Response varies only for x0 > 0.7 (a sharp ridge); EIGF should place
+	// more refinement points in that region than uniform sampling would.
+	space := unitSpace(2)
+	opts := fastOpts(space, 11)
+	opts.Budget = 60
+	a, _ := New(opts)
+	f := func(x []float64) (float64, error) {
+		if x[0] > 0.7 {
+			return math.Sin(20 * x[0]), nil
+		}
+		return 0, nil
+	}
+	if err := RunSequential(a, f); err != nil {
+		t.Fatal(err)
+	}
+	inRidge := 0
+	refinements := a.x[opts.InitialDesign:]
+	for _, u := range refinements {
+		if u[0] > 0.7 {
+			inRidge++
+		}
+	}
+	frac := float64(inRidge) / float64(len(refinements))
+	if frac < 0.45 { // uniform would give 0.3
+		t.Fatalf("EIGF placed only %.0f%% of refinements in the active region", frac*100)
+	}
+}
+
+func TestAcquisitionAblationsRun(t *testing.T) {
+	for _, acq := range []AcqKind{EIGF, Variance, Random} {
+		space := unitSpace(2)
+		opts := fastOpts(space, 13)
+		opts.Acquisition = acq
+		opts.Budget = 30
+		a, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSequential(a, func(x []float64) (float64, error) { return x[0], nil }); err != nil {
+			t.Fatalf("%v driver failed: %v", acq, err)
+		}
+		idx, err := a.Indices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx[0] < 0.8 {
+			t.Fatalf("%v: dominant index %v too low", acq, idx[0])
+		}
+	}
+}
+
+func TestInterleavedInstancesMatchSequential(t *testing.T) {
+	// Two instances pumped cooperatively must produce exactly the results
+	// they produce when run back-to-back, because each owns its RNG.
+	space := unitSpace(2)
+	f := func(x []float64) (float64, error) { return x[0] + 2*x[1], nil }
+
+	seq := make([][]float64, 2)
+	for i := range seq {
+		a, _ := New(fastOpts(space, uint64(20+i)))
+		if err := RunSequential(a, f); err != nil {
+			t.Fatal(err)
+		}
+		seq[i], _ = a.Indices()
+	}
+
+	insts := make([]*Algorithm, 2)
+	for i := range insts {
+		a, _ := New(fastOpts(space, uint64(20+i)))
+		pts, _ := a.InitialDesign()
+		vals := make([]float64, len(pts))
+		for j, p := range pts {
+			vals[j], _ = f(p)
+		}
+		if err := a.Observe(pts, vals); err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = a
+	}
+	for {
+		active := false
+		for _, a := range insts {
+			if a.Done() {
+				continue
+			}
+			active = true
+			p, err := a.NextPoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := f(p)
+			if err := a.Observe([][]float64{p}, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	for i, a := range insts {
+		idx, _ := a.Indices()
+		for j := range idx {
+			if idx[j] != seq[i][j] {
+				t.Fatalf("interleaved instance %d diverged from sequential run", i)
+			}
+		}
+	}
+}
+
+func TestAcqKindString(t *testing.T) {
+	if EIGF.String() != "eigf" || Variance.String() != "variance" || Random.String() != "random" {
+		t.Fatal("AcqKind names wrong")
+	}
+}
+
+func BenchmarkMUSICStep(b *testing.B) {
+	space := unitSpace(5)
+	opts := fastOpts(space, 1)
+	opts.Budget = 1000000 // never done
+	a, _ := New(opts)
+	pts, _ := a.InitialDesign()
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0] + p[1]*p[2]
+	}
+	if err := a.Observe(pts, vals); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.NextPoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Observe([][]float64{p}, []float64{p[0]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNextBatchRespectsBudget(t *testing.T) {
+	space := unitSpace(2)
+	opts := fastOpts(space, 31)
+	opts.InitialDesign = 10
+	opts.Budget = 13
+	opts.BatchSize = 5
+	a, _ := New(opts)
+	pts, _ := a.InitialDesign()
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0]
+	}
+	if err := a.Observe(pts, vals); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := a.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 { // budget 13 - 10 observed = 3 remaining
+		t.Fatalf("batch size %d, want 3 (budget cap)", len(batch))
+	}
+	for _, p := range batch {
+		if !space.Contains(p) {
+			t.Fatal("batch point outside space")
+		}
+	}
+}
+
+func TestNextBatchPointsAreDistinct(t *testing.T) {
+	space := unitSpace(2)
+	opts := fastOpts(space, 32)
+	opts.BatchSize = 4
+	a, _ := New(opts)
+	pts, _ := a.InitialDesign()
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0] + p[1]
+	}
+	if err := a.Observe(pts, vals); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := a.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i := 0; i < len(batch); i++ {
+		for j := i + 1; j < len(batch); j++ {
+			same := true
+			for k := range batch[i] {
+				if batch[i][k] != batch[j][k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("duplicate point in EIGF batch")
+			}
+		}
+	}
+}
+
+func TestTrackTotalIndices(t *testing.T) {
+	space := unitSpace(2)
+	opts := fastOpts(space, 33)
+	opts.TrackTotal = true
+	opts.Budget = 30
+	a, _ := New(opts)
+	// Pure interaction: first-order ~0, total ~1 for both inputs.
+	f := func(x []float64) (float64, error) { return (x[0] - 0.5) * (x[1] - 0.5), nil }
+	if err := RunSequential(a, f); err != nil {
+		t.Fatal(err)
+	}
+	h := a.History()
+	last := h[len(h)-1]
+	if last.Total == nil {
+		t.Fatal("TrackTotal did not record totals")
+	}
+	for j := 0; j < 2; j++ {
+		if last.Indices[j] > 0.25 {
+			t.Fatalf("interaction leaked into S_%d = %v", j, last.Indices[j])
+		}
+		if last.Total[j] < 0.5 {
+			t.Fatalf("ST_%d = %v, want high for pure interaction", j, last.Total[j])
+		}
+	}
+}
+
+func TestCheckpointResumeIsBitIdentical(t *testing.T) {
+	space := unitSpace(2)
+	f := func(x []float64) (float64, error) { return math.Sin(4*x[0]) + x[1]*x[1], nil }
+	opts := fastOpts(space, 77)
+	opts.Budget = 35
+
+	// Reference: uninterrupted run.
+	ref, _ := New(opts)
+	if err := RunSequential(ref, f); err != nil {
+		t.Fatal(err)
+	}
+	refIdx, _ := ref.Indices()
+
+	// Interrupted run: stop halfway, checkpoint, resume, finish.
+	a, _ := New(opts)
+	pts, _ := a.InitialDesign()
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i], _ = f(p)
+	}
+	if err := a.Observe(pts, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ { // part of the refinement phase
+		p, err := a.NextPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := f(p)
+		if err := a.Observe([][]float64{p}, []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != a.N() {
+		t.Fatalf("restored N = %d, want %d", b.N(), a.N())
+	}
+	for !b.Done() {
+		p, err := b.NextPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := f(p)
+		if err := b.Observe([][]float64{p}, []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotIdx, _ := b.Indices()
+	for j := range refIdx {
+		if gotIdx[j] != refIdx[j] {
+			t.Fatalf("resumed run diverged from uninterrupted run: %v vs %v", gotIdx, refIdx)
+		}
+	}
+	// History is continuous across the checkpoint.
+	h := b.History()
+	if h[0].N != opts.InitialDesign || h[len(h)-1].N != opts.Budget {
+		t.Fatalf("history boundaries wrong after resume: %d..%d", h[0].N, h[len(h)-1].N)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	space := unitSpace(2)
+	opts := fastOpts(space, 78)
+	a, _ := New(opts)
+	pts, _ := a.InitialDesign()
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0]
+	}
+	a.Observe(pts, vals)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong dimension.
+	bad := fastOpts(unitSpace(3), 78)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), bad); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Wrong budget.
+	bad2 := fastOpts(space, 78)
+	bad2.Budget = 99
+	if _, err := Load(bytes.NewReader(buf.Bytes()), bad2); err == nil {
+		t.Fatal("budget mismatch accepted")
+	}
+	// Garbage.
+	if _, err := Load(bytes.NewReader([]byte("nope")), opts); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+func TestStabilizedDetection(t *testing.T) {
+	space := unitSpace(2)
+	opts := fastOpts(space, 41)
+	opts.Budget = 40
+	a, _ := New(opts)
+	// Before any history: not stabilized.
+	if a.Stabilized(0.05, 3) {
+		t.Fatal("empty algorithm reports stabilized")
+	}
+	if err := RunSequential(a, func(x []float64) (float64, error) { return 3 * x[0], nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A trivially additive function stabilizes fast.
+	if !a.Stabilized(0.05, 5) {
+		idx, _ := a.Indices()
+		t.Fatalf("simple function did not stabilize: %v", idx)
+	}
+	// Degenerate parameters never report stabilized.
+	if a.Stabilized(0, 5) || a.Stabilized(0.05, 1) {
+		t.Fatal("degenerate stabilization parameters accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package optim provides derivative-free optimization used to fit surrogate
+// model hyperparameters (Gaussian-process marginal likelihood maximization)
+// and to tune estimator settings where gradients are unavailable.
+package optim
+
+import (
+	"math"
+)
+
+// Result reports the outcome of an optimization run.
+type Result struct {
+	X          []float64 // best point found
+	F          float64   // objective value at X
+	Iterations int
+	Converged  bool
+}
+
+// NelderMeadOptions configures Minimize.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 400).
+	MaxIter int
+	// TolF stops when the simplex objective spread falls below it
+	// (default 1e-9).
+	TolF float64
+	// TolX stops when the simplex diameter falls below it (default 1e-9).
+	TolX float64
+	// Step is the initial simplex edge length per coordinate
+	// (default 0.5 in every coordinate).
+	Step []float64
+}
+
+// NelderMead minimizes f starting from x0 using the downhill simplex method
+// with adaptive parameters (Gao & Han) for robustness in moderate dimension.
+// f may return +Inf to reject infeasible points.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) Result {
+	n := len(x0)
+	if n == 0 {
+		return Result{X: nil, F: f(nil), Converged: true}
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 400
+	}
+	if opt.TolF <= 0 {
+		opt.TolF = 1e-9
+	}
+	if opt.TolX <= 0 {
+		opt.TolX = 1e-9
+	}
+	step := opt.Step
+	if len(step) == 0 {
+		step = make([]float64, n)
+		for i := range step {
+			step[i] = 0.5
+		}
+	}
+
+	// Adaptive coefficients.
+	alpha := 1.0
+	beta := 1.0 + 2.0/float64(n)
+	gamma := 0.75 - 1.0/(2.0*float64(n))
+	delta := 1.0 - 1.0/float64(n)
+
+	// Build initial simplex.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	pts[0] = append([]float64(nil), x0...)
+	vals[0] = f(pts[0])
+	for i := 0; i < n; i++ {
+		p := append([]float64(nil), x0...)
+		p[i] += step[i]
+		pts[i+1] = p
+		vals[i+1] = f(p)
+	}
+
+	order := func() {
+		// Insertion sort by value; simplex is small.
+		for i := 1; i <= n; i++ {
+			pv, pp := vals[i], pts[i]
+			j := i - 1
+			for j >= 0 && vals[j] > pv {
+				vals[j+1], pts[j+1] = vals[j], pts[j]
+				j--
+			}
+			vals[j+1], pts[j+1] = pv, pp
+		}
+	}
+	centroid := make([]float64, n)
+	computeCentroid := func() {
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ { // exclude worst
+			for j := range centroid {
+				centroid[j] += pts[i][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+	}
+	affine := func(t float64) ([]float64, float64) {
+		// centroid + t*(centroid - worst)
+		p := make([]float64, n)
+		for j := range p {
+			p[j] = centroid[j] + t*(centroid[j]-pts[n][j])
+		}
+		return p, f(p)
+	}
+
+	order()
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		// Convergence checks.
+		if math.Abs(vals[n]-vals[0]) < opt.TolF {
+			break
+		}
+		diam := 0.0
+		for i := 1; i <= n; i++ {
+			for j := 0; j < n; j++ {
+				d := math.Abs(pts[i][j] - pts[0][j])
+				if d > diam {
+					diam = d
+				}
+			}
+		}
+		if diam < opt.TolX {
+			break
+		}
+
+		computeCentroid()
+		xr, fr := affine(alpha)
+		switch {
+		case fr < vals[0]:
+			// Try expansion.
+			xe, fe := affine(alpha * beta)
+			if fe < fr {
+				pts[n], vals[n] = xe, fe
+			} else {
+				pts[n], vals[n] = xr, fr
+			}
+		case fr < vals[n-1]:
+			pts[n], vals[n] = xr, fr
+		default:
+			// Contraction.
+			var xc []float64
+			var fc float64
+			if fr < vals[n] {
+				xc, fc = affine(alpha * gamma) // outside
+			} else {
+				xc, fc = affine(-gamma) // inside
+			}
+			if fc < math.Min(fr, vals[n]) {
+				pts[n], vals[n] = xc, fc
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[0][j] + delta*(pts[i][j]-pts[0][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+		order()
+	}
+	return Result{
+		X:          append([]float64(nil), pts[0]...),
+		F:          vals[0],
+		Iterations: iter,
+		Converged:  iter < opt.MaxIter,
+	}
+}
+
+// MultiStart runs NelderMead from each start point and returns the best
+// result, a cheap way to dodge bad local optima in GP likelihood surfaces.
+func MultiStart(f func([]float64) float64, starts [][]float64, opt NelderMeadOptions) Result {
+	best := Result{F: math.Inf(1)}
+	for _, s := range starts {
+		r := NelderMead(f, s, opt)
+		if r.F < best.F {
+			best = r
+		}
+	}
+	return best
+}

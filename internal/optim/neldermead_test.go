@@ -1,0 +1,113 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	r := NelderMead(f, []float64{0, 0}, NelderMeadOptions{MaxIter: 1000})
+	if math.Abs(r.X[0]-3) > 1e-4 || math.Abs(r.X[1]+1) > 1e-4 {
+		t.Fatalf("minimum at %v, want (3,-1)", r.X)
+	}
+	if !r.Converged {
+		t.Fatal("did not converge on a quadratic")
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	r := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000, TolF: 1e-12, TolX: 1e-12})
+	if math.Abs(r.X[0]-1) > 1e-3 || math.Abs(r.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", r.X)
+	}
+}
+
+func TestHigherDimensionSphere(t *testing.T) {
+	f := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	x0 := []float64{2, -3, 1, 4, -2}
+	r := NelderMead(f, x0, NelderMeadOptions{MaxIter: 4000})
+	if r.F > 1e-6 {
+		t.Fatalf("5-D sphere minimum value %v too large", r.F)
+	}
+}
+
+func TestRespectsInfBarrier(t *testing.T) {
+	// Feasible region x >= 0.5; minimum of (x-0)^2 there is at 0.5.
+	f := func(x []float64) float64 {
+		if x[0] < 0.5 {
+			return math.Inf(1)
+		}
+		return x[0] * x[0]
+	}
+	r := NelderMead(f, []float64{2}, NelderMeadOptions{MaxIter: 1000})
+	if r.X[0] < 0.5-1e-9 {
+		t.Fatalf("left feasible region: %v", r.X)
+	}
+	if math.Abs(r.X[0]-0.5) > 1e-3 {
+		t.Fatalf("constrained minimum at %v, want 0.5", r.X[0])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	r := NelderMead(func(x []float64) float64 { return 7 }, nil, NelderMeadOptions{})
+	if r.F != 7 || !r.Converged {
+		t.Fatal("empty input should evaluate once and converge")
+	}
+}
+
+func TestCustomStep(t *testing.T) {
+	f := func(x []float64) float64 { return (x[0] - 100) * (x[0] - 100) }
+	r := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 2000, Step: []float64{50}})
+	if math.Abs(r.X[0]-100) > 1e-3 {
+		t.Fatalf("large-step search found %v, want 100", r.X[0])
+	}
+}
+
+func TestMultiStartEscapesLocalMinimum(t *testing.T) {
+	// Double well: local min near x=2 (value 1), global near x=-2 (value 0).
+	f := func(x []float64) float64 {
+		v := x[0]
+		return math.Min((v-2)*(v-2)+1, (v+2)*(v+2))
+	}
+	r := MultiStart(f, [][]float64{{3}, {-3}}, NelderMeadOptions{MaxIter: 500})
+	if math.Abs(r.X[0]+2) > 1e-3 {
+		t.Fatalf("MultiStart stuck at %v, want -2", r.X[0])
+	}
+}
+
+func TestIterationBudgetHonored(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		return x[0] * x[0]
+	}
+	NelderMead(f, []float64{1000}, NelderMeadOptions{MaxIter: 5})
+	if calls > 40 {
+		t.Fatalf("budget of 5 iterations made %d calls", calls)
+	}
+}
+
+func BenchmarkNelderMeadRosenbrock(b *testing.B) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		c := x[1] - x[0]*x[0]
+		return a*a + 100*c*c
+	}
+	for i := 0; i < b.N; i++ {
+		NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 2000})
+	}
+}

@@ -1,0 +1,206 @@
+// Package pce implements polynomial chaos expansion surrogates with
+// orthonormal (shifted) Legendre bases for uniform inputs on the unit cube.
+// PCE is the one-shot baseline the paper compares MUSIC against (§3.3,
+// Figure 4): a single experimental design is fit by regression and Sobol
+// sensitivity indices are read directly off the squared coefficients.
+package pce
+
+import (
+	"errors"
+	"math"
+
+	"osprey/internal/linalg"
+)
+
+// MultiIndex is one exponent tuple of a multivariate polynomial term.
+type MultiIndex []int
+
+// TotalDegreeIndices enumerates all multi-indices of dimension d with total
+// degree <= p, in graded lexicographic order (constant term first).
+func TotalDegreeIndices(d, p int) []MultiIndex {
+	if d <= 0 || p < 0 {
+		panic("pce: TotalDegreeIndices requires d > 0 and p >= 0")
+	}
+	var out []MultiIndex
+	for deg := 0; deg <= p; deg++ {
+		var rec func(prefix []int, remaining, dims int)
+		rec = func(prefix []int, remaining, dims int) {
+			if dims == 1 {
+				idx := make(MultiIndex, 0, d)
+				idx = append(idx, prefix...)
+				idx = append(idx, remaining)
+				out = append(out, idx)
+				return
+			}
+			for v := remaining; v >= 0; v-- {
+				rec(append(prefix, v), remaining-v, dims-1)
+			}
+		}
+		rec(nil, deg, d)
+	}
+	return out
+}
+
+// legendreOrthonormal evaluates the degree-n orthonormal Legendre polynomial
+// for the uniform measure on [0,1] at u. Orthonormality means
+// E[phi_m(U) phi_n(U)] = delta_mn for U ~ Uniform(0,1), so PCE coefficients
+// are directly variance contributions.
+func legendreOrthonormal(n int, u float64) float64 {
+	x := 2*u - 1 // shift to [-1,1]
+	var pPrev, p float64 = 1, x
+	switch n {
+	case 0:
+		return 1
+	case 1:
+		return math.Sqrt(3) * x
+	}
+	for k := 1; k < n; k++ {
+		pNext := (float64(2*k+1)*x*p - float64(k)*pPrev) / float64(k+1)
+		pPrev, p = p, pNext
+	}
+	return math.Sqrt(float64(2*n+1)) * p
+}
+
+// Model is a fitted polynomial chaos expansion.
+type Model struct {
+	Dim     int
+	Degree  int
+	Indices []MultiIndex
+	Coef    []float64
+	// Ridge is the Tikhonov regularization used during fitting.
+	Ridge float64
+}
+
+// ErrUnderdetermined is returned when there are fewer samples than basis
+// terms and no ridge regularization to compensate.
+var ErrUnderdetermined = errors.New("pce: fewer samples than basis terms (set Ridge > 0 or add samples)")
+
+// Options configures Fit.
+type Options struct {
+	Degree int     // total polynomial degree (default 3, matching the paper)
+	Ridge  float64 // optional Tikhonov regularization
+}
+
+// Fit builds a degree-p PCE from unit-cube inputs x and responses y by
+// (optionally ridge-) regularized least squares.
+func Fit(x [][]float64, y []float64, opts Options) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("pce: empty or mismatched training data")
+	}
+	d := len(x[0])
+	p := opts.Degree
+	if p <= 0 {
+		p = 3
+	}
+	idx := TotalDegreeIndices(d, p)
+	if n < len(idx) && opts.Ridge <= 0 {
+		return nil, ErrUnderdetermined
+	}
+	phi := linalg.NewDense(n, len(idx))
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, errors.New("pce: ragged input points")
+		}
+		row := phi.Row(i)
+		for j, mi := range idx {
+			row[j] = evalBasis(mi, xi)
+		}
+	}
+	coef, err := linalg.RidgeLeastSquares(phi, y, opts.Ridge)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Dim: d, Degree: p, Indices: idx, Coef: coef, Ridge: opts.Ridge}, nil
+}
+
+func evalBasis(mi MultiIndex, x []float64) float64 {
+	v := 1.0
+	for j, deg := range mi {
+		if deg > 0 {
+			v *= legendreOrthonormal(deg, x[j])
+		}
+	}
+	return v
+}
+
+// Predict evaluates the expansion at a unit-cube point.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.Dim {
+		panic("pce: Predict dimension mismatch")
+	}
+	s := 0.0
+	for j, mi := range m.Indices {
+		s += m.Coef[j] * evalBasis(mi, x)
+	}
+	return s
+}
+
+// Mean returns the expansion's mean (the constant coefficient, by
+// orthonormality).
+func (m *Model) Mean() float64 { return m.Coef[0] }
+
+// Variance returns the total variance of the expansion.
+func (m *Model) Variance() float64 {
+	v := 0.0
+	for j := 1; j < len(m.Coef); j++ {
+		v += m.Coef[j] * m.Coef[j]
+	}
+	return v
+}
+
+// FirstOrderIndices returns the first-order Sobol indices S_i: the variance
+// carried by terms involving only input i, divided by total variance.
+func (m *Model) FirstOrderIndices() []float64 {
+	v := m.Variance()
+	out := make([]float64, m.Dim)
+	if v <= 0 {
+		return out
+	}
+	for j := 1; j < len(m.Coef); j++ {
+		mi := m.Indices[j]
+		active := -1
+		pure := true
+		for dim, deg := range mi {
+			if deg > 0 {
+				if active >= 0 {
+					pure = false
+					break
+				}
+				active = dim
+			}
+		}
+		if pure && active >= 0 {
+			out[active] += m.Coef[j] * m.Coef[j]
+		}
+	}
+	for i := range out {
+		out[i] /= v
+	}
+	return out
+}
+
+// TotalIndices returns the total-order Sobol indices ST_i: the variance of
+// every term involving input i at all, divided by total variance.
+func (m *Model) TotalIndices() []float64 {
+	v := m.Variance()
+	out := make([]float64, m.Dim)
+	if v <= 0 {
+		return out
+	}
+	for j := 1; j < len(m.Coef); j++ {
+		c2 := m.Coef[j] * m.Coef[j]
+		for dim, deg := range m.Indices[j] {
+			if deg > 0 {
+				out[dim] += c2
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= v
+	}
+	return out
+}
+
+// NumTerms returns the number of basis terms.
+func (m *Model) NumTerms() int { return len(m.Indices) }

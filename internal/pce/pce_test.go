@@ -1,0 +1,203 @@
+package pce
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/design"
+	"osprey/internal/rng"
+)
+
+func TestTotalDegreeIndicesCount(t *testing.T) {
+	// C(d+p, p) terms for total degree <= p.
+	cases := []struct{ d, p, want int }{
+		{1, 3, 4}, {2, 2, 6}, {5, 3, 56}, {3, 0, 1},
+	}
+	for _, c := range cases {
+		got := len(TotalDegreeIndices(c.d, c.p))
+		if got != c.want {
+			t.Fatalf("indices(d=%d,p=%d) = %d, want %d", c.d, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTotalDegreeIndicesValid(t *testing.T) {
+	for _, mi := range TotalDegreeIndices(4, 3) {
+		sum := 0
+		for _, v := range mi {
+			if v < 0 {
+				t.Fatal("negative exponent")
+			}
+			sum += v
+		}
+		if sum > 3 {
+			t.Fatalf("total degree %d > 3", sum)
+		}
+		if len(mi) != 4 {
+			t.Fatal("wrong dimension")
+		}
+	}
+}
+
+func TestLegendreOrthonormality(t *testing.T) {
+	// Check E[phi_m phi_n] = delta_mn by high-resolution quadrature.
+	n := 200000
+	for m := 0; m <= 4; m++ {
+		for l := m; l <= 4; l++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				u := (float64(i) + 0.5) / float64(n)
+				s += legendreOrthonormal(m, u) * legendreOrthonormal(l, u)
+			}
+			s /= float64(n)
+			want := 0.0
+			if m == l {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-6 {
+				t.Fatalf("E[phi_%d phi_%d] = %v, want %v", m, l, s, want)
+			}
+		}
+	}
+}
+
+func TestFitRecoversPolynomial(t *testing.T) {
+	// f(u,v) = 2 + 3u + u*v is exactly representable at degree 2.
+	f := func(x []float64) float64 { return 2 + 3*x[0] + x[0]*x[1] }
+	r := rng.New(1)
+	x := design.LatinHypercube(r, 80, 2)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = f(p)
+	}
+	m, err := Fit(x, y, Options{Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := []float64{r.Float64(), r.Float64()}
+		if math.Abs(m.Predict(p)-f(p)) > 1e-8 {
+			t.Fatalf("PCE fails to reproduce a quadratic at %v", p)
+		}
+	}
+}
+
+func TestMeanAndVarianceLinear(t *testing.T) {
+	// f(u) = a + b*u with U~Uniform(0,1): mean a + b/2, variance b^2/12.
+	a, b := 1.5, 4.0
+	f := func(x []float64) float64 { return a + b*x[0] }
+	r := rng.New(2)
+	x := design.LatinHypercube(r, 50, 1)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = f(p)
+	}
+	m, err := Fit(x, y, Options{Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-(a+b/2)) > 1e-8 {
+		t.Fatalf("mean = %v, want %v", m.Mean(), a+b/2)
+	}
+	if math.Abs(m.Variance()-b*b/12) > 1e-8 {
+		t.Fatalf("variance = %v, want %v", m.Variance(), b*b/12)
+	}
+}
+
+func TestFirstOrderIndicesAdditive(t *testing.T) {
+	// f = c1*x1 + c2*x2 + c3*x3: S_i = c_i^2 / sum(c_j^2), no interactions.
+	c := []float64{1, 2, 3}
+	f := func(x []float64) float64 { return c[0]*x[0] + c[1]*x[1] + c[2]*x[2] }
+	r := rng.New(3)
+	x := design.LatinHypercube(r, 150, 3)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = f(p)
+	}
+	m, err := Fit(x, y, Options{Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.FirstOrderIndices()
+	st := m.TotalIndices()
+	denom := 1.0 + 4 + 9
+	for i := range c {
+		want := c[i] * c[i] / denom
+		if math.Abs(s[i]-want) > 1e-6 {
+			t.Fatalf("S_%d = %v, want %v", i, s[i], want)
+		}
+		if math.Abs(st[i]-want) > 1e-6 {
+			t.Fatalf("ST_%d = %v, want %v (additive: ST=S)", i, st[i], want)
+		}
+	}
+}
+
+func TestInteractionShowsInTotalNotFirst(t *testing.T) {
+	// f = (x1-0.5)*(x2-0.5): pure interaction — S_i ~ 0, ST_i ~ 1.
+	f := func(x []float64) float64 { return (x[0] - 0.5) * (x[1] - 0.5) }
+	r := rng.New(4)
+	x := design.LatinHypercube(r, 120, 2)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = f(p)
+	}
+	m, err := Fit(x, y, Options{Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.FirstOrderIndices()
+	st := m.TotalIndices()
+	for i := 0; i < 2; i++ {
+		if s[i] > 0.01 {
+			t.Fatalf("pure interaction leaked into S_%d = %v", i, s[i])
+		}
+		if st[i] < 0.99 {
+			t.Fatalf("ST_%d = %v, want ~1", i, st[i])
+		}
+	}
+}
+
+func TestUnderdeterminedRejected(t *testing.T) {
+	x := design.LatinHypercube(rng.New(5), 10, 5) // 56 terms at degree 3
+	y := make([]float64, 10)
+	if _, err := Fit(x, y, Options{Degree: 3}); err == nil {
+		t.Fatal("underdetermined fit accepted without ridge")
+	}
+	// With ridge it should succeed.
+	if _, err := Fit(x, y, Options{Degree: 3, Ridge: 1e-6}); err != nil {
+		t.Fatalf("ridge fit failed: %v", err)
+	}
+}
+
+func TestFitEmptyRejected(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestDefaultDegreeIsThree(t *testing.T) {
+	x := design.LatinHypercube(rng.New(6), 60, 2)
+	y := make([]float64, len(x))
+	m, err := Fit(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree != 3 {
+		t.Fatalf("default degree = %d, want 3 (paper's choice)", m.Degree)
+	}
+}
+
+func BenchmarkFitDegree3Dim5(b *testing.B) {
+	r := rng.New(1)
+	x := design.LatinHypercube(r, 200, 5)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = p[0] + p[1]*p[2] + p[3]*p[3]*p[4]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, Options{Degree: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package plot renders the paper's figures as ASCII charts and CSV series.
+// Figures 2, 4 and 5 are line/band plots with facets; this package provides
+// just enough terminal plotting to eyeball the reproduced shapes and CSV
+// output to regenerate them with any external plotting tool.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Band is a shaded interval (e.g. a 95% credible band).
+type Band struct {
+	X, Lower, Upper []float64
+}
+
+// Chart is a single panel.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Band   *Band
+	Width  int // columns of the plotting area (default 64)
+	Height int // rows of the plotting area (default 16)
+}
+
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to w as ASCII.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	consider := func(xs, ys []float64) {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, xs[i])
+			xmax = math.Max(xmax, xs[i])
+			ymin = math.Min(ymin, ys[i])
+			ymax = math.Max(ymax, ys[i])
+		}
+	}
+	for _, s := range c.Series {
+		consider(s.X, s.Y)
+	}
+	if c.Band != nil {
+		consider(c.Band.X, c.Band.Lower)
+		consider(c.Band.X, c.Band.Upper)
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("plot: chart %q has no finite data", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		return clampInt(col, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		row := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		return clampInt(row, 0, height-1)
+	}
+
+	// Band first so lines draw over it.
+	if c.Band != nil {
+		for i := range c.Band.X {
+			if math.IsNaN(c.Band.Lower[i]) || math.IsNaN(c.Band.Upper[i]) {
+				continue
+			}
+			col := toCol(c.Band.X[i])
+			lo, hi := toRow(c.Band.Lower[i]), toRow(c.Band.Upper[i])
+			if lo < hi {
+				lo, hi = hi, lo
+			}
+			for r := hi; r <= lo; r++ {
+				grid[r][col] = '.'
+			}
+		}
+	}
+	for si, s := range c.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = glyph
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%10s+%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s%-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	if len(c.Series) > 1 || c.Band != nil {
+		var legend []string
+		for si, s := range c.Series {
+			legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+		}
+		if c.Band != nil {
+			legend = append(legend, ".=95% band")
+		}
+		fmt.Fprintf(w, "%10s%s\n", "", strings.Join(legend, "  "))
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%10sx: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Facets renders charts one after another with separators, approximating
+// the paper's faceted panels.
+func Facets(w io.Writer, charts []*Chart) error {
+	for i, c := range charts {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := c.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the chart's series (long format: series,x,y) so any
+// external tool can regenerate the figure.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if c.Band != nil {
+		for i := range c.Band.X {
+			if _, err := fmt.Fprintf(w, "band_lower,%g,%g\n", c.Band.X[i], c.Band.Lower[i]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "band_upper,%g,%g\n", c.Band.X[i], c.Band.Upper[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table renders an aligned text table (used for Table 1 and the experiment
+// summaries).
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	total := len(headers) - 1
+	for _, width := range widths {
+		total += width + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

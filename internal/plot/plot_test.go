@@ -1,0 +1,151 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = math.Sin(float64(i) / 8)
+	}
+	return &Chart{
+		Title: "test", XLabel: "day", YLabel: "R(t)",
+		Series: []Series{{Name: "median", X: x, Y: y}},
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	var sb strings.Builder
+	if err := lineChart().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data glyphs plotted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 17 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderWithBand(t *testing.T) {
+	c := lineChart()
+	n := len(c.Series[0].X)
+	band := &Band{X: c.Series[0].X, Lower: make([]float64, n), Upper: make([]float64, n)}
+	for i := range band.X {
+		band.Lower[i] = c.Series[0].Y[i] - 0.3
+		band.Upper[i] = c.Series[0].Y[i] + 0.3
+	}
+	c.Band = band
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ".") {
+		t.Fatal("band not drawn")
+	}
+	if !strings.Contains(sb.String(), "95% band") {
+		t.Fatal("band legend missing")
+	}
+}
+
+func TestRenderEmptyFails(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	c := &Chart{Series: []Series{{
+		Name: "s",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.NaN(), 2},
+	}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiSeriesLegend(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "music", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "pce", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*=music") || !strings.Contains(out, "o=pce") {
+		t.Fatalf("legend missing: %s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "a,b", X: []float64{1}, Y: []float64{2}}}}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatal("CSV header missing")
+	}
+	if !strings.Contains(out, `"a,b",1,2`) {
+		t.Fatalf("CSV escaping wrong: %s", out)
+	}
+}
+
+func TestWriteCSVWithBand(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "m", X: []float64{1}, Y: []float64{2}}},
+		Band:   &Band{X: []float64{1}, Lower: []float64{0}, Upper: []float64{3}},
+	}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "band_lower,1,0") || !strings.Contains(sb.String(), "band_upper,1,3") {
+		t.Fatal("band rows missing")
+	}
+}
+
+func TestFacets(t *testing.T) {
+	var sb strings.Builder
+	if err := Facets(&sb, []*Chart{lineChart(), lineChart()}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "test") != 2 {
+		t.Fatal("facets missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"Parameter", "Range"}, [][]string{
+		{"ts", "(0.1, 0.9)"},
+		{"phd", "(0, 0.3)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Parameter") || !strings.Contains(out, "(0.1, 0.9)") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+}

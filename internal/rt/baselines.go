@@ -1,0 +1,197 @@
+package rt
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"osprey/internal/epi"
+	"osprey/internal/stats"
+	"osprey/internal/wastewater"
+)
+
+// CoriFromWastewater is the "more standard" baseline (§2.1, citing Cori et
+// al. 2013) adapted to wastewater input: the concentration series is
+// interpolated to a daily grid and rescaled into a crude infection proxy,
+// which the sliding-window gamma-posterior estimator then consumes. It is
+// orders of magnitude cheaper than the Goldstein method but inherits the
+// raw noise of the signal — the trade-off that motivates running the
+// Bayesian estimator on HPC.
+func CoriFromWastewater(obs []wastewater.Observation, days int, window int) (*epi.CoriResult, error) {
+	if len(obs) < 3 {
+		return nil, errors.New("rt: need at least 3 observations")
+	}
+	sorted := append([]wastewater.Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Day < sorted[j].Day })
+	if sorted[len(sorted)-1].Day >= days {
+		return nil, errors.New("rt: observation outside the window")
+	}
+
+	// Linear interpolation of concentration onto the daily grid.
+	daily := make([]float64, days)
+	for d := 0; d < days; d++ {
+		daily[d] = interpConcentration(sorted, d)
+	}
+	// Rescale to a pseudo-incidence with a plausible magnitude; the Cori
+	// posterior is invariant to a global scale only in the limit of a
+	// flat prior, so pick a scale giving O(100) daily counts.
+	mean := stats.Mean(daily)
+	if !(mean > 0) {
+		return nil, errors.New("rt: degenerate concentration series")
+	}
+	scale := 100.0 / mean
+	for d := range daily {
+		daily[d] *= scale
+	}
+	w := epi.DiscretizedGamma(5.2, 1.9, 20)
+	if window <= 0 {
+		window = 7
+	}
+	return epi.CoriEstimate(daily, w, window, 1, 0.2)
+}
+
+func interpConcentration(sorted []wastewater.Observation, day int) float64 {
+	// Before the first or after the last observation: clamp.
+	if day <= sorted[0].Day {
+		return sorted[0].Concentration
+	}
+	last := sorted[len(sorted)-1]
+	if day >= last.Day {
+		return last.Concentration
+	}
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i].Day >= day })
+	if sorted[hi].Day == day {
+		return sorted[hi].Concentration
+	}
+	lo := hi - 1
+	frac := float64(day-sorted[lo].Day) / float64(sorted[hi].Day-sorted[lo].Day)
+	return sorted[lo].Concentration*(1-frac) + sorted[hi].Concentration*frac
+}
+
+// CoriMeanAbsError scores a Cori result against the truth over [from, to),
+// skipping NaN (pre-window) days.
+func CoriMeanAbsError(res *epi.CoriResult, truth []float64, from, to int) float64 {
+	if to > len(truth) {
+		to = len(truth)
+	}
+	if to > len(res.Mean) {
+		to = len(res.Mean)
+	}
+	n, s := 0, 0.0
+	for d := from; d < to; d++ {
+		if math.IsNaN(res.Mean[d]) {
+			continue
+		}
+		n++
+		s += math.Abs(res.Mean[d] - truth[d])
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+// ChainsEstimate is a multi-chain Goldstein run with convergence
+// diagnostics, pooling draws from independent chains.
+type ChainsEstimate struct {
+	*Estimate
+	// RHat is the Gelman–Rubin statistic per day (computed on R(t) at
+	// each day across chains); values near 1 indicate convergence.
+	RHat []float64
+	// MaxRHat is the worst R-hat across days.
+	MaxRHat float64
+	Chains  int
+}
+
+// EstimateGoldsteinChains runs n independent Goldstein chains (differing
+// only in their sampler seeds), pools their posterior draws, and reports
+// Gelman–Rubin diagnostics — the reproducibility check a production
+// deployment runs before publishing an estimate to stakeholders.
+func EstimateGoldsteinChains(obs []wastewater.Observation, plant wastewater.Plant, days int, opt GoldsteinOptions, nChains int) (*ChainsEstimate, error) {
+	if nChains < 2 {
+		return nil, errors.New("rt: need at least 2 chains for diagnostics")
+	}
+	type chainOut struct {
+		est *Estimate
+		err error
+	}
+	outs := make([]chainOut, nChains)
+	done := make(chan int, nChains)
+	for c := 0; c < nChains; c++ {
+		go func(c int) {
+			o := opt
+			o.Seed = opt.Seed + uint64(c)*104729
+			est, err := EstimateGoldstein(obs, plant, days, o)
+			outs[c] = chainOut{est: est, err: err}
+			done <- c
+		}(c)
+	}
+	for i := 0; i < nChains; i++ {
+		<-done
+	}
+	ests := make([]*Estimate, nChains)
+	for c, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		ests[c] = o.est
+	}
+
+	// Pool draws.
+	pooled := &Estimate{
+		Plant: plant,
+		Days:  append([]int(nil), ests[0].Days...),
+	}
+	for _, e := range ests {
+		pooled.Draws = append(pooled.Draws, e.Draws...)
+		pooled.AcceptanceRate += e.AcceptanceRate / float64(nChains)
+	}
+	nDays := len(pooled.Days)
+	pooled.Median = make([]float64, nDays)
+	pooled.Lower = make([]float64, nDays)
+	pooled.Upper = make([]float64, nDays)
+	col := make([]float64, len(pooled.Draws))
+	rhat := make([]float64, nDays)
+	maxR := 0.0
+	for d := 0; d < nDays; d++ {
+		for k := range pooled.Draws {
+			col[k] = pooled.Draws[k][d]
+		}
+		qs := stats.Quantiles(col, 0.025, 0.5, 0.975)
+		pooled.Lower[d], pooled.Median[d], pooled.Upper[d] = qs[0], qs[1], qs[2]
+
+		chains := make([][]float64, nChains)
+		for c, e := range ests {
+			tr := make([]float64, len(e.Draws))
+			for k, draw := range e.Draws {
+				tr[k] = draw[d]
+			}
+			chains[c] = tr
+		}
+		rhat[d] = stats.GelmanRubin(chains)
+		if !math.IsNaN(rhat[d]) && rhat[d] > maxR {
+			maxR = rhat[d]
+		}
+	}
+	pooled.MinESS = ests[0].MinESS
+	for _, e := range ests[1:] {
+		if e.MinESS < pooled.MinESS {
+			pooled.MinESS = e.MinESS
+		}
+	}
+	return &ChainsEstimate{Estimate: pooled, RHat: rhat, MaxRHat: maxR, Chains: nChains}, nil
+}
+
+// Converged reports whether every day's R-hat is below the threshold
+// (1.1 is the conventional cut).
+func (c *ChainsEstimate) Converged(threshold float64) bool {
+	if threshold <= 0 {
+		threshold = 1.1
+	}
+	for _, r := range c.RHat {
+		if math.IsNaN(r) || r > threshold {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package rt
+
+import (
+	"errors"
+	"math"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// Forecast projects R(t) beyond the estimation window by continuing each
+// posterior draw's log-R random walk for h more days — the "timely
+// responses to urgent questions" capability the paper's conclusion calls
+// for. Uncertainty compounds with horizon, so the bands widen; the output
+// is a distributional nowcast, not a point prediction.
+type Forecast struct {
+	// Days are absolute day indices continuing the estimate's axis.
+	Days                 []int
+	Median, Lower, Upper []float64
+}
+
+// ForecastRt extends the estimate h days past its last day. rwSigma is the
+// daily log-scale random-walk standard deviation; pass 0 to use the
+// estimator's default weekly-knot prior rescaled to daily steps.
+func (e *Estimate) ForecastRt(h int, rwSigma float64, seed uint64) (*Forecast, error) {
+	if h <= 0 {
+		return nil, errors.New("rt: forecast horizon must be positive")
+	}
+	if len(e.Draws) == 0 {
+		return nil, errors.New("rt: estimate carries no posterior draws")
+	}
+	if rwSigma <= 0 {
+		// Default knot prior is 0.18 per 7 days; scale to a daily step.
+		rwSigma = 0.18 / 2.6457513110645906 // sqrt(7)
+	}
+	lastDay := e.Days[len(e.Days)-1]
+	r := rng.New(seed).Split("forecast")
+
+	// Each draw continues independently from its own endpoint.
+	paths := make([][]float64, len(e.Draws))
+	for k, draw := range e.Draws {
+		cur := draw[len(draw)-1]
+		path := make([]float64, h)
+		stream := r.Split(intLabel(k))
+		if cur <= 1e-12 {
+			cur = 1e-12
+		}
+		logR := math.Log(cur)
+		for d := 0; d < h; d++ {
+			logR += stream.NormalMS(0, rwSigma)
+			path[d] = math.Exp(logR)
+		}
+		paths[k] = path
+	}
+
+	f := &Forecast{
+		Days:   make([]int, h),
+		Median: make([]float64, h),
+		Lower:  make([]float64, h),
+		Upper:  make([]float64, h),
+	}
+	col := make([]float64, len(paths))
+	for d := 0; d < h; d++ {
+		f.Days[d] = lastDay + 1 + d
+		for k := range paths {
+			col[k] = paths[k][d]
+		}
+		qs := stats.Quantiles(col, 0.025, 0.5, 0.975)
+		f.Lower[d], f.Median[d], f.Upper[d] = qs[0], qs[1], qs[2]
+	}
+	return f, nil
+}
+
+// BandWidthAt returns Upper-Lower at forecast step d (0-based).
+func (f *Forecast) BandWidthAt(d int) float64 {
+	return f.Upper[d] - f.Lower[d]
+}
+
+func intLabel(k int) string {
+	// Small allocation-free-ish int label for stream splitting.
+	const digits = "0123456789"
+	if k == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = digits[k%10]
+		k /= 10
+	}
+	return string(buf[i:])
+}

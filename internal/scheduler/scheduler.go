@@ -1,0 +1,370 @@
+// Package scheduler simulates an HPC batch scheduler (PBS/SLURM in the
+// paper): a fixed pool of nodes, a submission queue with first-fit backfill,
+// walltime enforcement, and utilization accounting. The paper's workflows
+// depend on this substrate twice: Globus Compute queues the R(t) analysis
+// "on Bebop's PBS scheduler to run the function on one node" (§2.2), and
+// EMEWS "starts a worker pool by submitting a job to the compute resource
+// scheduler" (§3.2).
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState enumerates the lifecycle of a job.
+type JobState int
+
+const (
+	Queued JobState = iota
+	Running
+	Completed
+	Failed
+	Killed // exceeded walltime or cluster shut down
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	case Killed:
+		return "killed"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Allocation describes the nodes granted to a running job.
+type Allocation struct {
+	JobID int
+	Nodes []int
+}
+
+// JobSpec describes a batch submission. Run executes on the allocation; it
+// must honor ctx cancellation, which fires at walltime expiry or shutdown.
+type JobSpec struct {
+	Name  string
+	Nodes int
+	// NodeKind requests a specific partition ("cpu", "gpu", ...); empty
+	// means the default kind. OSPREY's first goal calls for "allocating
+	// heterogeneous resources (CPU, GPU, and accelerators) based on task
+	// needs" — kinds are how jobs express those needs.
+	NodeKind string
+	Walltime time.Duration // 0 means unlimited
+	Run      func(ctx context.Context, alloc Allocation) error
+}
+
+// DefaultKind is the node kind assumed when none is specified.
+const DefaultKind = "cpu"
+
+// Job is a handle to a submitted job.
+type Job struct {
+	ID   int
+	Spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	done     chan struct{}
+	started  time.Time
+	finished time.Time
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Wait blocks until the job reaches a terminal state and returns its error.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Done returns a channel closed when the job terminates.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setState(s JobState, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Completed || j.state == Failed || j.state == Killed {
+		return
+	}
+	j.state = s
+	switch s {
+	case Running:
+		j.started = time.Now()
+	case Completed, Failed, Killed:
+		j.err = err
+		j.finished = time.Now()
+		close(j.done)
+	}
+}
+
+// Stats reports cluster accounting.
+type Stats struct {
+	Nodes          int
+	Submitted      int
+	Completed      int
+	Failed         int
+	Killed         int
+	QueuedNow      int
+	RunningNow     int
+	BusyNodeSecs   float64
+	ElapsedSecs    float64
+	UtilizationPct float64
+}
+
+// Cluster is a simulated batch system. Create with NewCluster (homogeneous)
+// or NewHeterogeneousCluster (multiple partitions); Shutdown kills running
+// jobs and rejects new submissions.
+type Cluster struct {
+	mu        sync.Mutex
+	free      map[string][]int // kind -> free node ids
+	capacity  map[string]int   // kind -> partition size
+	total     int
+	queue     []*Job
+	running   map[int]*queuedRun
+	nextID    int
+	shutdown  bool
+	submitted int
+	completed int
+	failed    int
+	killed    int
+	busySecs  float64
+	epoch     time.Time
+}
+
+type queuedRun struct {
+	job    *Job
+	nodes  []int
+	cancel context.CancelFunc
+	start  time.Time
+}
+
+// NewCluster creates a homogeneous cluster of DefaultKind nodes.
+func NewCluster(nodes int) (*Cluster, error) {
+	return NewHeterogeneousCluster(map[string]int{DefaultKind: nodes})
+}
+
+// NewHeterogeneousCluster creates a cluster with one partition per node
+// kind, e.g. {"cpu": 8, "gpu": 2}.
+func NewHeterogeneousCluster(partitions map[string]int) (*Cluster, error) {
+	c := &Cluster{
+		free:     map[string][]int{},
+		capacity: map[string]int{},
+		running:  map[int]*queuedRun{},
+		epoch:    time.Now(),
+	}
+	id := 0
+	for kind, n := range partitions {
+		if kind == "" {
+			return nil, errors.New("scheduler: empty partition kind")
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("scheduler: partition %q needs at least one node", kind)
+		}
+		for i := 0; i < n; i++ {
+			c.free[kind] = append(c.free[kind], id)
+			id++
+		}
+		c.capacity[kind] = n
+		c.total += n
+	}
+	if c.total == 0 {
+		return nil, errors.New("scheduler: cluster needs at least one node")
+	}
+	return c, nil
+}
+
+// ErrShutdown is returned by Submit after Shutdown.
+var ErrShutdown = errors.New("scheduler: cluster is shut down")
+
+// Submit enqueues a job. Scheduling is first-fit over the queue order
+// (EASY-style backfill: a later small job may start ahead of a blocked
+// larger one).
+func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
+	if spec.Run == nil {
+		return nil, errors.New("scheduler: JobSpec.Run is required")
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.NodeKind == "" {
+		spec.NodeKind = DefaultKind
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shutdown {
+		return nil, ErrShutdown
+	}
+	capacity, ok := c.capacity[spec.NodeKind]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: no %q partition on this cluster", spec.NodeKind)
+	}
+	if spec.Nodes > capacity {
+		return nil, fmt.Errorf("scheduler: job wants %d %s nodes, partition has %d",
+			spec.Nodes, spec.NodeKind, capacity)
+	}
+	c.nextID++
+	job := &Job{ID: c.nextID, Spec: spec, done: make(chan struct{})}
+	c.submitted++
+	c.queue = append(c.queue, job)
+	c.schedLocked()
+	return job, nil
+}
+
+// schedLocked starts every queued job whose partition has room. Caller
+// holds c.mu.
+func (c *Cluster) schedLocked() {
+	remaining := c.queue[:0]
+	for _, job := range c.queue {
+		kind := job.Spec.NodeKind
+		if free := c.free[kind]; len(free) >= job.Spec.Nodes {
+			alloc := append([]int(nil), free[:job.Spec.Nodes]...)
+			c.free[kind] = free[job.Spec.Nodes:]
+			c.startLocked(job, alloc)
+		} else {
+			remaining = append(remaining, job)
+		}
+	}
+	c.queue = append([]*Job(nil), remaining...)
+}
+
+func (c *Cluster) startLocked(job *Job, nodes []int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if job.Spec.Walltime > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), job.Spec.Walltime)
+	}
+	run := &queuedRun{job: job, nodes: nodes, cancel: cancel, start: time.Now()}
+	c.running[job.ID] = run
+	job.setState(Running, nil)
+	go func() {
+		err := job.Spec.Run(ctx, Allocation{JobID: job.ID, Nodes: nodes})
+		timedOut := ctx.Err() == context.DeadlineExceeded
+
+		c.mu.Lock()
+		delete(c.running, job.ID)
+		kind := job.Spec.NodeKind
+		c.free[kind] = append(c.free[kind], nodes...)
+		c.busySecs += time.Since(run.start).Seconds() * float64(len(nodes))
+		switch {
+		case timedOut:
+			c.killed++
+		case err != nil:
+			c.failed++
+		default:
+			c.completed++
+		}
+		c.schedLocked()
+		c.mu.Unlock()
+
+		cancel()
+		switch {
+		case timedOut:
+			job.setState(Killed, fmt.Errorf("scheduler: job %d exceeded walltime %v", job.ID, job.Spec.Walltime))
+		case err != nil:
+			job.setState(Failed, err)
+		default:
+			job.setState(Completed, nil)
+		}
+	}()
+}
+
+// Shutdown cancels running jobs, fails queued jobs, and rejects future
+// submissions. It does not wait for job goroutines to observe cancellation.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	c.shutdown = true
+	queued := c.queue
+	c.queue = nil
+	var cancels []context.CancelFunc
+	for _, run := range c.running {
+		cancels = append(cancels, run.cancel)
+	}
+	c.mu.Unlock()
+	for _, job := range queued {
+		job.setState(Killed, ErrShutdown)
+		c.mu.Lock()
+		c.killed++
+		c.mu.Unlock()
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// Stats snapshots accounting counters. Utilization is busy node-seconds over
+// total node-seconds since the cluster epoch.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.epoch).Seconds()
+	busy := c.busySecs
+	for _, run := range c.running {
+		busy += time.Since(run.start).Seconds() * float64(len(run.nodes))
+	}
+	util := 0.0
+	if elapsed > 0 {
+		util = 100 * busy / (elapsed * float64(c.total))
+	}
+	return Stats{
+		Nodes:          c.total,
+		Submitted:      c.submitted,
+		Completed:      c.completed,
+		Failed:         c.failed,
+		Killed:         c.killed,
+		QueuedNow:      len(c.queue),
+		RunningNow:     len(c.running),
+		BusyNodeSecs:   busy,
+		ElapsedSecs:    elapsed,
+		UtilizationPct: util,
+	}
+}
+
+// FreeNodes reports currently idle nodes across all partitions.
+func (c *Cluster) FreeNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, free := range c.free {
+		n += len(free)
+	}
+	return n
+}
+
+// FreeNodesOf reports idle nodes in one partition.
+func (c *Cluster) FreeNodesOf(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free[kind])
+}
+
+// Partitions returns the configured partition sizes.
+func (c *Cluster) Partitions() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.capacity))
+	for k, v := range c.capacity {
+		out[k] = v
+	}
+	return out
+}

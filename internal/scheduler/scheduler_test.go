@@ -1,0 +1,320 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimpleJobCompletes(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	var ran atomic.Bool
+	j, err := c.Submit(JobSpec{Name: "hello", Run: func(ctx context.Context, a Allocation) error {
+		ran.Store(true)
+		if len(a.Nodes) != 1 {
+			t.Errorf("want 1 node, got %d", len(a.Nodes))
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("job body did not run")
+	}
+	if j.State() != Completed {
+		t.Fatalf("state = %v", j.State())
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	c, _ := NewCluster(1)
+	defer c.Shutdown()
+	boom := errors.New("boom")
+	j, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return boom }})
+	if err := j.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if j.State() != Failed {
+		t.Fatalf("state = %v", j.State())
+	}
+}
+
+func TestWalltimeKill(t *testing.T) {
+	c, _ := NewCluster(1)
+	defer c.Shutdown()
+	j, _ := c.Submit(JobSpec{
+		Walltime: 30 * time.Millisecond,
+		Run: func(ctx context.Context, a Allocation) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+	if err := j.Wait(); err == nil {
+		t.Fatal("walltime overrun not reported")
+	}
+	if j.State() != Killed {
+		t.Fatalf("state = %v, want Killed", j.State())
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	c, _ := NewCluster(1)
+	defer c.Shutdown()
+	release := make(chan struct{})
+	j1, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error {
+		<-release
+		return nil
+	}})
+	j2, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return nil }})
+	time.Sleep(20 * time.Millisecond)
+	if j2.State() != Queued {
+		t.Fatalf("second job should queue, state = %v", j2.State())
+	}
+	close(release)
+	if err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackfillSmallJobJumpsBlockedLarge(t *testing.T) {
+	c, _ := NewCluster(2)
+	defer c.Shutdown()
+	release := make(chan struct{})
+	// Occupies 1 node indefinitely.
+	hold, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error {
+		<-release
+		return nil
+	}})
+	// Needs 2 nodes: blocked.
+	big, _ := c.Submit(JobSpec{Nodes: 2, Run: func(ctx context.Context, a Allocation) error { return nil }})
+	// Needs 1 node: backfills immediately.
+	small, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return nil }})
+	if err := small.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if big.State() != Queued {
+		t.Fatalf("big job state = %v, want still Queued", big.State())
+	}
+	close(release)
+	hold.Wait()
+	if err := big.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsOversizedJob(t *testing.T) {
+	c, _ := NewCluster(2)
+	defer c.Shutdown()
+	if _, err := c.Submit(JobSpec{Nodes: 3, Run: func(ctx context.Context, a Allocation) error { return nil }}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestRejectsNilRun(t *testing.T) {
+	c, _ := NewCluster(1)
+	defer c.Shutdown()
+	if _, err := c.Submit(JobSpec{}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+}
+
+func TestShutdownKillsQueuedAndRunning(t *testing.T) {
+	c, _ := NewCluster(1)
+	j1, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	j2, _ := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return nil }})
+	time.Sleep(10 * time.Millisecond)
+	c.Shutdown()
+	j1.Wait()
+	j2.Wait()
+	if j2.State() != Killed {
+		t.Fatalf("queued job state after shutdown = %v", j2.State())
+	}
+	if _, err := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return nil }}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-shutdown submit err = %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c, _ := NewCluster(4)
+	defer c.Shutdown()
+	jobs := make([]*Job, 8)
+	for i := range jobs {
+		j, err := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error {
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Submitted != 8 || st.Completed != 8 || st.Failed != 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.BusyNodeSecs <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	if st.UtilizationPct <= 0 || st.UtilizationPct > 100.01 {
+		t.Fatalf("utilization %v out of range", st.UtilizationPct)
+	}
+}
+
+func TestMultiNodeAllocation(t *testing.T) {
+	c, _ := NewCluster(4)
+	defer c.Shutdown()
+	j, _ := c.Submit(JobSpec{Nodes: 3, Run: func(ctx context.Context, a Allocation) error {
+		if len(a.Nodes) != 3 {
+			t.Errorf("allocation has %d nodes", len(a.Nodes))
+		}
+		seen := map[int]bool{}
+		for _, n := range a.Nodes {
+			if seen[n] {
+				t.Error("duplicate node in allocation")
+			}
+			seen[n] = true
+		}
+		return nil
+	}})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 4 {
+		t.Fatalf("nodes not released: %d free", c.FreeNodes())
+	}
+}
+
+func TestManyConcurrentJobs(t *testing.T) {
+	c, _ := NewCluster(8)
+	defer c.Shutdown()
+	var count atomic.Int64
+	jobs := make([]*Job, 100)
+	for i := range jobs {
+		j, err := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error {
+			count.Add(1)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count.Load() != 100 {
+		t.Fatalf("ran %d of 100 jobs", count.Load())
+	}
+}
+
+func TestHeterogeneousPartitions(t *testing.T) {
+	c, err := NewHeterogeneousCluster(map[string]int{"cpu": 2, "gpu": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.Partitions()["gpu"] != 1 || c.Partitions()["cpu"] != 2 {
+		t.Fatalf("partitions = %v", c.Partitions())
+	}
+
+	release := make(chan struct{})
+	gpuJob, err := c.Submit(JobSpec{NodeKind: "gpu", Run: func(ctx context.Context, a Allocation) error {
+		<-release
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second GPU job must queue even though CPU nodes are idle:
+	// partitions do not substitute for each other.
+	gpuJob2, err := c.Submit(JobSpec{NodeKind: "gpu", Run: func(ctx context.Context, a Allocation) error {
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A CPU job runs immediately alongside.
+	cpuJob, err := c.Submit(JobSpec{NodeKind: "cpu", Run: func(ctx context.Context, a Allocation) error {
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpuJob.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if gpuJob2.State() != Queued {
+		t.Fatalf("second GPU job state = %v, want Queued behind the busy partition", gpuJob2.State())
+	}
+	close(release)
+	if err := gpuJob.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gpuJob2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodesOf("gpu") != 1 || c.FreeNodesOf("cpu") != 2 {
+		t.Fatal("partition nodes not returned")
+	}
+}
+
+func TestUnknownPartitionRejected(t *testing.T) {
+	c, _ := NewCluster(2)
+	defer c.Shutdown()
+	if _, err := c.Submit(JobSpec{NodeKind: "tpu", Run: func(ctx context.Context, a Allocation) error {
+		return nil
+	}}); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+}
+
+func TestDefaultKindBackCompat(t *testing.T) {
+	c, _ := NewCluster(2)
+	defer c.Shutdown()
+	j, err := c.Submit(JobSpec{Run: func(ctx context.Context, a Allocation) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.NodeKind != DefaultKind {
+		t.Fatalf("kind defaulted to %q", j.Spec.NodeKind)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	if _, err := NewHeterogeneousCluster(map[string]int{"": 2}); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+	if _, err := NewHeterogeneousCluster(map[string]int{"cpu": 0}); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	if _, err := NewHeterogeneousCluster(nil); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+}

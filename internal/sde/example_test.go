@@ -1,0 +1,22 @@
+package sde_test
+
+import (
+	"fmt"
+
+	"osprey/internal/sde"
+)
+
+func ExampleRegistry() {
+	reg := sde.NewRegistry()
+	art, _ := reg.Register(sde.Artifact{
+		Name: "music-gsa", Version: "1.0", Kind: sde.KindMEAlgorithm,
+		Description: "Active-learning Sobol sensitivity analysis",
+		Requires:    sde.Requirements{Languages: []string{"R"}, Scheduler: "pbs", MinNodes: 4},
+	})
+	_ = reg.AddEnvironment(sde.Environment{
+		Name: "improv", Languages: []string{"R", "python"}, Scheduler: "pbs", Nodes: 16,
+	})
+	rep, _ := reg.CheckPortability(art.ID, "improv")
+	fmt.Println(art.ID, rep.Portable)
+	// Output: art-000001 true
+}

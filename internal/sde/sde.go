@@ -1,0 +1,345 @@
+// Package sde implements the Shared Development Environment of OSPREY's
+// third goal (§3): "rapid, collaborative development and efficient porting
+// of modeling and model exploration codes to HPC", considering "differences
+// in HPC environments, programming languages, workflow structures".
+//
+// Concretely it provides:
+//
+//   - An artifact registry for models, model-exploration algorithms and
+//     harnesses, with versions, language/runtime requirements, tags, and
+//     full-text search — the paper's future-work direction of "making
+//     workflow artifacts such as models and model exploration algorithms
+//     more easily discoverable and shareable".
+//   - Environment descriptions of compute facilities (languages, scheduler,
+//     modules) and a portability check matching an artifact's requirements
+//     against an environment.
+//   - JSON export/import bundles so collaborating groups exchange artifact
+//     sets without a shared database.
+package sde
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ArtifactKind classifies registry entries.
+type ArtifactKind string
+
+const (
+	// KindModel is a simulation model (e.g. MetaRVM).
+	KindModel ArtifactKind = "model"
+	// KindMEAlgorithm is a model-exploration algorithm (e.g. MUSIC).
+	KindMEAlgorithm ArtifactKind = "me-algorithm"
+	// KindHarness is glue wrapping a model or algorithm for a workflow
+	// system (e.g. the Python harness wrapping Julia estimation).
+	KindHarness ArtifactKind = "harness"
+)
+
+func (k ArtifactKind) valid() bool {
+	switch k {
+	case KindModel, KindMEAlgorithm, KindHarness:
+		return true
+	}
+	return false
+}
+
+// Requirements describe what an artifact needs from an execution
+// environment.
+type Requirements struct {
+	// Languages that must be available (e.g. "R", "python", "julia").
+	Languages []string `json:"languages,omitempty"`
+	// Scheduler, when nonempty, requires a specific batch system
+	// ("pbs", "slurm").
+	Scheduler string `json:"scheduler,omitempty"`
+	// MinNodes is the smallest usable allocation.
+	MinNodes int `json:"min_nodes,omitempty"`
+	// Modules are named software dependencies ("hetGP", "EpiEstim").
+	Modules []string `json:"modules,omitempty"`
+}
+
+// Artifact is one registry entry (a specific version of a shareable code).
+type Artifact struct {
+	ID          string       `json:"id"`
+	Name        string       `json:"name"`
+	Version     string       `json:"version"`
+	Kind        ArtifactKind `json:"kind"`
+	Description string       `json:"description,omitempty"`
+	Authors     []string     `json:"authors,omitempty"`
+	Tags        []string     `json:"tags,omitempty"`
+	Requires    Requirements `json:"requires"`
+	// Spec is an opaque, artifact-specific payload (parameter schemas,
+	// entry points, container references).
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	Registered time.Time       `json:"registered"`
+}
+
+// Environment describes a compute facility available to the SDE.
+type Environment struct {
+	Name      string   `json:"name"`
+	Languages []string `json:"languages"`
+	Scheduler string   `json:"scheduler,omitempty"`
+	Nodes     int      `json:"nodes"`
+	Modules   []string `json:"modules,omitempty"`
+}
+
+// PortabilityReport explains whether an artifact can run in an environment.
+type PortabilityReport struct {
+	Artifact    string
+	Environment string
+	Portable    bool
+	Missing     []string
+}
+
+// Registry is the shared artifact catalogue. Safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	next int
+	arts map[string]*Artifact
+	envs map[string]*Environment
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{arts: map[string]*Artifact{}, envs: map[string]*Environment{}}
+}
+
+// ErrNotFound is returned for unknown artifact IDs or environment names.
+var ErrNotFound = errors.New("sde: not found")
+
+// Register adds an artifact, assigning its ID and timestamp. Name, Version
+// and a valid Kind are required; (Name, Version) pairs must be unique.
+func (r *Registry) Register(a Artifact) (*Artifact, error) {
+	if a.Name == "" || a.Version == "" {
+		return nil, errors.New("sde: artifact needs Name and Version")
+	}
+	if !a.Kind.valid() {
+		return nil, fmt.Errorf("sde: invalid artifact kind %q", a.Kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.arts {
+		if ex.Name == a.Name && ex.Version == a.Version {
+			return nil, fmt.Errorf("sde: %s@%s already registered", a.Name, a.Version)
+		}
+	}
+	r.next++
+	a.ID = fmt.Sprintf("art-%06d", r.next)
+	if a.Registered.IsZero() {
+		a.Registered = time.Now()
+	}
+	cp := a
+	r.arts[a.ID] = &cp
+	out := cp
+	return &out, nil
+}
+
+// Get returns an artifact by ID.
+func (r *Registry) Get(id string) (*Artifact, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.arts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: artifact %s", ErrNotFound, id)
+	}
+	cp := *a
+	return &cp, nil
+}
+
+// Latest returns the most recently registered version of the named
+// artifact.
+func (r *Registry) Latest(name string) (*Artifact, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var best *Artifact
+	for _, a := range r.arts {
+		if a.Name != name {
+			continue
+		}
+		if best == nil || a.Registered.After(best.Registered) ||
+			(a.Registered.Equal(best.Registered) && a.ID > best.ID) {
+			best = a
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: artifact %q", ErrNotFound, name)
+	}
+	cp := *best
+	return &cp, nil
+}
+
+// Query filters the catalogue.
+type Query struct {
+	Kind ArtifactKind // empty = any
+	Tag  string       // empty = any
+	Text string       // substring of name or description, case-insensitive
+}
+
+// Search returns matching artifacts sorted by name then version.
+func (r *Registry) Search(q Query) []*Artifact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Artifact
+	text := strings.ToLower(q.Text)
+	for _, a := range r.arts {
+		if q.Kind != "" && a.Kind != q.Kind {
+			continue
+		}
+		if q.Tag != "" && !hasTag(a.Tags, q.Tag) {
+			continue
+		}
+		if text != "" &&
+			!strings.Contains(strings.ToLower(a.Name), text) &&
+			!strings.Contains(strings.ToLower(a.Description), text) {
+			continue
+		}
+		cp := *a
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+func hasTag(tags []string, want string) bool {
+	for _, t := range tags {
+		if strings.EqualFold(t, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEnvironment registers or replaces a compute environment description.
+func (r *Registry) AddEnvironment(e Environment) error {
+	if e.Name == "" {
+		return errors.New("sde: environment needs a Name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := e
+	r.envs[e.Name] = &cp
+	return nil
+}
+
+// Environments lists registered environments sorted by name.
+func (r *Registry) Environments() []*Environment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Environment
+	for _, e := range r.envs {
+		cp := *e
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckPortability matches an artifact's requirements against an
+// environment, returning a report listing anything missing.
+func (r *Registry) CheckPortability(artifactID, envName string) (*PortabilityReport, error) {
+	a, err := r.Get(artifactID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	env, ok := r.envs[envName]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: environment %q", ErrNotFound, envName)
+	}
+	rep := &PortabilityReport{Artifact: a.ID, Environment: env.Name, Portable: true}
+	have := map[string]bool{}
+	for _, l := range env.Languages {
+		have["lang:"+strings.ToLower(l)] = true
+	}
+	for _, m := range env.Modules {
+		have["mod:"+strings.ToLower(m)] = true
+	}
+	for _, l := range a.Requires.Languages {
+		if !have["lang:"+strings.ToLower(l)] {
+			rep.Missing = append(rep.Missing, "language "+l)
+		}
+	}
+	for _, m := range a.Requires.Modules {
+		if !have["mod:"+strings.ToLower(m)] {
+			rep.Missing = append(rep.Missing, "module "+m)
+		}
+	}
+	if a.Requires.Scheduler != "" && !strings.EqualFold(a.Requires.Scheduler, env.Scheduler) {
+		rep.Missing = append(rep.Missing, "scheduler "+a.Requires.Scheduler)
+	}
+	if a.Requires.MinNodes > env.Nodes {
+		rep.Missing = append(rep.Missing,
+			fmt.Sprintf("nodes (need %d, have %d)", a.Requires.MinNodes, env.Nodes))
+	}
+	rep.Portable = len(rep.Missing) == 0
+	return rep, nil
+}
+
+// PortableEnvironments returns the environments where the artifact can run.
+func (r *Registry) PortableEnvironments(artifactID string) ([]string, error) {
+	var out []string
+	for _, env := range r.Environments() {
+		rep, err := r.CheckPortability(artifactID, env.Name)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Portable {
+			out = append(out, env.Name)
+		}
+	}
+	return out, nil
+}
+
+// bundle is the export wire format.
+type bundle struct {
+	Artifacts    []*Artifact    `json:"artifacts"`
+	Environments []*Environment `json:"environments,omitempty"`
+}
+
+// Export writes the catalogue (optionally filtered by query) as a JSON
+// bundle that another group's registry can Import.
+func (r *Registry) Export(w io.Writer, q Query) error {
+	b := bundle{Artifacts: r.Search(q), Environments: r.Environments()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Import merges a bundle into the registry. Artifacts whose (Name, Version)
+// already exist are skipped; the count of newly added artifacts is
+// returned.
+func (r *Registry) Import(rd io.Reader) (int, error) {
+	var b bundle
+	if err := json.NewDecoder(rd).Decode(&b); err != nil {
+		return 0, fmt.Errorf("sde: import: %w", err)
+	}
+	added := 0
+	for _, a := range b.Artifacts {
+		in := *a
+		in.ID = "" // IDs are registry-local
+		if _, err := r.Register(in); err != nil {
+			if strings.Contains(err.Error(), "already registered") {
+				continue
+			}
+			return added, err
+		}
+		added++
+	}
+	for _, e := range b.Environments {
+		if err := r.AddEnvironment(*e); err != nil {
+			return added, err
+		}
+	}
+	return added, nil
+}

@@ -1,0 +1,217 @@
+package sde
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func seedRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	arts := []Artifact{
+		{Name: "metarvm", Version: "1.0", Kind: KindModel,
+			Description: "Metapopulation respiratory virus model",
+			Tags:        []string{"epidemiology", "compartmental"},
+			Requires:    Requirements{Languages: []string{"R"}, Modules: []string{"deSolve"}}},
+		{Name: "metarvm", Version: "1.1", Kind: KindModel,
+			Description: "Metapopulation model with interventions",
+			Tags:        []string{"epidemiology"},
+			Requires:    Requirements{Languages: []string{"R"}}},
+		{Name: "music-gsa", Version: "0.9", Kind: KindMEAlgorithm,
+			Description: "Active-learning Sobol sensitivity analysis",
+			Tags:        []string{"gsa", "surrogate"},
+			Requires: Requirements{Languages: []string{"R"}, Modules: []string{"hetGP", "activeSens"},
+				Scheduler: "pbs", MinNodes: 4}},
+		{Name: "rt-harness", Version: "2.0", Kind: KindHarness,
+			Description: "Python harness wrapping Julia Rt estimation and R plotting",
+			Tags:        []string{"wastewater", "rt"},
+			Requires:    Requirements{Languages: []string{"python", "julia", "R"}}},
+	}
+	for i, a := range arts {
+		a.Registered = time.Date(2025, 1, 1+i, 0, 0, 0, 0, time.UTC)
+		if _, err := r.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	envs := []Environment{
+		{Name: "improv", Languages: []string{"R", "python"}, Scheduler: "pbs", Nodes: 16,
+			Modules: []string{"hetGP", "activeSens", "deSolve"}},
+		{Name: "bebop", Languages: []string{"python", "julia", "R"}, Scheduler: "pbs", Nodes: 8,
+			Modules: []string{"deSolve"}},
+		{Name: "laptop", Languages: []string{"python"}, Nodes: 1},
+	}
+	for _, e := range envs {
+		if err := r.AddEnvironment(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(Artifact{Version: "1", Kind: KindModel}); err == nil {
+		t.Fatal("nameless artifact accepted")
+	}
+	if _, err := r.Register(Artifact{Name: "x", Version: "1", Kind: "bogus"}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, err := r.Register(Artifact{Name: "x", Version: "1", Kind: KindModel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(Artifact{Name: "x", Version: "1", Kind: KindModel}); err == nil {
+		t.Fatal("duplicate name@version accepted")
+	}
+}
+
+func TestGetAndLatest(t *testing.T) {
+	r := seedRegistry(t)
+	latest, err := r.Latest("metarvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != "1.1" {
+		t.Fatalf("latest metarvm = %s", latest.Version)
+	}
+	got, err := r.Get(latest.ID)
+	if err != nil || got.Name != "metarvm" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, err := r.Get("art-999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown ID error = %v", err)
+	}
+	if _, err := r.Latest("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown name error = %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	r := seedRegistry(t)
+	if got := r.Search(Query{Kind: KindModel}); len(got) != 2 {
+		t.Fatalf("model search returned %d", len(got))
+	}
+	if got := r.Search(Query{Tag: "GSA"}); len(got) != 1 || got[0].Name != "music-gsa" {
+		t.Fatalf("tag search wrong: %v", got)
+	}
+	if got := r.Search(Query{Text: "julia"}); len(got) != 1 || got[0].Name != "rt-harness" {
+		t.Fatalf("text search wrong: %v", got)
+	}
+	if got := r.Search(Query{}); len(got) != 4 {
+		t.Fatalf("open search returned %d", len(got))
+	}
+	// Sorted by name then version.
+	all := r.Search(Query{})
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name > all[i].Name {
+			t.Fatal("search results not sorted")
+		}
+	}
+}
+
+func TestPortability(t *testing.T) {
+	r := seedRegistry(t)
+	musicArt := r.Search(Query{Text: "active-learning"})[0]
+
+	// improv has everything MUSIC needs.
+	rep, err := r.CheckPortability(musicArt.ID, "improv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Portable {
+		t.Fatalf("MUSIC should be portable to improv; missing %v", rep.Missing)
+	}
+	// bebop lacks the R modules and enough nodes? bebop has 8 nodes (ok)
+	// but no hetGP/activeSens modules.
+	rep, err = r.CheckPortability(musicArt.ID, "bebop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Portable {
+		t.Fatal("MUSIC should not be portable to bebop (missing modules)")
+	}
+	// laptop: no R, no scheduler, too few nodes.
+	rep, _ = r.CheckPortability(musicArt.ID, "laptop")
+	if rep.Portable || len(rep.Missing) < 3 {
+		t.Fatalf("laptop report wrong: %+v", rep)
+	}
+
+	envs, err := r.PortableEnvironments(musicArt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 || envs[0] != "improv" {
+		t.Fatalf("portable environments = %v", envs)
+	}
+}
+
+func TestPortabilityUnknowns(t *testing.T) {
+	r := seedRegistry(t)
+	if _, err := r.CheckPortability("art-999999", "improv"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown artifact accepted")
+	}
+	a := r.Search(Query{})[0]
+	if _, err := r.CheckPortability(a.ID, "atlantis"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown environment accepted")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := seedRegistry(t)
+	var buf bytes.Buffer
+	if err := src.Export(&buf, Query{}); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewRegistry()
+	added, err := dst.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 4 {
+		t.Fatalf("imported %d artifacts, want 4", added)
+	}
+	if len(dst.Environments()) != 3 {
+		t.Fatalf("environments not imported: %d", len(dst.Environments()))
+	}
+	// Re-import is idempotent.
+	var buf2 bytes.Buffer
+	if err := src.Export(&buf2, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	added, err = dst.Import(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("re-import added %d artifacts", added)
+	}
+}
+
+func TestExportFiltered(t *testing.T) {
+	src := seedRegistry(t)
+	var buf bytes.Buffer
+	if err := src.Export(&buf, Query{Kind: KindHarness}); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRegistry()
+	added, err := dst.Import(&buf)
+	if err != nil || added != 1 {
+		t.Fatalf("filtered import: %d, %v", added, err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	dst := NewRegistry()
+	if _, err := dst.Import(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage import accepted")
+	}
+}
+
+func TestEnvironmentValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddEnvironment(Environment{}); err == nil {
+		t.Fatal("nameless environment accepted")
+	}
+}

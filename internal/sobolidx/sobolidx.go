@@ -1,0 +1,288 @@
+// Package sobolidx implements variance-based global sensitivity analysis:
+// pick–freeze (Saltelli/Jansen) Monte Carlo estimators of first- and
+// total-order Sobol' indices. The paper's GSA (§3.1) decomposes the variance
+// of MetaRVM's end-of-simulation hospitalization count into per-parameter
+// contributions; MUSIC estimates these indices on a Gaussian-process
+// surrogate, which this package evaluates exactly the same way it would a
+// raw simulator.
+package sobolidx
+
+import (
+	"errors"
+	"fmt"
+
+	"osprey/internal/design"
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// Func is a deterministic model (or surrogate posterior mean) on the unit
+// cube.
+type Func func(x []float64) float64
+
+// Result holds estimated Sobol indices.
+type Result struct {
+	First    []float64 // first-order indices S_i
+	Total    []float64 // total-order indices ST_i
+	Mean     float64   // sample mean of the output
+	Variance float64   // sample variance of the output
+	N        int       // base sample size (model evaluated N*(d+2) times)
+}
+
+// Options configures Estimate.
+type Options struct {
+	// N is the base sample size (default 1024). The model is evaluated
+	// N*(d+2) times.
+	N int
+	// Rand, when non-nil, switches from the default Sobol' quasi-random
+	// design to pseudo-random sampling with the given stream.
+	Rand *rng.Stream
+	// Clamp01, when true, clips estimated indices into [0,1]; raw
+	// estimators can stray slightly outside under sampling noise.
+	Clamp01 bool
+}
+
+// Estimate computes first- and total-order Sobol indices of f over the unit
+// cube in d dimensions using the Saltelli pick–freeze design with the
+// Saltelli-2010 first-order estimator and the Jansen total-order estimator.
+func Estimate(f Func, d int, opts Options) (Result, error) {
+	if d <= 0 {
+		return Result{}, errors.New("sobolidx: dimension must be positive")
+	}
+	n := opts.N
+	if n <= 0 {
+		n = 1024
+	}
+
+	// Build the A and B base matrices.
+	a := make([][]float64, n)
+	b := make([][]float64, n)
+	if opts.Rand != nil {
+		ua := design.Uniform(opts.Rand, n, d)
+		ub := design.Uniform(opts.Rand, n, d)
+		copy(a, ua)
+		copy(b, ub)
+	} else {
+		if 2*d > 16 {
+			return Result{}, fmt.Errorf("sobolidx: %d dimensions exceed the QMC limit; provide Options.Rand", d)
+		}
+		seq := design.NewSobolSeq(2 * d)
+		for i := 0; i < n; i++ {
+			p := seq.Next()
+			a[i] = p[:d:d]
+			b[i] = p[d:]
+		}
+	}
+
+	fa := make([]float64, n)
+	fb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fa[i] = f(a[i])
+		fb[i] = f(b[i])
+	}
+
+	// Mean and variance from the pooled A and B evaluations.
+	mean := 0.0
+	for i := 0; i < n; i++ {
+		mean += fa[i] + fb[i]
+	}
+	mean /= float64(2 * n)
+	variance := 0.0
+	for i := 0; i < n; i++ {
+		da := fa[i] - mean
+		db := fb[i] - mean
+		variance += da*da + db*db
+	}
+	variance /= float64(2*n - 1)
+
+	res := Result{
+		First:    make([]float64, d),
+		Total:    make([]float64, d),
+		Mean:     mean,
+		Variance: variance,
+		N:        n,
+	}
+	if variance <= 0 {
+		return res, nil
+	}
+
+	abi := make([]float64, d) // scratch point
+	fabi := make([]float64, n)
+	for i := 0; i < d; i++ {
+		for j := 0; j < n; j++ {
+			copy(abi, a[j])
+			abi[i] = b[j][i]
+			fabi[j] = f(abi)
+		}
+		// Saltelli 2010 first-order: V_i = mean(fB * (fABi - fA)).
+		vi := 0.0
+		// Jansen total-order: VT_i = mean((fA - fABi)^2) / 2.
+		vti := 0.0
+		for j := 0; j < n; j++ {
+			vi += fb[j] * (fabi[j] - fa[j])
+			dt := fa[j] - fabi[j]
+			vti += dt * dt
+		}
+		res.First[i] = vi / float64(n) / variance
+		res.Total[i] = vti / float64(2*n) / variance
+		if opts.Clamp01 {
+			res.First[i] = clamp01(res.First[i])
+			res.Total[i] = clamp01(res.Total[i])
+		}
+	}
+	return res, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// FirstOrderFromSurrogate is a convenience wrapper estimating first-order
+// indices from a surrogate's posterior-mean predictor, matching the MUSIC
+// algorithm's inner index evaluation. It uses the quasi-random design with
+// the given base sample size.
+func FirstOrderFromSurrogate(predict Func, d, n int) ([]float64, error) {
+	res, err := Estimate(predict, d, Options{N: n, Clamp01: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.First, nil
+}
+
+// ResultWithSE augments Result with bootstrap standard errors per index —
+// the uncertainty MUSIC's acquisition is named for (Minimize Uncertainty
+// in Sobol Index Convergence).
+type ResultWithSE struct {
+	Result
+	FirstSE []float64
+	TotalSE []float64
+}
+
+// EstimateWithSE computes indices plus bootstrap standard errors by
+// resampling the pick–freeze rows with replacement nBoot times (default
+// 200). The model is evaluated exactly as in Estimate — the bootstrap
+// reuses the stored evaluations, so it adds no model runs.
+func EstimateWithSE(f Func, d int, opts Options, nBoot int, boot *rng.Stream) (*ResultWithSE, error) {
+	if nBoot <= 0 {
+		nBoot = 200
+	}
+	if boot == nil {
+		boot = rng.New(1).Split("sobol-bootstrap")
+	}
+	n := opts.N
+	if n <= 0 {
+		n = 1024
+	}
+	opts.N = n
+
+	// Re-run the pick–freeze design, caching all evaluations.
+	a := make([][]float64, n)
+	b := make([][]float64, n)
+	if opts.Rand != nil {
+		copy(a, design.Uniform(opts.Rand, n, d))
+		copy(b, design.Uniform(opts.Rand, n, d))
+	} else {
+		if 2*d > 16 {
+			return nil, fmt.Errorf("sobolidx: %d dimensions exceed the QMC limit; provide Options.Rand", d)
+		}
+		seq := design.NewSobolSeq(2 * d)
+		for i := 0; i < n; i++ {
+			p := seq.Next()
+			a[i] = p[:d:d]
+			b[i] = p[d:]
+		}
+	}
+	fa := make([]float64, n)
+	fb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fa[i] = f(a[i])
+		fb[i] = f(b[i])
+	}
+	fabi := make([][]float64, d)
+	scratch := make([]float64, d)
+	for i := 0; i < d; i++ {
+		fabi[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			copy(scratch, a[j])
+			scratch[i] = b[j][i]
+			fabi[i][j] = f(scratch)
+		}
+	}
+
+	// Estimators over an index subset (identity = the point estimate).
+	compute := func(rows []int) ([]float64, []float64, float64, float64) {
+		mean := 0.0
+		for _, j := range rows {
+			mean += fa[j] + fb[j]
+		}
+		mean /= float64(2 * len(rows))
+		variance := 0.0
+		for _, j := range rows {
+			da := fa[j] - mean
+			db := fb[j] - mean
+			variance += da*da + db*db
+		}
+		variance /= float64(2*len(rows) - 1)
+		first := make([]float64, d)
+		total := make([]float64, d)
+		if variance <= 0 {
+			return first, total, mean, variance
+		}
+		for i := 0; i < d; i++ {
+			vi, vti := 0.0, 0.0
+			for _, j := range rows {
+				vi += fb[j] * (fabi[i][j] - fa[j])
+				dt := fa[j] - fabi[i][j]
+				vti += dt * dt
+			}
+			first[i] = vi / float64(len(rows)) / variance
+			total[i] = vti / float64(2*len(rows)) / variance
+			if opts.Clamp01 {
+				first[i] = clamp01(first[i])
+				total[i] = clamp01(total[i])
+			}
+		}
+		return first, total, mean, variance
+	}
+
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	first, total, mean, variance := compute(identity)
+	out := &ResultWithSE{
+		Result:  Result{First: first, Total: total, Mean: mean, Variance: variance, N: n},
+		FirstSE: make([]float64, d),
+		TotalSE: make([]float64, d),
+	}
+
+	// Bootstrap.
+	bootFirst := make([][]float64, d)
+	bootTotal := make([][]float64, d)
+	for i := 0; i < d; i++ {
+		bootFirst[i] = make([]float64, nBoot)
+		bootTotal[i] = make([]float64, nBoot)
+	}
+	rows := make([]int, n)
+	for rep := 0; rep < nBoot; rep++ {
+		for j := range rows {
+			rows[j] = boot.Intn(n)
+		}
+		bf, bt, _, _ := compute(rows)
+		for i := 0; i < d; i++ {
+			bootFirst[i][rep] = bf[i]
+			bootTotal[i][rep] = bt[i]
+		}
+	}
+	for i := 0; i < d; i++ {
+		out.FirstSE[i] = stats.StdDev(bootFirst[i])
+		out.TotalSE[i] = stats.StdDev(bootTotal[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package stats
+
+import "math"
+
+// GammaIncP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0, via the series expansion for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes style).
+func GammaIncP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// GammaCDF returns P(X <= x) for X ~ Gamma(shape, rate).
+func GammaCDF(x, shape, rate float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaIncP(shape, rate*x)
+}
+
+// GammaQuantile returns the q-quantile of Gamma(shape, rate) by bisection on
+// the CDF (robust, and fast enough for posterior interval computation).
+func GammaQuantile(q, shape, rate float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	mean := shape / rate
+	sd := math.Sqrt(shape) / rate
+	lo, hi := 0.0, mean+10*sd+10/rate
+	for GammaCDF(hi, shape, rate) < q {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.NaN()
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if GammaCDF(mid, shape, rate) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// GammaPDFLog returns the log density of Gamma(shape, rate) at x.
+func GammaPDFLog(x, shape, rate float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(shape)
+	return shape*math.Log(rate) - lg + (shape-1)*math.Log(x) - rate*x
+}
+
+// NormalCDF returns the standard normal CDF at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile via the
+// Beasley–Springer–Moro approximation refined by one Newton step.
+func NormalQuantile(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	// Rational approximation (Acklam).
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case q < pLow:
+		u := math.Sqrt(-2 * math.Log(q))
+		x = (((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	case q <= 1-pLow:
+		u := q - 0.5
+		r := u * u
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * u /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		u := math.Sqrt(-2 * math.Log(1-q))
+		x = -(((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	}
+	// One Newton refinement.
+	e := NormalCDF(x) - q
+	pdf := math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+	if pdf > 0 {
+		x -= e / pdf
+	}
+	return x
+}
+
+// LogNormalPDFLog returns the log density of LogNormal(mu, sigma) at x.
+func LogNormalPDFLog(x, mu, sigma float64) float64 {
+	if x <= 0 || sigma <= 0 {
+		return math.Inf(-1)
+	}
+	lx := math.Log(x)
+	z := (lx - mu) / sigma
+	return -lx - math.Log(sigma) - 0.5*math.Log(2*math.Pi) - 0.5*z*z
+}

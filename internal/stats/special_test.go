@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaIncPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaIncP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P(a, inf) -> 1.
+	if GammaIncP(2.5, 0) != 0 {
+		t.Fatal("P(a,0) != 0")
+	}
+	if math.Abs(GammaIncP(2.5, 1000)-1) > 1e-12 {
+		t.Fatal("P(a,large) != 1")
+	}
+}
+
+func TestGammaIncPMonotone(t *testing.T) {
+	f := func(raw uint16) bool {
+		a := 0.1 + float64(raw%500)/25.0
+		prev := -1.0
+		for x := 0.0; x < 30; x += 0.5 {
+			v := GammaIncP(a, x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	cases := []struct{ shape, rate float64 }{{1, 1}, {2.5, 0.5}, {10, 3}, {0.5, 2}}
+	for _, c := range cases {
+		for _, q := range []float64{0.025, 0.25, 0.5, 0.75, 0.975} {
+			x := GammaQuantile(q, c.shape, c.rate)
+			back := GammaCDF(x, c.shape, c.rate)
+			if math.Abs(back-q) > 1e-8 {
+				t.Fatalf("CDF(Quantile(%v)) = %v for shape=%v rate=%v", q, back, c.shape, c.rate)
+			}
+		}
+	}
+}
+
+func TestGammaQuantileMedianOfExponential(t *testing.T) {
+	// Median of Exp(1) = ln 2.
+	if got := GammaQuantile(0.5, 1, 1); math.Abs(got-math.Ln2) > 1e-8 {
+		t.Fatalf("median of Exp(1) = %v, want ln2", got)
+	}
+}
+
+func TestGammaPDFLogIntegratesToOne(t *testing.T) {
+	shape, rate := 3.0, 1.5
+	sum := 0.0
+	dx := 0.001
+	for x := dx / 2; x < 40; x += dx {
+		sum += math.Exp(GammaPDFLog(x, shape, rate)) * dx
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("gamma pdf integrates to %v", sum)
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 1.96, 3} {
+		if math.Abs(NormalCDF(x)+NormalCDF(-x)-1) > 1e-14 {
+			t.Fatalf("CDF symmetry violated at %v", x)
+		}
+	}
+	if math.Abs(NormalCDF(1.959964)-0.975) > 1e-6 {
+		t.Fatalf("CDF(1.96) = %v", NormalCDF(1.959964))
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, q := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x := NormalQuantile(q)
+		if math.Abs(NormalCDF(x)-q) > 1e-9 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", q, NormalCDF(x))
+		}
+	}
+	if NormalQuantile(0.5) != 0 && math.Abs(NormalQuantile(0.5)) > 1e-12 {
+		t.Fatal("median of standard normal should be 0")
+	}
+}
+
+func TestLogNormalPDFLog(t *testing.T) {
+	// Mode of LogNormal(0, 1) is exp(-1); density must be lower elsewhere.
+	mode := math.Exp(-1.0)
+	dMode := LogNormalPDFLog(mode, 0, 1)
+	if LogNormalPDFLog(1.5, 0, 1) >= dMode || LogNormalPDFLog(0.1, 0, 1) >= dMode {
+		t.Fatal("log-normal mode not at exp(-sigma^2+mu)")
+	}
+	if !math.IsInf(LogNormalPDFLog(-1, 0, 1), -1) {
+		t.Fatal("negative support should give -Inf")
+	}
+}

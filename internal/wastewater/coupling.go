@@ -1,0 +1,65 @@
+package wastewater
+
+import (
+	"errors"
+
+	"osprey/internal/rng"
+)
+
+// GenerateFromIncidence produces a plant's observed concentration series
+// from an externally supplied infection-incidence trajectory, rather than
+// the package's internal renewal process. This couples the two use cases:
+// a MetaRVM simulation (use case 2) can drive the wastewater observation
+// model whose inversion is use case 1 — the paper's future-work direction
+// of "epidemiological analyses ... directly integrated via OSPREY-enabled
+// automation".
+//
+// The incidence is interpreted as infections within the plant's sewershed
+// per day; the observation model (shedding kernel, flow dilution,
+// log-normal noise, sampling cadence) matches Generate.
+func GenerateFromIncidence(p Plant, incidence []float64, sc Scenario, stream *rng.Stream) (*Series, error) {
+	if len(incidence) == 0 {
+		return nil, errors.New("wastewater: empty incidence series")
+	}
+	for _, v := range incidence {
+		if v < 0 {
+			return nil, errors.New("wastewater: negative incidence")
+		}
+	}
+	if p.SampleEvery < 1 {
+		p.SampleEvery = 1
+	}
+	if sc.SheddingMean <= 0 {
+		sc.SheddingMean = 6
+	}
+	if sc.SheddingSD <= 0 {
+		sc.SheddingSD = 3
+	}
+	sc.Days = len(incidence)
+
+	shed := SheddingKernel(sc.SheddingMean, sc.SheddingSD, 28)
+	const loadPerInfection = 1e9
+	noise := stream.Split("noise")
+	s := &Series{
+		Plant:         p,
+		Scenario:      sc,
+		TrueIncidence: append([]float64(nil), incidence...),
+		TrueRt:        append([]float64(nil), sc.Rt...),
+	}
+	for d := 0; d < sc.Days; d++ {
+		if d%p.SampleEvery != 0 {
+			continue
+		}
+		load := 0.0
+		for lag := 0; lag < len(shed) && lag <= d; lag++ {
+			load += incidence[d-lag] * shed[lag]
+		}
+		expected := load * loadPerInfection / (p.FlowML * 1e6)
+		if expected <= 0 {
+			continue
+		}
+		obs := expected * noise.LogNormal(0, p.NoiseSigma)
+		s.Observations = append(s.Observations, Observation{Day: d, Concentration: obs})
+	}
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package wastewater
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// LiveSource serves a Series over HTTP as a CSV document that grows as
+// simulated time advances, mimicking the daily-updated surveillance feed
+// AERO polls in the paper's use case. It is safe for concurrent use.
+type LiveSource struct {
+	mu     sync.RWMutex
+	series *Series
+	day    int
+}
+
+// NewLiveSource creates a source whose feed initially contains observations
+// up to and including startDay.
+func NewLiveSource(series *Series, startDay int) *LiveSource {
+	if startDay < 0 {
+		startDay = 0
+	}
+	return &LiveSource{series: series, day: startDay}
+}
+
+// Advance moves simulated time forward n days, exposing any newly sampled
+// observations to subsequent fetches. It returns the new current day.
+func (ls *LiveSource) Advance(n int) int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if n > 0 {
+		ls.day += n
+	}
+	if ls.day > ls.series.Scenario.Days {
+		ls.day = ls.series.Scenario.Days
+	}
+	return ls.day
+}
+
+// CurrentDay reports the simulated "today".
+func (ls *LiveSource) CurrentDay() int {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.day
+}
+
+// Body returns the current CSV document.
+func (ls *LiveSource) Body() string {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.series.CSV(ls.day)
+}
+
+// ETag returns a strong entity tag over the current body, letting pollers
+// detect updates without downloading (the versioning-by-checksum behaviour
+// of the AERO ingestion flow).
+func (ls *LiveSource) ETag() string {
+	sum := sha256.Sum256([]byte(ls.Body()))
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// ServeHTTP implements http.Handler, honoring If-None-Match.
+func (ls *LiveSource) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body := ls.Body()
+	sum := sha256.Sum256([]byte(body))
+	etag := `"` + hex.EncodeToString(sum[:8]) + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	fmt.Fprint(w, body)
+}

@@ -1,0 +1,132 @@
+package wastewater
+
+import (
+	"fmt"
+	"math"
+
+	"osprey/internal/stats"
+)
+
+// QualityOptions configures observation cleaning. Zero values select the
+// defaults noted per field.
+type QualityOptions struct {
+	// SpikeMADs flags observations whose log concentration deviates from
+	// the rolling median by more than this many (normal-consistent) MADs
+	// (default 5). Wastewater signals are log-normal-ish, so screening on
+	// the log scale keeps genuine epidemic growth out of the outlier set.
+	SpikeMADs float64
+	// Window is the rolling-window half-width in observations used for
+	// the local median (default 7).
+	Window int
+	// MaxGapDays flags gaps longer than this for the report (default 14);
+	// gaps are reported, never "fixed".
+	MaxGapDays int
+}
+
+func (o *QualityOptions) defaults() {
+	if o.SpikeMADs <= 0 {
+		o.SpikeMADs = 5
+	}
+	if o.Window <= 0 {
+		o.Window = 7
+	}
+	if o.MaxGapDays <= 0 {
+		o.MaxGapDays = 14
+	}
+}
+
+// QualityIssue describes one flagged observation or gap.
+type QualityIssue struct {
+	Day    int
+	Kind   string // "nonpositive" | "spike" | "gap"
+	Detail string
+}
+
+// QualityReport summarizes a cleaning pass — the provenance record of what
+// validation did to the data, stored alongside the transformed product so
+// downstream consumers can audit it (goal 2: "ensuring data quality and
+// provenance").
+type QualityReport struct {
+	Input   int
+	Kept    int
+	Dropped int
+	Issues  []QualityIssue
+}
+
+// CleanObservations validates a raw observation series: nonpositive
+// concentrations are dropped, isolated spikes far outside the local
+// log-scale distribution are dropped, and long sampling gaps are flagged
+// (but kept). It returns the cleaned series and the audit report.
+func CleanObservations(obs []Observation, opts QualityOptions) ([]Observation, *QualityReport) {
+	(&opts).defaults()
+	report := &QualityReport{Input: len(obs)}
+	if len(obs) == 0 {
+		return nil, report
+	}
+
+	// Pass 1: drop nonpositive values (assay failures).
+	var positive []Observation
+	for _, o := range obs {
+		if o.Concentration <= 0 || math.IsNaN(o.Concentration) || math.IsInf(o.Concentration, 0) {
+			report.Issues = append(report.Issues, QualityIssue{
+				Day: o.Day, Kind: "nonpositive",
+				Detail: fmt.Sprintf("concentration %v", o.Concentration),
+			})
+			continue
+		}
+		positive = append(positive, o)
+	}
+
+	// Pass 2: robust spike screen on the log scale with a rolling window.
+	logs := make([]float64, len(positive))
+	for i, o := range positive {
+		logs[i] = math.Log(o.Concentration)
+	}
+	keep := make([]bool, len(positive))
+	for i := range positive {
+		lo := i - opts.Window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + opts.Window + 1
+		if hi > len(positive) {
+			hi = len(positive)
+		}
+		window := logs[lo:hi]
+		med := stats.Median(window)
+		mad := stats.MAD(window, true)
+		if mad <= 0 {
+			keep[i] = true
+			continue
+		}
+		dev := math.Abs(logs[i]-med) / mad
+		if dev > opts.SpikeMADs {
+			report.Issues = append(report.Issues, QualityIssue{
+				Day: positive[i].Day, Kind: "spike",
+				Detail: fmt.Sprintf("%.1f MADs from local median", dev),
+			})
+			continue
+		}
+		keep[i] = true
+	}
+	var cleaned []Observation
+	for i, ok := range keep {
+		if ok {
+			cleaned = append(cleaned, positive[i])
+		}
+	}
+
+	// Pass 3: flag long gaps between consecutive kept observations.
+	for i := 1; i < len(cleaned); i++ {
+		if gap := cleaned[i].Day - cleaned[i-1].Day; gap > opts.MaxGapDays {
+			report.Issues = append(report.Issues, QualityIssue{
+				Day: cleaned[i].Day, Kind: "gap",
+				Detail: fmt.Sprintf("%d days since previous sample", gap),
+			})
+		}
+	}
+
+	report.Kept = len(cleaned)
+	report.Dropped = report.Input - report.Kept
+	return cleaned, report
+}

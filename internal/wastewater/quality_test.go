@@ -1,0 +1,110 @@
+package wastewater
+
+import (
+	"strings"
+	"testing"
+
+	"osprey/internal/rng"
+)
+
+func TestCleanDropsNonpositive(t *testing.T) {
+	obs := []Observation{
+		{Day: 0, Concentration: 10},
+		{Day: 2, Concentration: -1},
+		{Day: 4, Concentration: 0},
+		{Day: 6, Concentration: 12},
+	}
+	cleaned, report := CleanObservations(obs, QualityOptions{})
+	if len(cleaned) != 2 {
+		t.Fatalf("kept %d, want 2", len(cleaned))
+	}
+	if report.Dropped != 2 || report.Input != 4 || report.Kept != 2 {
+		t.Fatalf("report wrong: %+v", report)
+	}
+	nonpos := 0
+	for _, iss := range report.Issues {
+		if iss.Kind == "nonpositive" {
+			nonpos++
+		}
+	}
+	if nonpos != 2 {
+		t.Fatalf("nonpositive issues = %d", nonpos)
+	}
+}
+
+func TestCleanDropsIsolatedSpike(t *testing.T) {
+	// Smooth series with one 1000x spike: the spike goes, the rest stays.
+	var obs []Observation
+	for d := 0; d < 40; d += 2 {
+		c := 100.0 + float64(d)
+		if d == 20 {
+			c = 150000
+		}
+		obs = append(obs, Observation{Day: d, Concentration: c})
+	}
+	cleaned, report := CleanObservations(obs, QualityOptions{})
+	for _, o := range cleaned {
+		if o.Concentration > 100000 {
+			t.Fatal("spike survived cleaning")
+		}
+	}
+	if report.Dropped != 1 {
+		t.Fatalf("dropped %d, want exactly the spike", report.Dropped)
+	}
+	if report.Issues[0].Kind != "spike" {
+		t.Fatalf("issue kind %q", report.Issues[0].Kind)
+	}
+}
+
+func TestCleanKeepsEpidemicGrowth(t *testing.T) {
+	// A genuine epidemic doubling every 4 days must NOT be flagged: the
+	// log-scale screen sees steady growth, not spikes.
+	sc := DefaultScenario(120)
+	s := Generate(ChicagoPlants()[0], sc, rng.New(8))
+	cleaned, report := CleanObservations(s.Observations, QualityOptions{})
+	frac := float64(len(cleaned)) / float64(len(s.Observations))
+	if frac < 0.97 {
+		t.Fatalf("cleaning dropped %.0f%% of legitimate data (%d issues)",
+			(1-frac)*100, len(report.Issues))
+	}
+}
+
+func TestCleanFlagsGaps(t *testing.T) {
+	obs := []Observation{
+		{Day: 0, Concentration: 10},
+		{Day: 2, Concentration: 11},
+		{Day: 40, Concentration: 12}, // 38-day gap
+	}
+	_, report := CleanObservations(obs, QualityOptions{})
+	found := false
+	for _, iss := range report.Issues {
+		if iss.Kind == "gap" && iss.Day == 40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gap not flagged: %+v", report.Issues)
+	}
+	// Gaps are reported, not dropped.
+	if report.Dropped != 0 {
+		t.Fatal("gap handling dropped data")
+	}
+}
+
+func TestCleanEmptyInput(t *testing.T) {
+	cleaned, report := CleanObservations(nil, QualityOptions{})
+	if cleaned != nil || report.Input != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestParseCSVSkipsComments(t *testing.T) {
+	text := "day,concentration\n# quality: input=3 kept=2 dropped=1\n1,5.0\n# quality-issue: day=2 kind=spike\n3,6.0\n"
+	obs, err := ParseCSV(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("parsed %d observations, want 2", len(obs))
+	}
+}

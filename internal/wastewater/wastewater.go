@@ -1,0 +1,243 @@
+// Package wastewater provides the synthetic stand-in for the Illinois
+// Wastewater Surveillance System data the paper ingests (§2): a mechanistic
+// generator of pathogen-concentration time series for the four Chicago-area
+// water reclamation plants, and a live HTTP CSV source whose content
+// advances over (simulated) time so the AERO polling/trigger path is
+// exercised exactly as it would be against the real feed.
+//
+// The generator simulates a regional epidemic with a known ground-truth
+// R(t) via the renewal equation, convolves infections with a fecal-shedding
+// load kernel, dilutes by plant flow, and applies log-normal measurement
+// noise — the observation model of the Goldstein method (Goldstein et al.
+// 2024) that internal/rt inverts. Because the truth is known, the full
+// pipeline can be validated in a way production data never allows.
+package wastewater
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"osprey/internal/epi"
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+// Plant describes one water reclamation plant.
+type Plant struct {
+	Name string
+	// Population served by the plant's sewershed.
+	Population int
+	// FlowML is the average daily flow in megaliters, used for dilution.
+	FlowML float64
+	// NoiseSigma is the log-scale standard deviation of measurement noise.
+	NoiseSigma float64
+	// SampleEvery is the sampling cadence in days (1 = daily).
+	SampleEvery int
+}
+
+// ChicagoPlants returns the four plants of the paper's use case: O'Brien,
+// Calumet, Stickney South and Stickney North, with approximate populations
+// served.
+func ChicagoPlants() []Plant {
+	return []Plant{
+		{Name: "O'Brien", Population: 1300000, FlowML: 900, NoiseSigma: 0.45, SampleEvery: 2},
+		{Name: "Calumet", Population: 1000000, FlowML: 1100, NoiseSigma: 0.55, SampleEvery: 2},
+		{Name: "Stickney South", Population: 1200000, FlowML: 1400, NoiseSigma: 0.5, SampleEvery: 2},
+		{Name: "Stickney North", Population: 1100000, FlowML: 1300, NoiseSigma: 0.5, SampleEvery: 2},
+	}
+}
+
+// Scenario is the regional ground truth driving every plant.
+type Scenario struct {
+	Days int
+	// Rt is the day-indexed ground-truth effective reproduction number.
+	Rt []float64
+	// SeedInfectionsPerCapita seeds the first week of the epidemic.
+	SeedInfectionsPerCapita float64
+	// GenerationMean/SD parameterize the generation-interval gamma.
+	GenerationMean, GenerationSD float64
+	// SheddingMean/SD parameterize the shedding-load kernel gamma.
+	SheddingMean, SheddingSD float64
+}
+
+// DefaultScenario returns a two-phase wave: R(t) starts around 1.4, falls
+// below 1 mid-series and partially rebounds — the kind of trend-change
+// public health surveillance needs to detect.
+func DefaultScenario(days int) Scenario {
+	rt := make([]float64, days)
+	for d := 0; d < days; d++ {
+		frac := float64(d) / float64(days)
+		switch {
+		case frac < 0.3:
+			rt[d] = 1.4 - 0.5*frac/0.3
+		case frac < 0.6:
+			rt[d] = 0.9 - 0.15*(frac-0.3)/0.3
+		default:
+			rt[d] = 0.75 + 0.45*(frac-0.6)/0.4
+		}
+	}
+	return Scenario{
+		Days: days, Rt: rt,
+		SeedInfectionsPerCapita: 2e-4,
+		GenerationMean:          5.2, GenerationSD: 1.9,
+		SheddingMean: 6.0, SheddingSD: 3.0,
+	}
+}
+
+// SheddingKernel discretizes the gamma shedding-load curve onto days
+// 0..maxLag (shedding begins at infection) and normalizes to unit total
+// load.
+func SheddingKernel(meanDays, sdDays float64, maxLag int) []float64 {
+	if meanDays <= 0 || sdDays <= 0 || maxLag < 1 {
+		panic("wastewater: SheddingKernel requires positive mean, sd, maxLag")
+	}
+	shape := meanDays * meanDays / (sdDays * sdDays)
+	rate := meanDays / (sdDays * sdDays)
+	w := make([]float64, maxLag+1)
+	total := 0.0
+	for s := 0; s <= maxLag; s++ {
+		p := stats.GammaCDF(float64(s+1), shape, rate) - stats.GammaCDF(float64(s), shape, rate)
+		w[s] = p
+		total += p
+	}
+	for s := range w {
+		w[s] /= total
+	}
+	return w
+}
+
+// Observation is one measured concentration.
+type Observation struct {
+	Day           int
+	Concentration float64 // genome copies per liter (arbitrary units)
+}
+
+// Series is a complete generated dataset for one plant, including the
+// latent truth for validation.
+type Series struct {
+	Plant        Plant
+	Scenario     Scenario
+	Observations []Observation
+	// TrueIncidence and TrueRt are the latent ground truth, never exposed
+	// over the data feed; estimators are scored against them.
+	TrueIncidence []float64
+	TrueRt        []float64
+}
+
+// Generate simulates a plant's dataset. The per-plant stream decouples
+// plant noise while the shared scenario keeps the regional truth common, as
+// in the paper's multi-plant aggregation.
+func Generate(p Plant, sc Scenario, stream *rng.Stream) *Series {
+	if p.SampleEvery < 1 {
+		p.SampleEvery = 1
+	}
+	w := epi.DiscretizedGamma(sc.GenerationMean, sc.GenerationSD, 20)
+	seedDays := 7
+	seed := make([]float64, seedDays)
+	for i := range seed {
+		seed[i] = sc.SeedInfectionsPerCapita * float64(p.Population)
+	}
+	inc := epi.RenewalSimulate(sc.Rt, seed, w, stream.Split("renewal"))
+
+	shed := SheddingKernel(sc.SheddingMean, sc.SheddingSD, 28)
+	// Expected concentration: total shed load / daily flow (liters).
+	// loadPerInfection is an arbitrary but fixed genome-copies scale.
+	const loadPerInfection = 1e9
+	noise := stream.Split("noise")
+	s := &Series{Plant: p, Scenario: sc, TrueIncidence: inc, TrueRt: append([]float64(nil), sc.Rt...)}
+	for d := 0; d < sc.Days; d++ {
+		if d%p.SampleEvery != 0 {
+			continue
+		}
+		load := 0.0
+		for lag := 0; lag < len(shed) && lag <= d; lag++ {
+			load += inc[d-lag] * shed[lag]
+		}
+		expected := load * loadPerInfection / (p.FlowML * 1e6)
+		if expected <= 0 {
+			continue
+		}
+		obs := expected * noise.LogNormal(0, p.NoiseSigma)
+		s.Observations = append(s.Observations, Observation{Day: d, Concentration: obs})
+	}
+	return s
+}
+
+// GenerateAll generates one Series per plant under a shared scenario.
+func GenerateAll(plants []Plant, sc Scenario, root *rng.Stream) []*Series {
+	out := make([]*Series, len(plants))
+	for i, p := range plants {
+		out[i] = Generate(p, sc, root.Split("plant/"+p.Name))
+	}
+	return out
+}
+
+// csvHeader is the wire format of the simulated surveillance feed.
+const csvHeader = "day,concentration,plant"
+
+// WriteCSV writes observations up to and including uptoDay in the feed's
+// CSV format. Pass a negative uptoDay to write everything.
+func (s *Series) WriteCSV(w io.Writer, uptoDay int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
+		return err
+	}
+	for _, o := range s.Observations {
+		if uptoDay >= 0 && o.Day > uptoDay {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.6g,%s\n", o.Day, o.Concentration, s.Plant.Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CSV renders the series to a string (see WriteCSV).
+func (s *Series) CSV(uptoDay int) string {
+	var sb strings.Builder
+	_ = s.WriteCSV(&sb, uptoDay)
+	return sb.String()
+}
+
+// ParseCSV decodes the feed format, tolerating a missing plant column.
+func ParseCSV(r io.Reader) ([]Observation, error) {
+	sc := bufio.NewScanner(r)
+	var out []Observation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue // comments carry quality/provenance annotations
+		}
+		if line == 1 && strings.HasPrefix(text, "day,") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("wastewater: line %d: want at least 2 fields, got %q", line, text)
+		}
+		day, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("wastewater: line %d: bad day: %v", line, err)
+		}
+		conc, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("wastewater: line %d: bad concentration: %v", line, err)
+		}
+		if conc < 0 {
+			return nil, fmt.Errorf("wastewater: line %d: negative concentration", line)
+		}
+		out = append(out, Observation{Day: day, Concentration: conc})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package wastewater
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osprey/internal/rng"
+	"osprey/internal/stats"
+)
+
+func TestChicagoPlantsMatchPaper(t *testing.T) {
+	plants := ChicagoPlants()
+	want := []string{"O'Brien", "Calumet", "Stickney South", "Stickney North"}
+	if len(plants) != 4 {
+		t.Fatalf("paper uses 4 plants, got %d", len(plants))
+	}
+	for i, p := range plants {
+		if p.Name != want[i] {
+			t.Fatalf("plant %d = %q, want %q", i, p.Name, want[i])
+		}
+		if p.Population <= 0 || p.FlowML <= 0 || p.NoiseSigma <= 0 {
+			t.Fatalf("plant %q has invalid parameters: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestSheddingKernelIsPMF(t *testing.T) {
+	w := SheddingKernel(6, 3, 28)
+	sum := 0.0
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("negative kernel weight")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("kernel sums to %v", sum)
+	}
+	if w[0] <= 0 {
+		t.Fatal("shedding should begin at infection (day 0)")
+	}
+}
+
+func TestDefaultScenarioShape(t *testing.T) {
+	sc := DefaultScenario(120)
+	if len(sc.Rt) != 120 {
+		t.Fatal("Rt length mismatch")
+	}
+	if sc.Rt[0] < 1.3 {
+		t.Fatalf("scenario should start above 1.3, got %v", sc.Rt[0])
+	}
+	mid := sc.Rt[60]
+	if mid > 1 {
+		t.Fatalf("scenario should dip below 1 mid-series, got %v", mid)
+	}
+	if sc.Rt[119] <= mid {
+		t.Fatal("scenario should rebound at the end")
+	}
+}
+
+func TestGenerateTracksTruth(t *testing.T) {
+	sc := DefaultScenario(120)
+	p := ChicagoPlants()[0]
+	s := Generate(p, sc, rng.New(1))
+	if len(s.Observations) == 0 {
+		t.Fatal("no observations generated")
+	}
+	// Sampling cadence respected.
+	for _, o := range s.Observations {
+		if o.Day%p.SampleEvery != 0 {
+			t.Fatalf("observation on off-cadence day %d", o.Day)
+		}
+		if o.Concentration <= 0 {
+			t.Fatalf("nonpositive concentration %v", o.Concentration)
+		}
+	}
+	// The log-concentration series must correlate with the log of the
+	// shedding-smoothed incidence: the signal is noisy but present.
+	var lc, li []float64
+	for _, o := range s.Observations {
+		if o.Day < 10 {
+			continue
+		}
+		lc = append(lc, math.Log(o.Concentration))
+		li = append(li, math.Log(s.TrueIncidence[o.Day]+1))
+	}
+	if c := stats.Correlation(lc, li); c < 0.6 {
+		t.Fatalf("log concentration/incidence correlation %v < 0.6", c)
+	}
+}
+
+func TestGenerateAllSharesTruthDiffersInNoise(t *testing.T) {
+	sc := DefaultScenario(100)
+	all := GenerateAll(ChicagoPlants(), sc, rng.New(5))
+	if len(all) != 4 {
+		t.Fatal("want 4 series")
+	}
+	for _, s := range all {
+		for d := range s.TrueRt {
+			if s.TrueRt[d] != sc.Rt[d] {
+				t.Fatal("plants must share the regional ground-truth R(t)")
+			}
+		}
+	}
+	// Different plants see different noise realizations.
+	if all[0].Observations[5].Concentration == all[1].Observations[5].Concentration {
+		t.Fatal("two plants produced identical observations")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	sc := DefaultScenario(60)
+	s := Generate(ChicagoPlants()[1], sc, rng.New(2))
+	text := s.CSV(-1)
+	if !strings.HasPrefix(text, "day,concentration,plant\n") {
+		t.Fatal("missing CSV header")
+	}
+	obs, err := ParseCSV(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != len(s.Observations) {
+		t.Fatalf("round trip lost observations: %d vs %d", len(obs), len(s.Observations))
+	}
+	for i, o := range obs {
+		if o.Day != s.Observations[i].Day {
+			t.Fatal("day mismatch after round trip")
+		}
+		rel := math.Abs(o.Concentration-s.Observations[i].Concentration) / s.Observations[i].Concentration
+		if rel > 1e-5 {
+			t.Fatalf("concentration mismatch after round trip: %v", rel)
+		}
+	}
+}
+
+func TestCSVTruncation(t *testing.T) {
+	sc := DefaultScenario(60)
+	s := Generate(ChicagoPlants()[0], sc, rng.New(3))
+	obs, err := ParseCSV(strings.NewReader(s.CSV(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if o.Day > 30 {
+			t.Fatalf("observation past cutoff day: %d", o.Day)
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"day,concentration,plant\nnotanumber,1.5,x",
+		"day,concentration,plant\n3,notanumber,x",
+		"day,concentration,plant\n3,-2,x",
+		"day,concentration,plant\n3",
+	}
+	for _, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("bad CSV accepted: %q", c)
+		}
+	}
+}
+
+func TestParseCSVSortsByDay(t *testing.T) {
+	obs, err := ParseCSV(strings.NewReader("10,5.0\n2,3.0\n6,4.0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Day < obs[i-1].Day {
+			t.Fatal("observations not sorted")
+		}
+	}
+}
+
+func TestLiveSourceAdvanceAndETag(t *testing.T) {
+	sc := DefaultScenario(90)
+	s := Generate(ChicagoPlants()[0], sc, rng.New(4))
+	ls := NewLiveSource(s, 30)
+	srv := httptest.NewServer(ls)
+	defer srv.Close()
+
+	get := func(etag string) (int, string, string) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := new(strings.Builder)
+		b := make([]byte, 64*1024)
+		for {
+			n, err := resp.Body.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, buf.String(), resp.Header.Get("ETag")
+	}
+
+	code, body1, etag1 := get("")
+	if code != http.StatusOK || etag1 == "" {
+		t.Fatalf("first fetch: code %d etag %q", code, etag1)
+	}
+	// Conditional fetch with matching ETag: 304.
+	code, _, _ = get(etag1)
+	if code != http.StatusNotModified {
+		t.Fatalf("matching ETag returned %d, want 304", code)
+	}
+	// Advance time: content and ETag change.
+	ls.Advance(14)
+	code, body2, etag2 := get(etag1)
+	if code != http.StatusOK {
+		t.Fatalf("post-advance fetch returned %d", code)
+	}
+	if etag2 == etag1 {
+		t.Fatal("ETag unchanged after data update")
+	}
+	if len(body2) <= len(body1) {
+		t.Fatal("feed did not grow after Advance")
+	}
+}
+
+func TestLiveSourceClampsToScenarioEnd(t *testing.T) {
+	sc := DefaultScenario(50)
+	s := Generate(ChicagoPlants()[0], sc, rng.New(6))
+	ls := NewLiveSource(s, 45)
+	if got := ls.Advance(100); got != 50 {
+		t.Fatalf("Advance past end = %d, want clamp to 50", got)
+	}
+}
+
+func TestLiveSourceRejectsPost(t *testing.T) {
+	sc := DefaultScenario(50)
+	s := Generate(ChicagoPlants()[0], sc, rng.New(7))
+	srv := httptest.NewServer(NewLiveSource(s, 10))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST returned %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	sc := DefaultScenario(120)
+	p := ChicagoPlants()[0]
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		Generate(p, sc, r.Split("bench"))
+	}
+}
+
+func TestGenerateFromIncidenceValidation(t *testing.T) {
+	p := ChicagoPlants()[0]
+	if _, err := GenerateFromIncidence(p, nil, Scenario{}, rng.New(1)); err == nil {
+		t.Fatal("empty incidence accepted")
+	}
+	if _, err := GenerateFromIncidence(p, []float64{1, -2}, Scenario{}, rng.New(1)); err == nil {
+		t.Fatal("negative incidence accepted")
+	}
+}
+
+func TestGenerateFromIncidenceTracksSignal(t *testing.T) {
+	p := ChicagoPlants()[0]
+	p.SampleEvery = 1
+	// A triangular incidence pulse must show up as a (lagged, smoothed)
+	// concentration pulse.
+	days := 90
+	inc := make([]float64, days)
+	for d := 20; d < 50; d++ {
+		inc[d] = float64(500 - 30*absInt(d-35))
+		if inc[d] < 0 {
+			inc[d] = 0
+		}
+	}
+	s, err := GenerateFromIncidence(p, inc, Scenario{}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrueIncidence) != days {
+		t.Fatal("incidence not recorded")
+	}
+	// The peak observed concentration should land after the incidence
+	// peak (shedding lag) and before the series end.
+	peakDay, peakVal := 0, 0.0
+	for _, o := range s.Observations {
+		if o.Concentration > peakVal {
+			peakVal, peakDay = o.Concentration, o.Day
+		}
+	}
+	if peakDay < 35 || peakDay > 60 {
+		t.Fatalf("concentration peak at day %d, want after incidence peak 35", peakDay)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

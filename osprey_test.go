@@ -1,0 +1,164 @@
+package osprey_test
+
+import (
+	"fmt"
+	"testing"
+
+	"osprey"
+	"osprey/internal/metarvm"
+)
+
+func TestPublicAPIPlatformLifecycle(t *testing.T) {
+	p, err := osprey.New(osprey.Config{Identity: "api-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	if p.Identity != "api-test" {
+		t.Fatal("identity not propagated")
+	}
+	if p.Storage == nil || p.LoginCompute == nil || p.BatchCompute == nil || p.TaskDB == nil {
+		t.Fatal("platform subsystems missing")
+	}
+}
+
+func TestPublicAPIChicagoPlants(t *testing.T) {
+	plants := osprey.ChicagoPlants()
+	if len(plants) != 4 {
+		t.Fatalf("want 4 plants, got %d", len(plants))
+	}
+	total := 0
+	for _, p := range plants {
+		total += p.Population
+	}
+	// The MWRD plants together serve several million people.
+	if total < 3_000_000 || total > 10_000_000 {
+		t.Fatalf("total served population %d implausible", total)
+	}
+}
+
+func TestPublicAPIMetaRVM(t *testing.T) {
+	cfg := osprey.DefaultMetaRVMConfig()
+	if cfg.Days != 90 {
+		t.Fatalf("paper horizon is 90 days, config says %d", cfg.Days)
+	}
+	res, err := osprey.RunMetaRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CumHospitalizations <= 0 {
+		t.Fatal("nominal run produced no hospitalizations")
+	}
+}
+
+func TestPublicAPIGSAParameterSpace(t *testing.T) {
+	space := osprey.GSAParameterSpace()
+	if space.Dim() != 5 {
+		t.Fatalf("Table 1 has 5 parameters, got %d", space.Dim())
+	}
+	if space.Index("ts") != 0 || space.Index("phd") != 4 {
+		t.Fatal("parameter ordering changed")
+	}
+}
+
+func TestPublicAPIWastewaterPipelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p, err := osprey.New(osprey.Config{Identity: "api-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	wp, err := osprey.NewWastewaterPipeline(p, osprey.WastewaterConfig{
+		ScenarioDays: 90, StartDay: 70,
+		Goldstein: osprey.GoldsteinOptions{Iterations: 100, BurnIn: 150},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wp.Close()
+	updates, err := wp.PollAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updates != 4 {
+		t.Fatalf("updates = %d", updates)
+	}
+	if _, err := wp.LatestEnsemble(); err != nil {
+		t.Fatalf("no ensemble produced: %v", err)
+	}
+}
+
+func TestPublicAPIGSASmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p, err := osprey.New(osprey.Config{Identity: "api-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	cfg := osprey.GSAConfig{Replicates: 2, Seed: 1}
+	cfg.Music.InitialDesign = 12
+	cfg.Music.Budget = 20
+	cfg.Music.IndexSamples = 128
+	res, err := osprey.RunGSA(p, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalIndices) != 2 {
+		t.Fatalf("replicates = %d", len(res.FinalIndices))
+	}
+}
+
+func TestPublicAPIPCEComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cmp, err := osprey.RunPCEComparison(nil, 1, 2, []int{60, 80}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Sizes) != 2 || len(cmp.Indices[0]) != 5 {
+		t.Fatalf("comparison malformed: %+v", cmp.Sizes)
+	}
+}
+
+func TestMetaRVMTypeAliasInterop(t *testing.T) {
+	// Public aliases and internal types are interchangeable inside the
+	// module: the facade adds no conversion layer.
+	var cfg osprey.MetaRVMConfig = metarvm.DefaultConfig()
+	cfg.Days = 10
+	res, err := metarvm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 11 {
+		t.Fatalf("want 11 day records, got %d", len(res.Days))
+	}
+}
+
+func TestPublicAPIABM(t *testing.T) {
+	cfg := osprey.ABMConfig{Agents: 2000, InitialInfected: 10, Days: 30,
+		Params: metarvm.NominalParams(), Seed: 1}
+	res, err := osprey.RunABM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CumInfections <= 0 {
+		t.Fatal("ABM produced no infections at nominal parameters")
+	}
+}
+
+func ExampleChicagoPlants() {
+	for _, p := range osprey.ChicagoPlants() {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// O'Brien
+	// Calumet
+	// Stickney South
+	// Stickney North
+}
