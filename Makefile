@@ -3,20 +3,25 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures figures-quick cover clean
+.PHONY: all build test test-short race race-all bench figures figures-quick cover clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# The default test path runs the race detector over the distributed task
+# lifecycle (emews) and the scheduler, so the fixed races stay fixed.
+test: race
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
 race:
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/...
+
+race-all:
 	$(GO) test -race ./...
 
 bench:

@@ -110,9 +110,19 @@ func TestDistributedDeployment(t *testing.T) {
 			t.Fatalf("remote evaluation failed: %v", err)
 		}
 	}
-	processed, failed := pool.Stats()
-	if processed != 8 || failed != 0 {
-		t.Fatalf("remote pool processed %d / failed %d", processed, failed)
+	// The futures resolve when the server applies each completion; the
+	// pool's counters tick when the worker sees the acknowledgement, so
+	// give them a moment to converge.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		processed, failed := pool.Stats()
+		if processed == 8 && failed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote pool processed %d / failed %d", processed, failed)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -325,18 +325,21 @@ func TestTCPServerClientRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotID, payload, ok, err := worker.Pop("model", time.Second)
+	task, ok, err := worker.Pop("model", time.Second)
 	if err != nil || !ok {
 		t.Fatalf("Pop = %v, ok=%v", err, ok)
 	}
-	if gotID != id || payload != "params" {
-		t.Fatalf("Pop got (%d, %q)", gotID, payload)
+	if task.ID != id || task.Payload != "params" {
+		t.Fatalf("Pop got (%d, %q)", task.ID, task.Payload)
+	}
+	if task.Epoch != 1 {
+		t.Fatalf("first attempt epoch = %d, want 1", task.Epoch)
 	}
 	// Result not ready yet.
 	if _, done, err := submitter.Result(id); err != nil || done {
 		t.Fatalf("premature result: done=%v err=%v", done, err)
 	}
-	if err := worker.Complete(id, "out"); err != nil {
+	if err := worker.Complete(task.ID, task.Epoch, "out"); err != nil {
 		t.Fatal(err)
 	}
 	res, err := submitter.WaitResult(context.Background(), id, time.Millisecond)
@@ -357,7 +360,7 @@ func TestTCPPopTimeout(t *testing.T) {
 	c, _ := Dial(srv.Addr())
 	defer c.Close()
 	start := time.Now()
-	_, _, ok, err := c.Pop("empty", 50*time.Millisecond)
+	_, ok, err := c.Pop("empty", 50*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,11 +380,11 @@ func TestTCPFailurePath(t *testing.T) {
 	c, _ := Dial(srv.Addr())
 	defer c.Close()
 	id, _ := c.Submit("m", 0, "x")
-	_, _, ok, _ := c.Pop("m", time.Second)
+	task, ok, _ := c.Pop("m", time.Second)
 	if !ok {
 		t.Fatal("pop failed")
 	}
-	if err := c.Fail(id, "worker crashed"); err != nil {
+	if err := c.Fail(task.ID, task.Epoch, "worker crashed"); err != nil {
 		t.Fatal(err)
 	}
 	_, err := c.WaitResult(context.Background(), id, time.Millisecond)

@@ -2,6 +2,7 @@ package emews
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -15,19 +16,22 @@ func (db *DB) SetLeaseTimeout(d time.Duration) {
 	db.mu.Unlock()
 }
 
-// ReapExpired requeues every running task whose lease has expired,
-// returning how many were reclaimed. Reclaimed tasks keep their attempt
-// count; a task that has exhausted MaxAttempts fails instead of requeueing.
-func (db *DB) ReapExpired() int {
+// ReapExpired reclaims every running task whose lease has expired. A
+// reclaimed task with retry budget left is requeued (counted in requeued);
+// one that has exhausted MaxAttempts fails terminally (counted in failed).
+// Reclaimed tasks keep their attempt count, and the reap is fenced on the
+// attempt epoch observed during the scan: a task that was resolved or
+// re-popped between the scan and the reclaim is left alone.
+func (db *DB) ReapExpired() (requeued, failed int) {
 	db.mu.Lock()
 	if db.leaseTimeout <= 0 || db.closed {
 		db.mu.Unlock()
-		return 0
+		return 0, 0
 	}
 	now := time.Now()
 	type lost struct {
-		id        int64
-		exhausted bool
+		id    int64
+		epoch int64
 	}
 	var expired []lost
 	for _, t := range db.tasks {
@@ -37,27 +41,52 @@ func (db *DB) ReapExpired() int {
 		if now.Sub(t.Started) < db.leaseTimeout {
 			continue
 		}
-		expired = append(expired, lost{id: t.ID, exhausted: t.Attempts >= t.MaxAttempts})
+		expired = append(expired, lost{id: t.ID, epoch: t.Epoch})
 	}
 	db.mu.Unlock()
 
-	reclaimed := 0
 	for _, l := range expired {
 		// finish handles both paths: requeue (attempts remain) or
-		// terminal failure (budget exhausted).
-		if err := db.finish(l.id, StatusFailed, "", "lease expired (worker lost)"); err == nil {
-			reclaimed++
+		// terminal failure (budget exhausted). The epoch fence makes the
+		// reap a no-op if the attempt resolved or was superseded after
+		// the scan above released the lock.
+		req, err := db.finish(l.id, l.epoch, StatusFailed, "", "lease expired (worker lost)")
+		if err != nil {
+			continue
+		}
+		if req {
+			requeued++
+		} else {
+			failed++
 		}
 	}
-	return reclaimed
+	return requeued, failed
+}
+
+// Reaper is the handle returned by StartReaper; it accumulates how many
+// expired leases were requeued vs terminally failed.
+type Reaper struct {
+	mu       sync.Mutex
+	requeued int
+	failed   int
+}
+
+// Counts returns the cumulative number of lease expiries that led to a
+// requeue and to a terminal failure since the reaper started.
+func (r *Reaper) Counts() (requeued, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.requeued, r.failed
 }
 
 // StartReaper runs ReapExpired every interval until ctx is canceled — the
-// watchdog a long-lived deployment runs alongside its pools.
-func (db *DB) StartReaper(ctx context.Context, interval time.Duration) {
+// watchdog a long-lived deployment runs alongside its pools. The returned
+// Reaper exposes cumulative reclaim counts for monitoring.
+func (db *DB) StartReaper(ctx context.Context, interval time.Duration) *Reaper {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	r := &Reaper{}
 	go func() {
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
@@ -66,8 +95,15 @@ func (db *DB) StartReaper(ctx context.Context, interval time.Duration) {
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				db.ReapExpired()
+				req, failed := db.ReapExpired()
+				if req != 0 || failed != 0 {
+					r.mu.Lock()
+					r.requeued += req
+					r.failed += failed
+					r.mu.Unlock()
+				}
 			}
 		}
 	}()
+	return r
 }

@@ -1,0 +1,367 @@
+package emews
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// statsBalanced asserts the occupancy counters account for every
+// submitted task exactly once.
+func statsBalanced(t *testing.T, db *DB) {
+	t.Helper()
+	st := db.Stats()
+	total := st.Queued + st.Running + st.Complete + st.Failed + st.Canceled
+	if total != st.Submitted {
+		t.Fatalf("stats do not balance: %+v (sum %d, submitted %d)", st, total, st.Submitted)
+	}
+}
+
+// Regression for the lost-wakeup race: the ctx-cancellation goroutine used
+// to Broadcast without holding db.mu, so a cancel landing between the
+// waiter's ctx.Err() check and cond.Wait() was lost and Pop hung. Hammer
+// cancels against concurrent waiters and submits; every Pop must return.
+func TestPopCancelUnderContention(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+
+	const waiters = 32
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				claim, err := db.Pop(ctx, "contended")
+				if err == nil {
+					_ = claim.Complete("ok")
+				}
+			}()
+		}
+		// Interleave a few submits so some waiters win tasks and others
+		// must be unblocked purely by the cancel.
+		go func() {
+			for j := 0; j < waiters/4; j++ {
+				db.Submit("contended", 0, "x")
+			}
+		}()
+		go func() {
+			cancel() // race the cancel against the waits
+		}()
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: Pop hung after cancel (lost wakeup)", round)
+		}
+		// Drain whatever the canceled waiters left behind.
+		for {
+			c, ok, _ := db.TryPop("contended")
+			if !ok {
+				break
+			}
+			_ = c.Complete("drained")
+		}
+	}
+}
+
+// The full lease-expiry story: worker pops, lease expires, the task is
+// requeued and re-popped, and the original worker resolves late. The stale
+// resolution must be rejected, the future must resolve exactly once with
+// the new attempt's result, and the stats must balance.
+func TestStaleClaimCannotOverwriteNewAttempt(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.SetLeaseTimeout(20 * time.Millisecond)
+
+	f, err := db.SubmitRetry("m", 0, "x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := db.Pop(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Task.Epoch != 1 {
+		t.Fatalf("first attempt epoch = %d", stale.Task.Epoch)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if req, failed := db.ReapExpired(); req != 1 || failed != 0 {
+		t.Fatalf("reap = (%d, %d), want (1, 0)", req, failed)
+	}
+	fresh, err := db.Pop(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Task.Epoch != 2 {
+		t.Fatalf("second attempt epoch = %d", fresh.Task.Epoch)
+	}
+
+	// The zombie worker comes back and tries to resolve its old claim.
+	if err := stale.Complete("zombie result"); !errors.Is(err, ErrStaleClaim) {
+		t.Fatalf("stale Complete = %v, want ErrStaleClaim", err)
+	}
+	if _, _, done := f.TryResult(); done {
+		t.Fatal("future resolved by a stale claim")
+	}
+
+	if err := fresh.Complete("real result"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Result(context.Background())
+	if err != nil || res != "real result" {
+		t.Fatalf("Result = %q, %v", res, err)
+	}
+	task, _ := db.Get(f.TaskID)
+	if task.Result != "real result" {
+		t.Fatalf("stale claim overwrote result: %q", task.Result)
+	}
+	statsBalanced(t, db)
+	st := db.Stats()
+	if st.Complete != 1 || st.Failed != 0 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats after stale rejection: %+v", st)
+	}
+}
+
+// A stale Fail must be rejected too, and a stale claim resolving while the
+// task sits requeued (not yet re-popped) must not corrupt the queue entry.
+func TestStaleClaimWhileRequeued(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.SetLeaseTimeout(10 * time.Millisecond)
+
+	f, _ := db.SubmitRetry("m", 0, "x", 2)
+	stale, _ := db.Pop(context.Background(), "m")
+	time.Sleep(25 * time.Millisecond)
+	db.ReapExpired() // requeued; not yet re-popped
+
+	if err := stale.Complete("late"); !errors.Is(err, ErrStaleClaim) {
+		t.Fatalf("Complete on requeued task = %v, want ErrStaleClaim", err)
+	}
+	// The queue entry must still be poppable and resolvable.
+	fresh, err := db.Pop(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Complete("good"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := f.Result(context.Background()); err != nil || res != "good" {
+		t.Fatalf("Result = %q, %v", res, err)
+	}
+	statsBalanced(t, db)
+}
+
+// ReapExpired must report requeues and terminal failures separately: a
+// task that exhausted MaxAttempts is a permanent failure, not a reclaim.
+func TestReapExpiredCountsSeparately(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.SetLeaseTimeout(10 * time.Millisecond)
+
+	retriable, _ := db.SubmitRetry("m", 0, "retriable", 2)
+	doomed, _ := db.Submit("m", 0, "doomed") // MaxAttempts = 1
+	if _, err := db.Pop(context.Background(), "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Pop(context.Background(), "m"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	req, failed := db.ReapExpired()
+	if req != 1 || failed != 1 {
+		t.Fatalf("reap = (%d requeued, %d failed), want (1, 1)", req, failed)
+	}
+	if _, err := doomed.Result(context.Background()); err == nil {
+		t.Fatal("exhausted task should fail terminally")
+	}
+	if _, _, done := retriable.TryResult(); done {
+		t.Fatal("retriable task should be requeued, not terminated")
+	}
+	statsBalanced(t, db)
+}
+
+// StartReaper must expose the reclaim counts instead of discarding them.
+func TestReaperExposesCounts(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.SetLeaseTimeout(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reaper := db.StartReaper(ctx, 5*time.Millisecond)
+
+	db.SubmitRetry("m", 0, "x", 2)
+	if _, err := db.Pop(context.Background(), "m"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if req, _ := reaper.Counts(); req >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			req, failed := reaper.Counts()
+			t.Fatalf("reaper counts = (%d, %d), want requeued >= 1", req, failed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SubmitBatch takes the lock once: an observer can see the queue before
+// the batch or after it, never in between.
+func TestSubmitBatchAtomic(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	const batch = 2000
+	payloads := make([]string, batch)
+	for i := range payloads {
+		payloads[i] = strconv.Itoa(i)
+	}
+	stop := make(chan struct{})
+	violations := make(chan int, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if q := db.Stats().Queued; q != 0 && q != batch {
+				select {
+				case violations <- q:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	time.Sleep(time.Millisecond) // let the observer spin
+	if _, err := db.SubmitBatch("m", 0, payloads); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	select {
+	case q := <-violations:
+		t.Fatalf("observed half-submitted batch: Queued = %d", q)
+	default:
+	}
+}
+
+// A batch's single broadcast must still wake blocked poppers.
+func TestSubmitBatchWakesBlockedPoppers(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	const n = 8
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			claim, err := db.Pop(context.Background(), "m")
+			if err == nil {
+				err = claim.Complete("ok")
+			}
+			results <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	payloads := make([]string, n)
+	for i := range payloads {
+		payloads[i] = fmt.Sprintf("p%d", i)
+	}
+	if _, err := db.SubmitBatch("m", 0, payloads); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("popper %d never woke after batch submit", i)
+		}
+	}
+}
+
+// Duplicate delivery of the same attempt's resolution (a wire retry after
+// a lost response) must be acknowledged without double-resolving, and the
+// future must fire exactly once.
+func TestFinishDuplicateResolutionIdempotent(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	f, _ := db.Submit("m", 0, "x")
+	claim, _ := db.Pop(context.Background(), "m")
+	epoch := claim.Task.Epoch
+	if _, err := db.finish(claim.Task.ID, epoch, StatusComplete, "v1", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Retry of the same resolution: first writer wins, retry succeeds.
+	if _, err := db.finish(claim.Task.ID, epoch, StatusComplete, "v2", ""); err != nil {
+		t.Fatalf("duplicate fenced complete = %v, want nil", err)
+	}
+	res, err := f.Result(context.Background())
+	if err != nil || res != "v1" {
+		t.Fatalf("Result = %q, %v (first writer must win)", res, err)
+	}
+	// But a conflicting resolution of the same attempt is stale.
+	if _, err := db.finish(claim.Task.ID, epoch, StatusFailed, "", "boom"); !errors.Is(err, ErrStaleClaim) {
+		t.Fatalf("conflicting resolution = %v, want ErrStaleClaim", err)
+	}
+	statsBalanced(t, db)
+}
+
+// A local pool worker whose lease expires mid-evaluation must see its
+// resolution discarded as stale, counted in PoolStats.Stale.
+func TestLocalPoolCountsStaleClaims(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.SetLeaseTimeout(15 * time.Millisecond)
+
+	release := make(chan struct{})
+	var once sync.Once
+	pool, err := StartLocalPool(db, "m", 1, func(ctx context.Context, payload string) (string, error) {
+		slow := false
+		once.Do(func() { slow = true })
+		if slow {
+			<-release // hold the first attempt past its lease
+		}
+		return "v:" + payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	f, _ := db.SubmitRetry("m", 0, "x", 2)
+	time.Sleep(40 * time.Millisecond) // first attempt is now past its lease
+	if req, _ := db.ReapExpired(); req != 1 {
+		t.Fatal("lease did not expire as expected")
+	}
+	close(release) // zombie worker finishes; its Complete must be stale
+	res, err := f.Result(context.Background())
+	if err != nil || res != "v:x" {
+		t.Fatalf("Result = %q, %v", res, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := pool.Stats()
+		if st.Stale == 1 && st.Processed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool stats %+v, want Processed=1 Stale=1", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	statsBalanced(t, db)
+}

@@ -1,3 +1,36 @@
+// TCP wire protocol for the EMEWS task database, mirroring EMEWS's
+// separation of ME algorithm processes from worker pools running on other
+// resources.
+//
+// Transport: newline-delimited JSON request/response over TCP. One request
+// per line; one response per line; requests on a connection are processed
+// sequentially.
+//
+// Request ops and their fields:
+//
+//	submit   {op, type, priority, payload}            -> {ok, task_id}
+//	pop      {op, type, timeout_ms}                   -> {ok, task_id, epoch, payload} | {ok, empty:true}
+//	complete {op, task_id, epoch, result}             -> {ok} | {error, stale?}
+//	fail     {op, task_id, epoch, err_msg}            -> {ok} | {error, stale?}
+//	result   {op, task_id}                            -> {ok, done, result|error}
+//	stats    {op}                                     -> {ok, stats}
+//
+// Claim fencing: every pop response carries the attempt epoch assigned by
+// the database. complete/fail must echo it back; a resolution whose epoch
+// no longer matches the task's current attempt (the lease expired and the
+// task was requeued/re-popped) is rejected with stale=true in the
+// response. epoch 0 on complete/fail is accepted for legacy clients and
+// falls back to the unfenced status-only check. Fenced complete/fail are
+// idempotent per attempt: re-sending the same resolution (e.g. after a
+// lost response) succeeds without effect.
+//
+// Connection-scoped claims: the server remembers which task attempts each
+// connection has popped but not yet resolved. When the connection drops —
+// the remote worker crashed, its node was reclaimed, or the network
+// partitioned — those claims are automatically failed, which requeues the
+// task if it has retry budget left. A remote worker's death therefore
+// cannot leak a task in StatusRunning forever, even with no lease reaper
+// configured.
 package emews
 
 import (
@@ -11,16 +44,13 @@ import (
 	"time"
 )
 
-// The wire protocol is newline-delimited JSON request/response over TCP,
-// mirroring EMEWS's separation of ME algorithm processes from worker pools
-// running on other resources. One request per line; one response per line.
-
 type wireRequest struct {
 	Op        string `json:"op"` // submit | pop | complete | fail | result | stats
 	Type      string `json:"type,omitempty"`
 	Priority  int    `json:"priority,omitempty"`
 	Payload   string `json:"payload,omitempty"`
 	TaskID    int64  `json:"task_id,omitempty"`
+	Epoch     int64  `json:"epoch,omitempty"`
 	Result    string `json:"result,omitempty"`
 	ErrMsg    string `json:"err_msg,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
@@ -29,7 +59,9 @@ type wireRequest struct {
 type wireResponse struct {
 	OK      bool   `json:"ok"`
 	Error   string `json:"error,omitempty"`
+	Stale   bool   `json:"stale,omitempty"` // Error is a stale-claim rejection
 	TaskID  int64  `json:"task_id,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
 	Payload string `json:"payload,omitempty"`
 	Result  string `json:"result,omitempty"`
 	Done    bool   `json:"done,omitempty"`
@@ -39,11 +71,14 @@ type wireResponse struct {
 
 // Server exposes a DB over TCP.
 type Server struct {
-	db *DB
-	ln net.Listener
-	wg sync.WaitGroup
+	db     *DB
+	ln     net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
 }
 
@@ -54,7 +89,8 @@ func Serve(db *DB, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{db: db, ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{db: db, ln: ln, ctx: ctx, cancel: cancel, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -63,12 +99,27 @@ func Serve(db *DB, addr string) (*Server, error) {
 // Addr returns the listener address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for connection handlers.
+// Close stops the listener, cancels in-flight blocking pops, closes all
+// active connections (requeueing their unresolved claims), and waits for
+// connection handlers to finish.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
+	s.cancel()
 	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -79,7 +130,15 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -88,7 +147,23 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	// claims tracks task attempts popped on this connection and not yet
+	// resolved: taskID -> attempt epoch. Single handler goroutine per
+	// connection, so no locking is needed.
+	claims := map[int64]int64{}
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		// The connection is gone; its worker can no longer resolve its
+		// claims. Fail them so tasks with retry budget are requeued for
+		// other workers. The epoch fence makes this a no-op for any claim
+		// a lease reaper already reclaimed.
+		for id, epoch := range claims {
+			_, _ = s.db.finish(id, epoch, StatusFailed, "", "connection lost (remote worker gone)")
+		}
+	}()
 	r := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
@@ -101,14 +176,14 @@ func (s *Server) handle(conn net.Conn) {
 			_ = enc.Encode(wireResponse{Error: "bad request: " + err.Error()})
 			continue
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(req, claims)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req wireRequest) wireResponse {
+func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse {
 	switch req.Op {
 	case "submit":
 		f, err := s.db.Submit(req.Type, req.Priority, req.Payload)
@@ -117,7 +192,10 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		}
 		return wireResponse{OK: true, TaskID: f.TaskID}
 	case "pop":
-		ctx := context.Background()
+		// Blocking pops are bounded by server shutdown: Close cancels
+		// s.ctx, so a worker waiting with timeout_ms=0 cannot pin the
+		// server open.
+		ctx := s.ctx
 		if req.TimeoutMS > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -130,15 +208,18 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
-		return wireResponse{OK: true, TaskID: claim.Task.ID, Payload: claim.Task.Payload}
+		claims[claim.Task.ID] = claim.Task.Epoch
+		return wireResponse{OK: true, TaskID: claim.Task.ID, Epoch: claim.Task.Epoch, Payload: claim.Task.Payload}
 	case "complete":
-		if err := s.db.finish(req.TaskID, StatusComplete, req.Result, ""); err != nil {
-			return wireResponse{Error: err.Error()}
+		delete(claims, req.TaskID)
+		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusComplete, req.Result, ""); err != nil {
+			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
 	case "fail":
-		if err := s.db.finish(req.TaskID, StatusFailed, "", req.ErrMsg); err != nil {
-			return wireResponse{Error: err.Error()}
+		delete(claims, req.TaskID)
+		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusFailed, "", req.ErrMsg); err != nil {
+			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
 	case "result":
@@ -164,45 +245,250 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 	}
 }
 
+// ErrTransport wraps connection-level client failures (dial, write, read,
+// decode). Check with errors.Is to distinguish a flaky network from a
+// server-side rejection or a task failure; transport errors are the ones
+// worth retrying.
+var ErrTransport = errors.New("emews: transport error")
+
+// TaskError is a task-level failure reported by Result/WaitResult: the
+// evaluation itself failed (or was canceled), as opposed to the transport
+// or the protocol.
+type TaskError struct {
+	TaskID int64
+	Msg    string
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("emews: task %d failed: %s", e.TaskID, e.Msg)
+}
+
+// RemoteTask is a claim handed to a wire client by Pop: the task to
+// evaluate plus the attempt epoch that must be echoed back to
+// Complete/Fail (claim fencing).
+type RemoteTask struct {
+	ID      int64
+	Epoch   int64
+	Payload string
+}
+
+// Client option defaults.
+const (
+	defaultOpTimeout   = 30 * time.Second
+	defaultBaseBackoff = 20 * time.Millisecond
+	defaultMaxBackoff  = 2 * time.Second
+	defaultMaxRetries  = 4
+)
+
+// ClientOption configures a Client at Dial time.
+type ClientOption func(*Client)
+
+// WithOpTimeout bounds each request/response round trip (for pop: in
+// addition to the requested server-side wait). Zero disables deadlines.
+func WithOpTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.opTimeout = d }
+}
+
+// WithRetries sets how many times a transport-failed op is retried on a
+// fresh connection before giving up. Zero disables retries.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoff sets the reconnect backoff range: the first redial waits
+// base, doubling up to max on consecutive failures.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+}
+
 // Client is a TCP client for a remote task DB. Methods are safe for
 // concurrent use (requests are serialized on the connection).
+//
+// The client is resilient: when an op fails at the transport level, the
+// connection is dropped and redialed with exponential backoff, and ops
+// that are safe to re-send are retried. pop/result/stats are always safe:
+// a pop whose response was lost is requeued by the server's
+// connection-scoped claim cleanup. complete/fail are safe when fenced
+// with an epoch, because duplicate resolutions of the same attempt are
+// idempotent. submit is NOT retried once the request may have reached the
+// server (it would duplicate the task); callers see ErrTransport and
+// decide.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	enc  *json.Encoder
+	addr        string
+	opTimeout   time.Duration
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	maxRetries  int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	enc     *json.Encoder
+	backoff time.Duration // next redial delay; 0 after a healthy connect
+	closed  bool
 }
 
 // Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		opTimeout:   defaultOpTimeout,
+		baseBackoff: defaultBaseBackoff,
+		maxBackoff:  defaultMaxBackoff,
+		maxRetries:  defaultMaxRetries,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+	return c, nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// connectLocked dials the server, honoring the exponential backoff state
+// from previous failures. Caller holds c.mu.
+func (c *Client) connectLocked() error {
+	if c.backoff > 0 {
+		time.Sleep(c.backoff)
+	}
+	dialTimeout := c.opTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+	if err != nil {
+		if c.backoff == 0 {
+			c.backoff = c.baseBackoff
+		} else if c.backoff < c.maxBackoff {
+			c.backoff *= 2
+			if c.backoff > c.maxBackoff {
+				c.backoff = c.maxBackoff
+			}
+		}
+		return fmt.Errorf("%w: dial %s: %v", ErrTransport, c.addr, err)
+	}
+	c.backoff = 0
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if c.backoff == 0 {
+		c.backoff = c.baseBackoff
+	}
+}
+
+// retrySafe reports whether op may be re-sent even though the previous
+// attempt may have reached the server (see the Client doc comment).
+func retrySafe(op string) bool {
+	switch op {
+	case "pop", "result", "stats", "complete", "fail":
+		return true
+	}
+	return false
+}
+
+// doLocked performs one request/response exchange on the live connection.
+func (c *Client) doLocked(req wireRequest) (wireResponse, error) {
+	if c.opTimeout > 0 {
+		deadline := time.Now().Add(c.opTimeout)
+		if req.Op == "pop" {
+			if req.TimeoutMS == 0 {
+				// Unbounded server-side wait: no read deadline.
+				deadline = time.Time{}
+			} else {
+				deadline = deadline.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
+			}
+		}
+		_ = c.conn.SetDeadline(deadline)
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return wireResponse{}, err
+		return wireResponse{}, fmt.Errorf("%w: write: %v", ErrTransport, err)
 	}
 	line, err := c.r.ReadBytes('\n')
 	if err != nil {
-		return wireResponse{}, err
+		return wireResponse{}, fmt.Errorf("%w: read: %v", ErrTransport, err)
 	}
 	var resp wireResponse
 	if err := json.Unmarshal(line, &resp); err != nil {
-		return wireResponse{}, err
+		return wireResponse{}, fmt.Errorf("%w: decode: %v", ErrTransport, err)
 	}
 	if resp.Error != "" && !resp.OK {
+		if resp.Stale {
+			return resp, &staleRemoteError{msg: resp.Error}
+		}
 		return resp, errors.New(resp.Error)
 	}
 	return resp, nil
+}
+
+// staleRemoteError carries a server-side stale-claim rejection verbatim
+// (the message already names the attempts) while still matching
+// errors.Is(err, ErrStaleClaim).
+type staleRemoteError struct{ msg string }
+
+func (e *staleRemoteError) Error() string        { return e.msg }
+func (e *staleRemoteError) Is(target error) bool { return target == ErrStaleClaim }
+
+// roundTrip sends req, transparently reconnecting (with exponential
+// backoff) and retrying transport failures for retry-safe ops.
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.closed {
+			return wireResponse{}, fmt.Errorf("%w: client closed", ErrTransport)
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				if attempt >= c.maxRetries {
+					return wireResponse{}, lastErr
+				}
+				continue
+			}
+		}
+		resp, err := c.doLocked(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTransport) {
+			// Server-side rejection (stale claim, unknown task, ...):
+			// the connection is fine, the request was refused.
+			return resp, err
+		}
+		c.dropLocked()
+		lastErr = err
+		if !retrySafe(req.Op) {
+			return wireResponse{}, fmt.Errorf("%w (request may have been applied)", err)
+		}
+		if attempt >= c.maxRetries {
+			return wireResponse{}, lastErr
+		}
+	}
 }
 
 // Submit inserts a task remotely and returns its ID.
@@ -215,31 +501,35 @@ func (c *Client) Submit(taskType string, priority int, payload string) (int64, e
 }
 
 // Pop claims a task, waiting up to timeout (0 = wait indefinitely on the
-// server side). It returns ok=false if the wait timed out.
-func (c *Client) Pop(taskType string, timeout time.Duration) (id int64, payload string, ok bool, err error) {
+// server side). It returns ok=false if the wait timed out. The returned
+// claim carries the attempt epoch to pass to Complete/Fail.
+func (c *Client) Pop(taskType string, timeout time.Duration) (task RemoteTask, ok bool, err error) {
 	resp, err := c.roundTrip(wireRequest{Op: "pop", Type: taskType, TimeoutMS: int(timeout / time.Millisecond)})
 	if err != nil {
-		return 0, "", false, err
+		return RemoteTask{}, false, err
 	}
 	if resp.Empty {
-		return 0, "", false, nil
+		return RemoteTask{}, false, nil
 	}
-	return resp.TaskID, resp.Payload, true, nil
+	return RemoteTask{ID: resp.TaskID, Epoch: resp.Epoch, Payload: resp.Payload}, true, nil
 }
 
-// Complete reports a successful evaluation.
-func (c *Client) Complete(taskID int64, result string) error {
-	_, err := c.roundTrip(wireRequest{Op: "complete", TaskID: taskID, Result: result})
+// Complete reports a successful evaluation of the claimed attempt. A
+// stale claim (epoch superseded) is rejected with ErrStaleClaim.
+func (c *Client) Complete(taskID, epoch int64, result string) error {
+	_, err := c.roundTrip(wireRequest{Op: "complete", TaskID: taskID, Epoch: epoch, Result: result})
 	return err
 }
 
-// Fail reports a failed evaluation.
-func (c *Client) Fail(taskID int64, errMsg string) error {
-	_, err := c.roundTrip(wireRequest{Op: "fail", TaskID: taskID, ErrMsg: errMsg})
+// Fail reports a failed evaluation of the claimed attempt.
+func (c *Client) Fail(taskID, epoch int64, errMsg string) error {
+	_, err := c.roundTrip(wireRequest{Op: "fail", TaskID: taskID, Epoch: epoch, ErrMsg: errMsg})
 	return err
 }
 
 // Result polls a task's terminal result; done=false means still pending.
+// A failed or canceled task is reported as (*TaskError, done=true);
+// transport problems are reported wrapped in ErrTransport.
 func (c *Client) Result(taskID int64) (result string, done bool, err error) {
 	resp, err := c.roundTrip(wireRequest{Op: "result", TaskID: taskID})
 	if err != nil {
@@ -249,12 +539,16 @@ func (c *Client) Result(taskID int64) (result string, done bool, err error) {
 		return "", false, nil
 	}
 	if resp.Error != "" {
-		return "", true, errors.New(resp.Error)
+		return "", true, &TaskError{TaskID: taskID, Msg: resp.Error}
 	}
 	return resp.Result, true, nil
 }
 
 // WaitResult polls Result until the task terminates or ctx cancels.
+// Transport errors are transient here: the poll keeps going (the client's
+// reconnect/backoff paces the retries) until the context gives up, so a
+// server restart or network blip does not abort the wait. A task failure
+// (*TaskError) terminates it.
 func (c *Client) WaitResult(ctx context.Context, taskID int64, pollEvery time.Duration) (string, error) {
 	if pollEvery <= 0 {
 		pollEvery = 10 * time.Millisecond
@@ -263,14 +557,14 @@ func (c *Client) WaitResult(ctx context.Context, taskID int64, pollEvery time.Du
 	defer ticker.Stop()
 	for {
 		res, done, err := c.Result(taskID)
-		if err != nil && done {
-			return "", err
-		}
-		if err != nil {
-			return "", err
-		}
-		if done {
+		switch {
+		case err == nil && done:
 			return res, nil
+		case err != nil && !errors.Is(err, ErrTransport):
+			// Task failure or server-side rejection: definitive.
+			return "", err
+		case err != nil && ctx.Err() == nil:
+			// Transport error: keep polling until ctx expires.
 		}
 		select {
 		case <-ctx.Done():

@@ -20,6 +20,9 @@ type PoolStats struct {
 	Workers   int
 	Processed int
 	Failed    int
+	// Stale counts resolutions rejected because the claim's lease had
+	// expired and the task was reclaimed (the work was re-done elsewhere).
+	Stale int
 	// BusySeconds is summed across workers; divide by (Workers × elapsed)
 	// for utilization.
 	BusySeconds    float64
@@ -41,6 +44,7 @@ type Pool struct {
 	processedWorkers int
 	processed        int
 	failed           int
+	stale            int
 	busy             time.Duration
 	stopped          time.Time
 
@@ -138,19 +142,25 @@ func (p *Pool) workerBody(jobCtx, poolCtx context.Context, id int) {
 		start := time.Now()
 		result, err := p.handler(jobCtx, claim.Task.Payload)
 		elapsed := time.Since(start)
+		var resolveErr error
+		if err != nil {
+			resolveErr = claim.Fail(err.Error())
+		} else {
+			resolveErr = claim.Complete(result)
+		}
 		p.mu.Lock()
 		p.busy += elapsed
-		if err != nil {
+		switch {
+		case errors.Is(resolveErr, ErrStaleClaim):
+			// The lease expired mid-evaluation and another attempt owns
+			// the task now; this worker's result was discarded.
+			p.stale++
+		case err != nil:
 			p.failed++
-		} else {
+		default:
 			p.processed++
 		}
 		p.mu.Unlock()
-		if err != nil {
-			_ = claim.Fail(err.Error())
-		} else {
-			_ = claim.Complete(result)
-		}
 	}
 }
 
@@ -182,6 +192,7 @@ func (p *Pool) Stats() PoolStats {
 		Workers:        p.processedWorkers,
 		Processed:      p.processed,
 		Failed:         p.failed,
+		Stale:          p.stale,
 		BusySeconds:    p.busy.Seconds(),
 		ElapsedSeconds: elapsed,
 	}

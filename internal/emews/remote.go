@@ -22,11 +22,15 @@ type RemotePool struct {
 	workers   int
 	processed int
 	failed    int
+	stale     int
 }
 
 // StartRemotePool connects `workers` TCP workers to the database served at
 // addr and begins consuming tasks of taskType. Each worker holds its own
-// connection (Pop blocks the connection while waiting).
+// connection (Pop blocks the connection while waiting); the underlying
+// Client transparently reconnects with exponential backoff when the
+// connection drops, and every resolution is fenced with the claim's
+// attempt epoch.
 func StartRemotePool(addr, taskType string, workers int, handler Handler) (*RemotePool, error) {
 	if workers <= 0 {
 		return nil, errors.New("emews: remote pool needs at least one worker")
@@ -38,7 +42,7 @@ func StartRemotePool(addr, taskType string, workers int, handler Handler) (*Remo
 	p := &RemotePool{addr: addr, taskType: taskType, handler: handler, cancel: cancel, workers: workers}
 
 	// Verify connectivity before declaring success.
-	probe, err := Dial(addr)
+	probe, err := Dial(addr, WithRetries(0))
 	if err != nil {
 		cancel()
 		return nil, err
@@ -77,28 +81,40 @@ func (p *RemotePool) worker(ctx context.Context) {
 			}
 			client = c
 		}
-		id, payload, ok, err := client.Pop(p.taskType, 200*time.Millisecond)
+		task, ok, err := client.Pop(p.taskType, 200*time.Millisecond)
 		if err != nil {
+			// The client already retried over fresh connections; treat a
+			// persistent failure as "server unavailable" and redial from
+			// scratch after a pause.
 			client.Close()
 			client = nil
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
 			continue
 		}
 		if !ok {
 			continue // poll timeout; loop to observe ctx
 		}
-		result, herr := p.handler(ctx, payload)
-		p.mu.Lock()
+		result, herr := p.handler(ctx, task.Payload)
+		var resolveErr error
 		if herr != nil {
-			p.failed++
+			resolveErr = client.Fail(task.ID, task.Epoch, herr.Error())
 		} else {
+			resolveErr = client.Complete(task.ID, task.Epoch, result)
+		}
+		p.mu.Lock()
+		switch {
+		case errors.Is(resolveErr, ErrStaleClaim):
+			p.stale++
+		case herr != nil:
+			p.failed++
+		default:
 			p.processed++
 		}
 		p.mu.Unlock()
-		if herr != nil {
-			_ = client.Fail(id, herr.Error())
-		} else {
-			_ = client.Complete(id, result)
-		}
 	}
 }
 
@@ -113,4 +129,12 @@ func (p *RemotePool) Stats() (processed, failed int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.processed, p.failed
+}
+
+// Stale reports how many resolutions were rejected as stale claims (the
+// worker finished after its lease expired and the task was reclaimed).
+func (p *RemotePool) Stale() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stale
 }

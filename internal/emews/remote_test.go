@@ -43,9 +43,19 @@ func TestRemotePoolProcessesTasks(t *testing.T) {
 			t.Fatalf("task %d = %q", i, res)
 		}
 	}
-	processed, failed := pool.Stats()
-	if processed != 12 || failed != 0 {
-		t.Fatalf("pool stats %d/%d", processed, failed)
+	// The future resolves when the server applies the completion; the
+	// worker bumps its counter only after it sees the response, so allow
+	// a moment for the counters to catch up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		processed, failed := pool.Stats()
+		if processed == 12 && failed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool stats %d/%d", processed, failed)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -200,8 +210,8 @@ func TestLeaseReapRequeuesLostTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(40 * time.Millisecond)
-	if n := db.ReapExpired(); n != 1 {
-		t.Fatalf("reaped %d tasks, want 1", n)
+	if req, failed := db.ReapExpired(); req != 1 || failed != 0 {
+		t.Fatalf("reap = (%d requeued, %d failed), want (1, 0)", req, failed)
 	}
 	// The task is queued again and a healthy worker finishes it.
 	claim, err := db.Pop(context.Background(), "m")
@@ -227,8 +237,8 @@ func TestLeaseReapFailsExhaustedTask(t *testing.T) {
 	f, _ := db.Submit("m", 0, "x") // MaxAttempts = 1
 	db.Pop(context.Background(), "m")
 	time.Sleep(25 * time.Millisecond)
-	if n := db.ReapExpired(); n != 1 {
-		t.Fatalf("reaped %d", n)
+	if req, failed := db.ReapExpired(); req != 0 || failed != 1 {
+		t.Fatalf("reap = (%d requeued, %d failed), want (0, 1)", req, failed)
 	}
 	if _, err := f.Result(context.Background()); err == nil || !strings.Contains(err.Error(), "lease expired") {
 		t.Fatalf("exhausted lost task should fail: %v", err)
@@ -240,8 +250,8 @@ func TestReapNoopWithoutLeases(t *testing.T) {
 	defer db.Close()
 	db.Submit("m", 0, "x")
 	db.Pop(context.Background(), "m")
-	if n := db.ReapExpired(); n != 0 {
-		t.Fatalf("reap without lease timeout reclaimed %d", n)
+	if req, failed := db.ReapExpired(); req != 0 || failed != 0 {
+		t.Fatalf("reap without lease timeout reclaimed (%d, %d)", req, failed)
 	}
 }
 

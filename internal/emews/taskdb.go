@@ -66,6 +66,13 @@ type Task struct {
 	Attempts    int
 	MaxAttempts int
 
+	// Epoch is the attempt fencing token: it is incremented on every pop,
+	// recorded in the Claim handed to the worker, and checked again when
+	// the claim resolves. A claim whose lease expired — whose task was
+	// requeued and possibly re-popped by another worker — carries a stale
+	// epoch and can no longer overwrite the newer attempt's result.
+	Epoch int64
+
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
@@ -154,6 +161,12 @@ func NewDB() *DB {
 // ErrClosed is returned by operations on a closed database.
 var ErrClosed = errors.New("emews: task database closed")
 
+// ErrStaleClaim is returned (wrapped) when a claim resolves after its
+// attempt has been superseded: the lease expired (or the worker's
+// connection dropped), the task was requeued, and the resolution would
+// otherwise overwrite a newer attempt. Check with errors.Is.
+var ErrStaleClaim = errors.New("stale claim")
+
 // Submit inserts a task and returns its Future.
 func (db *DB) Submit(taskType string, priority int, payload string) (*Future, error) {
 	return db.SubmitRetry(taskType, priority, payload, 1)
@@ -170,6 +183,13 @@ func (db *DB) SubmitRetry(taskType string, priority int, payload string, maxAtte
 	if taskType == "" {
 		return nil, errors.New("emews: task type required")
 	}
+	f := db.submitLocked(taskType, priority, payload, maxAttempts)
+	db.cond.Broadcast()
+	return f, nil
+}
+
+// submitLocked inserts one task; the caller holds db.mu and broadcasts.
+func (db *DB) submitLocked(taskType string, priority int, payload string, maxAttempts int) *Future {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
@@ -190,19 +210,28 @@ func (db *DB) SubmitRetry(taskType string, priority int, payload string, maxAtte
 	db.futures[t.ID] = f
 	db.stats.Submitted++
 	db.stats.Queued++
-	db.cond.Broadcast()
-	return f, nil
+	return f
 }
 
 // SubmitBatch submits several payloads of one type at a single priority.
+// The batch is atomic: it takes the lock once, so no observer (Pop, Stats)
+// can see it half-submitted, and waiting workers are woken with a single
+// broadcast instead of one per task.
 func (db *DB) SubmitBatch(taskType string, priority int, payloads []string) ([]*Future, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if taskType == "" {
+		return nil, errors.New("emews: task type required")
+	}
 	out := make([]*Future, 0, len(payloads))
 	for _, p := range payloads {
-		f, err := db.Submit(taskType, priority, p)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, f)
+		out = append(out, db.submitLocked(taskType, priority, p, 1))
+	}
+	if len(out) > 0 {
+		db.cond.Broadcast()
 	}
 	return out, nil
 }
@@ -217,13 +246,20 @@ type Claim struct {
 // Pop blocks until a task of taskType is available (or ctx cancels /
 // the DB closes) and claims it.
 func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
-	// Wake the cond wait when ctx is canceled.
+	// Wake the cond wait when ctx is canceled. The broadcast MUST happen
+	// under db.mu: the waiter re-checks ctx.Err() while holding the lock
+	// and only then calls cond.Wait(), so a locked broadcast cannot land
+	// in the window between the check and the wait. An unlocked broadcast
+	// could, losing the wakeup and hanging Pop until an unrelated
+	// Submit/Close broadcasts.
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-ctx.Done():
+			db.mu.Lock()
 			db.cond.Broadcast()
+			db.mu.Unlock()
 		case <-stop:
 		}
 	}()
@@ -237,15 +273,8 @@ func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
 		if db.closed {
 			return nil, ErrClosed
 		}
-		if q, ok := db.queues[taskType]; ok && q.Len() > 0 {
-			item := heap.Pop(q).(heapItem)
-			t := db.tasks[item.id]
-			t.Status = StatusRunning
-			t.Attempts++
-			t.Started = time.Now()
-			db.stats.Queued--
-			db.stats.Running++
-			return &Claim{Task: *t, db: db}, nil
+		if c := db.popLocked(taskType); c != nil {
+			return c, nil
 		}
 		db.cond.Wait()
 	}
@@ -258,34 +287,98 @@ func (db *DB) TryPop(taskType string) (*Claim, bool, error) {
 	if db.closed {
 		return nil, false, ErrClosed
 	}
-	q, ok := db.queues[taskType]
-	if !ok || q.Len() == 0 {
-		return nil, false, nil
+	if c := db.popLocked(taskType); c != nil {
+		return c, true, nil
 	}
-	item := heap.Pop(q).(heapItem)
-	t := db.tasks[item.id]
-	t.Status = StatusRunning
-	t.Attempts++
-	t.Started = time.Now()
-	db.stats.Queued--
-	db.stats.Running++
-	return &Claim{Task: *t, db: db}, true, nil
+	return nil, false, nil
 }
 
-func (db *DB) finish(id int64, status TaskStatus, result, errMsg string) error {
+// popLocked claims the highest-priority queued task of taskType, or
+// returns nil if none is queued. The caller holds db.mu.
+func (db *DB) popLocked(taskType string) *Claim {
+	q, ok := db.queues[taskType]
+	if !ok {
+		return nil
+	}
+	for q.Len() > 0 {
+		item := heap.Pop(q).(heapItem)
+		t := db.tasks[item.id]
+		// Defensive lazy deletion: skip heap entries whose task is no
+		// longer queued (e.g. resolved out of band) rather than
+		// corrupting its state.
+		if t == nil || t.Status != StatusQueued {
+			continue
+		}
+		t.Status = StatusRunning
+		t.Attempts++
+		t.Epoch++
+		t.Started = time.Now()
+		db.stats.Queued--
+		db.stats.Running++
+		return &Claim{Task: *t, db: db}
+	}
+	return nil
+}
+
+// finish resolves an attempt of task id. epoch > 0 fences the resolution:
+// it must match the task's current attempt epoch (the one recorded at pop
+// time), otherwise the claim is stale — its task was reclaimed, requeued,
+// and possibly re-popped — and the resolution is rejected with
+// ErrStaleClaim instead of silently corrupting the newer attempt.
+// epoch == 0 is the unfenced legacy path (old wire clients) and only
+// checks that the task is running. A duplicate delivery of the same
+// attempt's resolution (same epoch, already recorded) returns nil, which
+// makes fenced Complete/Fail safe to retry over a flaky transport.
+//
+// requeued reports whether the resolution put the task back on the queue
+// (a failed attempt with retry budget left) rather than terminating it.
+func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) (requeued bool, err error) {
 	db.mu.Lock()
 	t, ok := db.tasks[id]
 	if !ok {
 		db.mu.Unlock()
-		return fmt.Errorf("emews: unknown task %d", id)
+		return false, fmt.Errorf("emews: unknown task %d", id)
 	}
-	if t.Status != StatusRunning && !(status == StatusCanceled && t.Status == StatusQueued) {
+	if epoch > 0 {
+		if t.Epoch != epoch {
+			cur := t.Epoch
+			db.mu.Unlock()
+			return false, fmt.Errorf("emews: task %d attempt %d superseded by attempt %d: %w", id, epoch, cur, ErrStaleClaim)
+		}
+		switch t.Status {
+		case StatusRunning:
+			// The claim is current; fall through and resolve it.
+		case StatusComplete, StatusFailed:
+			if t.Status == status {
+				// Duplicate delivery of this attempt's resolution
+				// (e.g. a wire retry after a lost response): first
+				// writer wins, the retry is acknowledged as success.
+				db.mu.Unlock()
+				return false, nil
+			}
+			st := t.Status
+			db.mu.Unlock()
+			return false, fmt.Errorf("emews: task %d already %v: %w", id, st, ErrStaleClaim)
+		case StatusQueued:
+			if status == StatusFailed {
+				// The attempt's failure was already recorded by a
+				// requeue (lease reap or connection loss).
+				db.mu.Unlock()
+				return true, nil
+			}
+			db.mu.Unlock()
+			return false, fmt.Errorf("emews: task %d attempt %d was reclaimed and requeued: %w", id, epoch, ErrStaleClaim)
+		default:
+			db.mu.Unlock()
+			return false, fmt.Errorf("emews: task %d canceled: %w", id, ErrStaleClaim)
+		}
+	} else if t.Status != StatusRunning {
 		db.mu.Unlock()
-		return fmt.Errorf("emews: task %d not running (state %v)", id, t.Status)
+		return false, fmt.Errorf("emews: task %d not running (state %v)", id, t.Status)
 	}
 	// Automatic retry: a failed attempt with budget left goes back to the
 	// queue instead of terminating the future.
-	if status == StatusFailed && t.Status == StatusRunning && t.Attempts < t.MaxAttempts && !db.closed {
+	if status == StatusFailed && t.Attempts < t.MaxAttempts && !db.closed {
 		t.Status = StatusQueued
 		t.ErrMsg = errMsg
 		db.stats.Running--
@@ -298,18 +391,13 @@ func (db *DB) finish(id int64, status TaskStatus, result, errMsg string) error {
 		heap.Push(q, heapItem{id: t.ID, priority: t.Priority, seq: t.ID})
 		db.cond.Broadcast()
 		db.mu.Unlock()
-		return nil
+		return true, nil
 	}
-	prev := t.Status
 	t.Status = status
 	t.Result = result
 	t.ErrMsg = errMsg
 	t.Finished = time.Now()
-	if prev == StatusRunning {
-		db.stats.Running--
-	} else {
-		db.stats.Queued--
-	}
+	db.stats.Running--
 	switch status {
 	case StatusComplete:
 		db.stats.Complete++
@@ -323,25 +411,30 @@ func (db *DB) finish(id int64, status TaskStatus, result, errMsg string) error {
 	if f != nil {
 		close(f.done)
 	}
-	return nil
+	return false, nil
 }
 
-// Complete marks the claimed task successful with the given result.
+// Complete marks the claimed task successful with the given result. It
+// returns an ErrStaleClaim-wrapped error if this claim's attempt was
+// superseded (lease expired and the task was requeued/re-popped).
 func (c *Claim) Complete(result string) error {
 	if c.used {
 		return errors.New("emews: claim already resolved")
 	}
 	c.used = true
-	return c.db.finish(c.Task.ID, StatusComplete, result, "")
+	_, err := c.db.finish(c.Task.ID, c.Task.Epoch, StatusComplete, result, "")
+	return err
 }
 
-// Fail marks the claimed task failed.
+// Fail marks the claimed task failed. Like Complete, a stale claim is
+// rejected with ErrStaleClaim.
 func (c *Claim) Fail(errMsg string) error {
 	if c.used {
 		return errors.New("emews: claim already resolved")
 	}
 	c.used = true
-	return c.db.finish(c.Task.ID, StatusFailed, "", errMsg)
+	_, err := c.db.finish(c.Task.ID, c.Task.Epoch, StatusFailed, "", errMsg)
+	return err
 }
 
 // Get returns a snapshot of the task.
