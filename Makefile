@@ -3,12 +3,30 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-all bench figures figures-quick cover clean
+.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke figures figures-quick cover clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:"; \
+		echo "$$unformatted"; \
+		gofmt -d .; \
+		exit 1; \
+	fi
+
+# Mirrors .github/workflows/ci.yml step for step, so a green `make ci`
+# locally means a green pipeline.
+ci: vet fmt-check build
+	$(GO) test ./...
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/...
 
 # The default test path runs the race detector over the distributed task
 # lifecycle (emews) and the scheduler, so the fixed races stay fixed.
@@ -26,6 +44,10 @@ race-all:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration per benchmark: the nightly workflow's smoke pass.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 # Regenerate every paper table/figure into out/ (see EXPERIMENTS.md).
 figures:

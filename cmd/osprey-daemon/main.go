@@ -15,10 +15,13 @@
 //	GET /plot        latest ensemble ASCII plot
 //	GET /events      AERO event trace
 //	GET /topology    GraphViz DOT of the workflow
+//	GET /metrics     observability snapshot (counters/gauges/histograms, JSON)
+//	GET /trace       recent spans (ring buffer, JSON)
 //	GET /metadata/…  the embedded AERO metadata API
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +32,37 @@ import (
 
 	"osprey"
 	"osprey/internal/aero"
+	"osprey/internal/emews"
+	"osprey/internal/obs"
 )
+
+// probeSubstrate round-trips a few trivial tasks through the platform's
+// EMEWS task DB so the task substrate is exercised (and its metrics are
+// live) even though use case 1 routes its MCMC through the batch
+// scheduler. Any failure here means model-exploration workloads would not
+// run, which is worth knowing before one is submitted.
+func probeSubstrate(db *emews.DB, n int) error {
+	payloads := make([]string, n)
+	for i := range payloads {
+		payloads[i] = fmt.Sprintf("probe-%d", i)
+	}
+	futures, err := db.SubmitBatch("daemon.probe", 0, payloads)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, f := range futures {
+		out, err := f.Result(ctx)
+		if err != nil {
+			return fmt.Errorf("probe task %d: %w", i, err)
+		}
+		if out != payloads[i] {
+			return fmt.Errorf("probe task %d: got %q, want %q", i, out, payloads[i])
+		}
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(log.LstdFlags)
@@ -65,6 +98,19 @@ func main() {
 	defer wp.Close()
 	log.Printf("pipeline registered: plants %v, 1 simulated day per %v", wp.PlantNames(), *tick)
 
+	// EMEWS substrate health probe: a small local pool echoes probe
+	// payloads; one round-trip at startup, then one per tick.
+	probePool, err := emews.StartLocalPool(p.TaskDB, "daemon.probe", 2,
+		func(ctx context.Context, payload string) (string, error) { return payload, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer probePool.Stop()
+	if err := probeSubstrate(p.TaskDB, 4); err != nil {
+		log.Fatalf("EMEWS substrate probe failed: %v", err)
+	}
+	log.Print("EMEWS substrate probe ok")
+
 	// The clock: each tick advances every feed by one day; the flows'
 	// own timers notice the update on their next poll.
 	day := 60
@@ -73,6 +119,9 @@ func main() {
 		defer ticker.Stop()
 		for range ticker.C {
 			wp.Advance(1)
+			if err := probeSubstrate(p.TaskDB, 2); err != nil {
+				log.Printf("EMEWS substrate probe failed: %v", err)
+			}
 			day++
 			if day >= 365 {
 				log.Print("scenario exhausted; feeds frozen")
@@ -99,7 +148,7 @@ func main() {
 			fmt.Fprintf(w, "%-14s %-22s %-10s %d\n", f.ID, f.Name, f.Kind, f.Runs)
 		}
 		fmt.Fprintf(w, "\naggregate runs: %d\n", wp.Aggregate.Runs())
-		fmt.Fprint(w, "\nendpoints: /ensemble /plot /events /topology /metadata/...\n")
+		fmt.Fprint(w, "\nendpoints: /ensemble /plot /events /topology /metrics /trace /metadata/...\n")
 	})
 	mux.HandleFunc("/ensemble", func(w http.ResponseWriter, r *http.Request) {
 		data, _, err := p.AERO.FetchLatest(wp.Aggregate.OutputUUIDs[0], p.Storage)
@@ -131,6 +180,8 @@ func main() {
 		}
 		fmt.Fprint(w, dot)
 	})
+	mux.Handle("/metrics", obs.Default().Handler())
+	mux.Handle("/trace", obs.DefaultTracer().Handler())
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {

@@ -12,6 +12,8 @@
 //	data                  list data identities
 //	versions <uuid>       show a data item's version history
 //	provenance <uuid>     show derivation edges touching a data item
+//	metrics               pretty-print the server's /metrics snapshot
+//	trace                 print the server's recent span timeline
 //	health                check server liveness
 package main
 
@@ -62,6 +64,10 @@ func main() {
 		if err == nil {
 			fmt.Print(dot)
 		}
+	case "metrics":
+		err = metricsCmd(*server)
+	case "trace":
+		err = traceCmd(*server)
 	case "health":
 		err = health(*server)
 	default:
@@ -73,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|health")
+	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|metrics|trace|health")
 	fmt.Fprintln(os.Stderr, "       ospreyctl artifacts [-file F] list|search|register|add-env|check ...")
 	os.Exit(2)
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"osprey/internal/obs"
+	"osprey/internal/plot"
+)
+
+// metricsCmd fetches /metrics from an aero server or osprey-daemon and
+// pretty-prints the snapshot: counters and gauges as name/value tables,
+// histograms with count, total, and approximate quantiles.
+func metricsCmd(server string) error {
+	var snap obs.Snapshot
+	if err := getJSON(server+"/metrics", &snap); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot at %s\n", snap.Time.Format(time.RFC3339))
+
+	if len(snap.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		var rows [][]string
+		for _, name := range snap.SortedCounterNames() {
+			rows = append(rows, []string{name, fmt.Sprintf("%d", snap.Counters[name])})
+		}
+		if err := plot.Table(os.Stdout, []string{"Name", "Count"}, rows); err != nil {
+			return err
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("\ngauges:")
+		var rows [][]string
+		for _, name := range snap.SortedGaugeNames() {
+			rows = append(rows, []string{name, fmt.Sprintf("%d", snap.Gauges[name])})
+		}
+		if err := plot.Table(os.Stdout, []string{"Name", "Value"}, rows); err != nil {
+			return err
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("\nhistograms:")
+		var rows [][]string
+		for _, name := range snap.SortedHistogramNames() {
+			h := snap.Histograms[name]
+			rows = append(rows, []string{
+				name, fmt.Sprintf("%d", h.Count),
+				fmtSeconds(h.SumSeconds),
+				fmtSeconds(h.P50Seconds), fmtSeconds(h.P90Seconds), fmtSeconds(h.P99Seconds),
+				fmtSeconds(h.MaxSeconds),
+			})
+		}
+		if err := plot.Table(os.Stdout, []string{"Name", "Count", "Sum", "p50", "p90", "p99", "Max"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceCmd fetches /trace and prints the retained spans, oldest first,
+// indenting children under their parents where both are retained.
+func traceCmd(server string) error {
+	var snap obs.TraceSnapshot
+	if err := getJSON(server+"/trace", &snap); err != nil {
+		return err
+	}
+	fmt.Printf("trace at %s: %d spans retained (%d recorded since start)\n\n",
+		snap.Time.Format(time.RFC3339), len(snap.Spans), snap.Total)
+	depth := map[uint64]int{}
+	// Spans finish children-first, so compute depths against the full set
+	// before printing in start order.
+	byID := map[uint64]obs.SpanRecord{}
+	for _, s := range snap.Spans {
+		byID[s.ID] = s
+	}
+	var depthOf func(id uint64) int
+	depthOf = func(id uint64) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		s, ok := byID[id]
+		if !ok || s.Parent == 0 {
+			depth[id] = 0
+			return 0
+		}
+		d := depthOf(s.Parent) + 1
+		depth[id] = d
+		return d
+	}
+	ordered := append([]obs.SpanRecord(nil), snap.Spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+	for _, s := range ordered {
+		indent := ""
+		for i := 0; i < depthOf(s.ID); i++ {
+			indent += "  "
+		}
+		line := fmt.Sprintf("%s %s%s (%.2fms)", s.Start.Format("15:04:05.000"), indent, s.Name, s.DurationMS)
+		if s.Detail != "" {
+			line += " — " + s.Detail
+		}
+		if s.Err != "" {
+			line += " !err: " + s.Err
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"osprey/internal/globus"
+	"osprey/internal/obs"
 )
 
 // TriggerPolicy selects when a multi-input analysis flow fires.
@@ -96,6 +97,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 }
 
 func (p *Platform) logEvent(kind, flow, detail string) {
+	mEventsLogged.Inc()
 	p.mu.Lock()
 	p.events = append(p.events, Event{Time: time.Now(), Kind: kind, Flow: flow, Detail: detail})
 	p.mu.Unlock()
@@ -212,6 +214,26 @@ func (f *IngestionFlow) Timer() *globus.Timer { return f.timer }
 func (f *IngestionFlow) Poll() (bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	mIngestPolls.Inc()
+	span := obs.StartSpan("aero.ingest.poll")
+	span.SetDetail(f.Name)
+	start := time.Now()
+	updated, err := f.pollLocked(span)
+	mIngestPoll.ObserveSince(start)
+	switch {
+	case err != nil:
+		mIngestErrors.Inc()
+	case updated:
+		mIngestUpdates.Inc()
+	default:
+		mIngestNoChange.Inc()
+	}
+	span.EndErr(err)
+	return updated, err
+}
+
+// pollLocked is the poll body; the caller holds f.mu and owns the span.
+func (f *IngestionFlow) pollLocked(span *obs.Span) (bool, error) {
 	p := f.platform
 
 	resp, err := p.httpClient.Get(f.spec.URL)
@@ -254,7 +276,9 @@ func (f *IngestionFlow) Poll() (bool, error) {
 
 	// 2. Run the user's validation/transformation function on the compute
 	// endpoint with the data as input.
+	tspan := span.StartChild("aero.ingest.transform")
 	transformed, err := f.spec.Compute.Call(p.tokenID, f.spec.TransformID, body)
+	tspan.EndErr(err)
 	if err != nil {
 		p.logEvent("ingest.error", f.ID, err.Error())
 		return false, fmt.Errorf("aero: transform: %w", err)
@@ -262,9 +286,12 @@ func (f *IngestionFlow) Poll() (bool, error) {
 
 	// 3. Upload the transformed output and version it.
 	outPath := fmt.Sprintf("data/%s/v%d.csv", f.Name, versionNum)
+	sspan := span.StartChild("aero.ingest.store")
 	if err := f.spec.Storage.Endpoint.Put(f.spec.Storage.Collection, outPath, p.identity, transformed); err != nil {
+		sspan.EndErr(err)
 		return false, fmt.Errorf("aero: store transformed: %w", err)
 	}
+	sspan.End()
 	outSum := sha256.Sum256(transformed)
 	outRec, err := p.Meta.AppendVersion(f.OutputUUID, Version{
 		Checksum: hex.EncodeToString(outSum[:]), Size: len(transformed),
@@ -421,16 +448,19 @@ func (f *AnalysisFlow) Runs() int {
 // notifyUpdate routes a data-version event to subscribed analyses,
 // dispatching eligible runs asynchronously.
 func (p *Platform) notifyUpdate(uuid string, version int) {
+	now := time.Now()
 	p.mu.Lock()
 	subs := append([]*AnalysisFlow(nil), p.analyses...)
 	p.mu.Unlock()
-	p.watch.publish(DataUpdate{UUID: uuid, Version: version, Time: time.Now()})
+	p.watch.publish(DataUpdate{UUID: uuid, Version: version, Time: now})
 	for _, flow := range subs {
-		flow.observe(uuid, version)
+		flow.observe(uuid, version, now)
 	}
 }
 
-func (f *AnalysisFlow) observe(uuid string, version int) {
+// observe records one input update; at is when the update was published
+// (watch-to-trigger latency is measured from it).
+func (f *AnalysisFlow) observe(uuid string, version int, at time.Time) {
 	subscribed := false
 	for _, u := range f.spec.InputUUIDs {
 		if u == uuid {
@@ -473,20 +503,28 @@ func (f *AnalysisFlow) observe(uuid string, version int) {
 	if !ready {
 		return
 	}
+	mFlowsTriggered.Inc()
+	mWatchTrigger.ObserveSince(at)
 	p := f.platform
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		span := obs.StartSpan("aero.analysis")
+		span.SetDetail(f.Name)
 		var err error
 		for attempt := 0; attempt <= f.spec.MaxRetries; attempt++ {
 			if err = f.execute(consume); err == nil {
 				if attempt > 0 {
 					p.logEvent("analysis.retried", f.ID, fmt.Sprintf("succeeded on attempt %d", attempt+1))
 				}
+				mAnalysisRuns.Inc()
+				span.End()
 				return
 			}
+			mAnalysisErrors.Inc()
 			p.logEvent("analysis.error", f.ID, err.Error())
 		}
+		span.EndErr(err)
 	}()
 }
 

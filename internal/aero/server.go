@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"osprey/internal/obs"
 )
 
 // Server exposes a metadata Store over HTTP. Only metadata crosses this
@@ -27,6 +29,8 @@ import (
 //	POST /flows/{id}/runs      {at}                      -> 204
 //	POST /provenance           ProvenanceEdge            -> 204
 //	GET  /healthz                                        -> 200 "ok"
+//	GET  /metrics                                        -> obs.Snapshot JSON
+//	GET  /trace                                          -> obs.TraceSnapshot JSON
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
@@ -43,11 +47,18 @@ func NewServer(store *Store) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "ok")
 	})
+	s.mux.Handle("/metrics", obs.Default().Handler())
+	s.mux.Handle("/trace", obs.DefaultTracer().Handler())
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, counting and timing every request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mHTTPRequests.Inc()
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	mHTTPRequest.ObserveSince(start)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

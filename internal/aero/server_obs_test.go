@@ -1,0 +1,86 @@
+package aero
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osprey/internal/obs"
+)
+
+// The aero server must expose the process-wide observability layer:
+// /metrics serves the obs.Default snapshot and /trace the recent-span
+// ring, and the server's own HTTP traffic shows up in the snapshot.
+func TestServerMetricsAndTraceEndpoints(t *testing.T) {
+	store := NewStore()
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+
+	// Generate some traffic so the HTTP counters are non-zero.
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// One data mutation so the store path is exercised too.
+	resp, err := srv.Client().Post(srv.URL+"/data", "application/json",
+		strings.NewReader(`{"name":"obs-test","source_url":"http://example.invalid"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /data = %d", resp.StatusCode)
+	}
+	// A span recorded anywhere in the process must be retrievable.
+	obs.StartSpan("aero.servertest.span").End()
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics is not a valid obs.Snapshot: %v", err)
+	}
+	if snap.Counters["aero.http.requests"] < 4 {
+		t.Fatalf("aero.http.requests = %d, want >= 4", snap.Counters["aero.http.requests"])
+	}
+	if h, ok := snap.Histograms["aero.http.request_seconds"]; !ok || h.Count < 4 {
+		t.Fatalf("aero.http.request_seconds missing or empty: %+v", snap.Histograms)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %d", resp.StatusCode)
+	}
+	var trace obs.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("/trace is not a valid obs.TraceSnapshot: %v", err)
+	}
+	found := false
+	for _, s := range trace.Spans {
+		if s.Name == "aero.servertest.span" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("span recorded before the request not present in /trace (got %d spans)", len(trace.Spans))
+	}
+}

@@ -43,6 +43,7 @@ func (h *watchHub) subscribe(uuid string, buffer int) (int, <-chan DataUpdate) {
 	h.next++
 	s := &subscriber{uuid: uuid, ch: make(chan DataUpdate, buffer)}
 	h.subs[h.next] = s
+	mWatchSubscribers.Inc()
 	return h.next, s.ch
 }
 
@@ -52,10 +53,12 @@ func (h *watchHub) unsubscribe(id int) {
 	if s, ok := h.subs[id]; ok {
 		close(s.ch)
 		delete(h.subs, id)
+		mWatchSubscribers.Dec()
 	}
 }
 
 func (h *watchHub) publish(u DataUpdate) {
+	mWatchPublished.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, s := range h.subs {
@@ -66,6 +69,7 @@ func (h *watchHub) publish(u DataUpdate) {
 		case s.ch <- u:
 		default:
 			h.dropped++
+			mWatchDropped.Inc()
 		}
 	}
 }

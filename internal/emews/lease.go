@@ -56,8 +56,10 @@ func (db *DB) ReapExpired() (requeued, failed int) {
 		}
 		if req {
 			requeued++
+			mReaperRequeued.Inc()
 		} else {
 			failed++
+			mReaperTerminal.Inc()
 		}
 	}
 	return requeued, failed

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"osprey/internal/obs"
 )
 
 // statsBalanced asserts the occupancy counters account for every
@@ -318,6 +321,167 @@ func TestFinishDuplicateResolutionIdempotent(t *testing.T) {
 		t.Fatalf("conflicting resolution = %v, want ErrStaleClaim", err)
 	}
 	statsBalanced(t, db)
+}
+
+// TestMetricsLedgerAfterFaultRun turns PR 1's lifecycle guarantees into a
+// checkable ledger over the obs counters: after a run with transient
+// failures, a lease kill, a requeue, and a stale (zombie) resolution,
+// every submitted task must be accounted for exactly once —
+//
+//	Δsubmitted = Δcompleted + Δfailed + Δcanceled   (all terminal)
+//	Δpopped    = Δcompleted + Δfailed + Δrequeued    (every attempt lands)
+//
+// with the stale resolution surfacing in emews.tasks.stale_rejected rather
+// than perturbing either sum. Metrics are process-global, so everything is
+// asserted as deltas against a pre-run snapshot.
+func TestMetricsLedgerAfterFaultRun(t *testing.T) {
+	before := obs.Default().Snapshot()
+	delta := func(after obs.Snapshot, name string) int64 {
+		return after.Counters[name] - before.Counters[name]
+	}
+
+	db := NewDB()
+	defer db.Close()
+	// Generous lease: only the deliberately hung task may expire, even on
+	// a slow race-detector run.
+	db.SetLeaseTimeout(200 * time.Millisecond)
+
+	var failOnce sync.Map
+	release := make(chan struct{})
+	var hangOnce sync.Once
+	pool, err := StartLocalPool(db, "ledger", 4, func(ctx context.Context, payload string) (string, error) {
+		if payload == "hang" {
+			hung := false
+			hangOnce.Do(func() { hung = true })
+			if hung {
+				<-release // zombie: held past its lease
+				return "late", nil
+			}
+			return "recovered", nil
+		}
+		if strings.HasPrefix(payload, "flaky") {
+			if _, seen := failOnce.LoadOrStore(payload, true); !seen {
+				return "", errors.New("transient model failure")
+			}
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	const steady, flaky = 10, 5
+	var futures []*Future
+	for i := 0; i < steady; i++ {
+		f, err := db.SubmitRetry("ledger", 0, fmt.Sprintf("steady%d", i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for i := 0; i < flaky; i++ {
+		f, err := db.SubmitRetry("ledger", 0, fmt.Sprintf("flaky%d", i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	hungF, err := db.SubmitRetry("ledger", 0, "hang", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	futures = append(futures, hungF)
+	const submitted = steady + flaky + 1
+
+	// Kill the hung attempt: wait for its lease to expire and reap it,
+	// which requeues the task for a fresh (instant) attempt.
+	reapStart := time.Now()
+	for {
+		if req, _ := db.ReapExpired(); req >= 1 {
+			break
+		}
+		if time.Since(reapStart) > 10*time.Second {
+			t.Fatal("hung task's lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release) // zombie resolves late; must be rejected as stale
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, f := range futures {
+		if res, err := f.Result(ctx); err != nil || res == "" {
+			t.Fatalf("future %d: result %q, err %v", i, res, err)
+		}
+	}
+
+	// The zombie's stale rejection races the futures resolving; wait for
+	// it to be recorded before freezing the ledger.
+	staleStart := time.Now()
+	for {
+		if after := obs.Default().Snapshot(); delta(after, "emews.tasks.stale_rejected") >= 1 {
+			break
+		}
+		if time.Since(staleStart) > 10*time.Second {
+			t.Fatal("stale resolution never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	after := obs.Default().Snapshot()
+	statsBalanced(t, db)
+
+	if got := delta(after, "emews.tasks.submitted"); got != submitted {
+		t.Fatalf("Δsubmitted = %d, want %d", got, submitted)
+	}
+	completed := delta(after, "emews.tasks.completed")
+	failed := delta(after, "emews.tasks.failed")
+	canceled := delta(after, "emews.tasks.canceled")
+	requeued := delta(after, "emews.tasks.requeued")
+	popped := delta(after, "emews.tasks.popped")
+
+	// Every submitted task reached exactly one terminal state.
+	if completed+failed+canceled != submitted {
+		t.Fatalf("terminal ledger broken: completed %d + failed %d + canceled %d != submitted %d",
+			completed, failed, canceled, submitted)
+	}
+	// Every pop (attempt) was resolved exactly once: terminally or by a
+	// requeue (transient failure or lease reap).
+	if popped != completed+failed+requeued {
+		t.Fatalf("attempt ledger broken: popped %d != completed %d + failed %d + requeued %d",
+			popped, completed, failed, requeued)
+	}
+	// The injected faults are visible: at least one requeue per flaky task
+	// plus the lease kill, and the zombie surfaced as a stale rejection.
+	if requeued < flaky+1 {
+		t.Fatalf("Δrequeued = %d, want >= %d", requeued, flaky+1)
+	}
+	if delta(after, "emews.reaper.requeued") < 1 {
+		t.Fatal("reaper requeue not counted")
+	}
+	if delta(after, "emews.tasks.stale_rejected") < 1 {
+		t.Fatal("stale rejection not counted")
+	}
+	// Latency histograms saw every attempt: one pop-wait observation per
+	// blocking pop and one service observation per terminal resolution.
+	popWaits := after.Histograms["emews.pop.wait_seconds"].Count - before.Histograms["emews.pop.wait_seconds"].Count
+	if popWaits < popped {
+		t.Fatalf("pop-wait observations %d < popped %d", popWaits, popped)
+	}
+	services := after.Histograms["emews.task.service_seconds"].Count - before.Histograms["emews.task.service_seconds"].Count
+	if services != completed+failed {
+		t.Fatalf("service observations %d, want completed+failed = %d", services, completed+failed)
+	}
+	// Levels drain back to where they started.
+	if after.Gauges["emews.queue.depth"] != before.Gauges["emews.queue.depth"] {
+		t.Fatalf("queue depth gauge leaked: %d -> %d",
+			before.Gauges["emews.queue.depth"], after.Gauges["emews.queue.depth"])
+	}
+	if after.Gauges["emews.tasks.running"] != before.Gauges["emews.tasks.running"] {
+		t.Fatalf("running gauge leaked: %d -> %d",
+			before.Gauges["emews.tasks.running"], after.Gauges["emews.tasks.running"])
+	}
 }
 
 // A local pool worker whose lease expires mid-evaluation must see its

@@ -1,0 +1,44 @@
+package emews
+
+import "osprey/internal/obs"
+
+// Process-wide EMEWS metrics (obs.Default registry). Counters are
+// cumulative across every DB/pool in the process; gauges are additive
+// levels (two DBs each holding 3 queued tasks show depth 6), which is the
+// right aggregate for a /metrics endpoint watching the whole daemon.
+//
+// Ledger invariants the lifecycle tests pin down (as deltas over a run):
+//
+//	submitted = completed + failed + canceled + queued + running
+//	popped    = completed + failed + requeued + running + staleRejected'
+//
+// where staleRejected' are pops whose resolution lost the epoch fence race
+// (their attempt was superseded by a requeue, already counted there).
+var (
+	mTaskSubmitted = obs.GetCounter("emews.tasks.submitted")
+	mTaskPopped    = obs.GetCounter("emews.tasks.popped")
+	mTaskCompleted = obs.GetCounter("emews.tasks.completed")
+	mTaskFailed    = obs.GetCounter("emews.tasks.failed")
+	mTaskRequeued  = obs.GetCounter("emews.tasks.requeued")
+	mTaskCanceled  = obs.GetCounter("emews.tasks.canceled")
+	mStaleRejected = obs.GetCounter("emews.tasks.stale_rejected")
+
+	mQueueDepth  = obs.GetGauge("emews.queue.depth")
+	mRunningNow  = obs.GetGauge("emews.tasks.running")
+	mPopWait     = obs.GetHistogram("emews.pop.wait_seconds")
+	mTaskService = obs.GetHistogram("emews.task.service_seconds")
+
+	mReaperRequeued = obs.GetCounter("emews.reaper.requeued")
+	mReaperTerminal = obs.GetCounter("emews.reaper.terminal")
+
+	mNetConns      = obs.GetGauge("emews.net.connections")
+	mNetRequests   = obs.GetCounter("emews.net.requests")
+	mNetClaims     = obs.GetGauge("emews.net.active_claims")
+	mNetLostClaims = obs.GetCounter("emews.net.conn_lost_claims")
+	mNetRequest    = obs.GetHistogram("emews.net.request_seconds")
+
+	mPoolProcessed = obs.GetCounter("emews.pool.processed")
+	mPoolFailed    = obs.GetCounter("emews.pool.failed")
+	mPoolStale     = obs.GetCounter("emews.pool.stale")
+	mPoolHandler   = obs.GetHistogram("emews.pool.handler_seconds")
+)

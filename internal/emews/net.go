@@ -151,17 +151,21 @@ func (s *Server) handle(conn net.Conn) {
 	// resolved: taskID -> attempt epoch. Single handler goroutine per
 	// connection, so no locking is needed.
 	claims := map[int64]int64{}
+	mNetConns.Inc()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		mNetConns.Dec()
 		// The connection is gone; its worker can no longer resolve its
 		// claims. Fail them so tasks with retry budget are requeued for
 		// other workers. The epoch fence makes this a no-op for any claim
 		// a lease reaper already reclaimed.
 		for id, epoch := range claims {
 			_, _ = s.db.finish(id, epoch, StatusFailed, "", "connection lost (remote worker gone)")
+			mNetLostClaims.Inc()
+			mNetClaims.Dec()
 		}
 	}()
 	r := bufio.NewReader(conn)
@@ -176,7 +180,10 @@ func (s *Server) handle(conn net.Conn) {
 			_ = enc.Encode(wireResponse{Error: "bad request: " + err.Error()})
 			continue
 		}
+		mNetRequests.Inc()
+		reqStart := time.Now()
 		resp := s.dispatch(req, claims)
+		mNetRequest.ObserveSince(reqStart)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -209,15 +216,22 @@ func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse 
 			return wireResponse{Error: err.Error()}
 		}
 		claims[claim.Task.ID] = claim.Task.Epoch
+		mNetClaims.Inc()
 		return wireResponse{OK: true, TaskID: claim.Task.ID, Epoch: claim.Task.Epoch, Payload: claim.Task.Payload}
 	case "complete":
-		delete(claims, req.TaskID)
+		if _, held := claims[req.TaskID]; held {
+			delete(claims, req.TaskID)
+			mNetClaims.Dec()
+		}
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusComplete, req.Result, ""); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
 	case "fail":
-		delete(claims, req.TaskID)
+		if _, held := claims[req.TaskID]; held {
+			delete(claims, req.TaskID)
+			mNetClaims.Dec()
+		}
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusFailed, "", req.ErrMsg); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}

@@ -142,6 +142,7 @@ func (p *Pool) workerBody(jobCtx, poolCtx context.Context, id int) {
 		start := time.Now()
 		result, err := p.handler(jobCtx, claim.Task.Payload)
 		elapsed := time.Since(start)
+		mPoolHandler.Observe(elapsed)
 		var resolveErr error
 		if err != nil {
 			resolveErr = claim.Fail(err.Error())
@@ -155,10 +156,13 @@ func (p *Pool) workerBody(jobCtx, poolCtx context.Context, id int) {
 			// The lease expired mid-evaluation and another attempt owns
 			// the task now; this worker's result was discarded.
 			p.stale++
+			mPoolStale.Inc()
 		case err != nil:
 			p.failed++
+			mPoolFailed.Inc()
 		default:
 			p.processed++
+			mPoolProcessed.Inc()
 		}
 		p.mu.Unlock()
 	}

@@ -98,7 +98,9 @@ func (p *RemotePool) worker(ctx context.Context) {
 		if !ok {
 			continue // poll timeout; loop to observe ctx
 		}
+		start := time.Now()
 		result, herr := p.handler(ctx, task.Payload)
+		mPoolHandler.ObserveSince(start)
 		var resolveErr error
 		if herr != nil {
 			resolveErr = client.Fail(task.ID, task.Epoch, herr.Error())
@@ -109,10 +111,13 @@ func (p *RemotePool) worker(ctx context.Context) {
 		switch {
 		case errors.Is(resolveErr, ErrStaleClaim):
 			p.stale++
+			mPoolStale.Inc()
 		case herr != nil:
 			p.failed++
+			mPoolFailed.Inc()
 		default:
 			p.processed++
+			mPoolProcessed.Inc()
 		}
 		p.mu.Unlock()
 	}

@@ -210,6 +210,8 @@ func (db *DB) submitLocked(taskType string, priority int, payload string, maxAtt
 	db.futures[t.ID] = f
 	db.stats.Submitted++
 	db.stats.Queued++
+	mTaskSubmitted.Inc()
+	mQueueDepth.Inc()
 	return f
 }
 
@@ -264,6 +266,7 @@ func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
 		}
 	}()
 
+	waitStart := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for {
@@ -274,6 +277,7 @@ func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
 			return nil, ErrClosed
 		}
 		if c := db.popLocked(taskType); c != nil {
+			mPopWait.ObserveSince(waitStart)
 			return c, nil
 		}
 		db.cond.Wait()
@@ -315,6 +319,9 @@ func (db *DB) popLocked(taskType string) *Claim {
 		t.Started = time.Now()
 		db.stats.Queued--
 		db.stats.Running++
+		mTaskPopped.Inc()
+		mQueueDepth.Dec()
+		mRunningNow.Inc()
 		return &Claim{Task: *t, db: db}
 	}
 	return nil
@@ -343,6 +350,7 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 		if t.Epoch != epoch {
 			cur := t.Epoch
 			db.mu.Unlock()
+			mStaleRejected.Inc()
 			return false, fmt.Errorf("emews: task %d attempt %d superseded by attempt %d: %w", id, epoch, cur, ErrStaleClaim)
 		}
 		switch t.Status {
@@ -358,6 +366,7 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 			}
 			st := t.Status
 			db.mu.Unlock()
+			mStaleRejected.Inc()
 			return false, fmt.Errorf("emews: task %d already %v: %w", id, st, ErrStaleClaim)
 		case StatusQueued:
 			if status == StatusFailed {
@@ -367,9 +376,11 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 				return true, nil
 			}
 			db.mu.Unlock()
+			mStaleRejected.Inc()
 			return false, fmt.Errorf("emews: task %d attempt %d was reclaimed and requeued: %w", id, epoch, ErrStaleClaim)
 		default:
 			db.mu.Unlock()
+			mStaleRejected.Inc()
 			return false, fmt.Errorf("emews: task %d canceled: %w", id, ErrStaleClaim)
 		}
 	} else if t.Status != StatusRunning {
@@ -391,12 +402,16 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 		heap.Push(q, heapItem{id: t.ID, priority: t.Priority, seq: t.ID})
 		db.cond.Broadcast()
 		db.mu.Unlock()
+		mTaskRequeued.Inc()
+		mRunningNow.Dec()
+		mQueueDepth.Inc()
 		return true, nil
 	}
 	t.Status = status
 	t.Result = result
 	t.ErrMsg = errMsg
 	t.Finished = time.Now()
+	service := t.Finished.Sub(t.Started)
 	db.stats.Running--
 	switch status {
 	case StatusComplete:
@@ -408,6 +423,16 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 	}
 	f := db.futures[id]
 	db.mu.Unlock()
+	mRunningNow.Dec()
+	mTaskService.Observe(service)
+	switch status {
+	case StatusComplete:
+		mTaskCompleted.Inc()
+	case StatusFailed:
+		mTaskFailed.Inc()
+	case StatusCanceled:
+		mTaskCanceled.Inc()
+	}
 	if f != nil {
 		close(f.done)
 	}
@@ -473,6 +498,8 @@ func (db *DB) Close() {
 			t.Finished = time.Now()
 			db.stats.Queued--
 			db.stats.Canceled++
+			mQueueDepth.Dec()
+			mTaskCanceled.Inc()
 			if f := db.futures[t.ID]; f != nil {
 				canceled = append(canceled, f)
 			}

@@ -1,0 +1,388 @@
+// Package obs is the OSPREY observability layer: process-wide counters,
+// gauges, and latency histograms, plus lightweight span tracing (span.go).
+// Everything is stdlib-only and safe for concurrent use; the hot-path cost
+// of a metric update is one or two atomic adds, so the instrumented
+// subsystems (EMEWS, the scheduler, AERO) can record every operation
+// without measurable overhead.
+//
+// Metrics live in a Registry, keyed by dotted names ("emews.tasks.popped").
+// Instrumented packages hold their metric handles in package-level vars
+// obtained from the Default registry at init time:
+//
+//	var popped = obs.GetCounter("emews.tasks.popped")
+//
+// A Registry serializes to a JSON Snapshot and exposes itself as an
+// http.Handler (the /metrics endpoint of the aero server and
+// osprey-daemon); `ospreyctl metrics` pretty-prints the same snapshot.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, open connections).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram buckets: fixed log-scale (powers of two) over microseconds.
+// Bucket i counts observations with ceil(d/1µs) in (2^(i-1), 2^i]; bucket 0
+// takes everything at or under 1µs and the last bucket is the +Inf
+// overflow. 2^26 µs ≈ 67 s, so the covered range is 1 µs .. ~67 s — wide
+// enough for lock waits and multi-second batch jobs alike.
+const (
+	histBuckets = 28 // bucket 0 .. 26 plus overflow
+)
+
+// bucketUpperSeconds returns the inclusive upper bound of bucket i in
+// seconds (+Inf for the overflow bucket).
+func bucketUpperSeconds(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) * 1e-6
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
+	i := bits.Len64(us - 1) // smallest i with 2^i >= us
+	if i >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Histogram records a latency distribution in fixed log-scale buckets. All
+// methods are lock-free; a concurrent snapshot may be torn by at most the
+// observations in flight, which is fine for monitoring.
+type Histogram struct {
+	buckets  [histBuckets]atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+	minNanos atomic.Int64 // 0 = unset (no observations yet)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.minNanos.Load()
+		// minNanos stores d+1 so that 0 means "unset" and a genuine
+		// zero-duration observation is still representable.
+		if cur != 0 && int64(d)+1 >= cur {
+			break
+		}
+		if h.minNanos.CompareAndSwap(cur, int64(d)+1) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// BucketCount is one (upper bound, count) pair of a histogram snapshot.
+// Only non-empty buckets are serialized.
+type BucketCount struct {
+	// LeSeconds is the bucket's inclusive upper bound in seconds;
+	// the overflow bucket serializes it as the string "+Inf" via
+	// HistogramSnapshot's custom marshaling below (JSON has no Inf), so
+	// it is typed float64 here and handled at encode time.
+	LeSeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count      int64         `json:"count"`
+	SumSeconds float64       `json:"sum_seconds"`
+	MinSeconds float64       `json:"min_seconds"`
+	MaxSeconds float64       `json:"max_seconds"`
+	P50Seconds float64       `json:"p50_seconds"`
+	P90Seconds float64       `json:"p90_seconds"`
+	P99Seconds float64       `json:"p99_seconds"`
+	Buckets    []BucketCount `json:"buckets,omitempty"`
+}
+
+// MarshalJSON clamps non-finite bucket bounds (the +Inf overflow bucket) to
+// -1, since JSON cannot represent infinities.
+func (s HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type alias HistogramSnapshot // strip the method to avoid recursion
+	a := alias(s)
+	a.Buckets = append([]BucketCount(nil), s.Buckets...)
+	for i := range a.Buckets {
+		if math.IsInf(a.Buckets[i].LeSeconds, 1) {
+			a.Buckets[i].LeSeconds = -1
+		}
+	}
+	return json.Marshal(a)
+}
+
+// snapshot freezes the histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count:      total,
+		SumSeconds: float64(h.sumNanos.Load()) / 1e9,
+		MaxSeconds: float64(h.maxNanos.Load()) / 1e9,
+	}
+	if min := h.minNanos.Load(); min > 0 {
+		s.MinSeconds = float64(min-1) / 1e9
+	}
+	for i, n := range counts {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LeSeconds: bucketUpperSeconds(i), Count: n})
+		}
+	}
+	s.P50Seconds = quantile(counts[:], total, 0.50)
+	s.P90Seconds = quantile(counts[:], total, 0.90)
+	s.P99Seconds = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts by linear
+// interpolation inside the containing bucket. The overflow bucket reports
+// its lower bound (the estimate is then a floor, not an interpolation).
+func quantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		upper := bucketUpperSeconds(i)
+		var lower float64
+		if i > 0 {
+			lower = bucketUpperSeconds(i - 1)
+		}
+		if math.IsInf(upper, 1) {
+			return lower
+		}
+		frac := (rank - float64(prev)) / float64(n)
+		return lower + frac*(upper-lower)
+	}
+	return bucketUpperSeconds(len(counts) - 1)
+}
+
+// Snapshot is a frozen, JSON-serializable view of a Registry.
+type Snapshot struct {
+	Time       time.Time                    `json:"time"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use the package Default).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The handle
+// is stable: callers cache it in a var and update lock-free thereafter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot freezes every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Time:       time.Now(),
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// Handler serves the registry as a JSON snapshot — the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// SortedCounterNames returns the snapshot's counter names in order — a
+// convenience for deterministic pretty-printing (ospreyctl metrics).
+func (s Snapshot) SortedCounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedGaugeNames returns the snapshot's gauge names in order.
+func (s Snapshot) SortedGaugeNames() []string {
+	names := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedHistogramNames returns the snapshot's histogram names in order.
+func (s Snapshot) SortedHistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// defaultRegistry is the process-wide registry every OSPREY subsystem
+// records into (mirroring expvar's package-level default).
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// GetCounter returns a counter from the Default registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns a gauge from the Default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns a histogram from the Default registry.
+func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// The name must resolve to the same handle.
+	if r.Counter("test.counter") != c {
+		t.Fatal("get-or-create returned a different handle for the same name")
+	}
+}
+
+func TestGaugeOps(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestHistogramConcurrentCountAndSum(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(time.Duration(i+1) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketTotal, s.Count)
+	}
+	// Sum = perG * (1+2+...+goroutines) ms.
+	wantSum := float64(perG) * float64(goroutines*(goroutines+1)/2) * 1e-3
+	if math.Abs(s.SumSeconds-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v s, want %v s", s.SumSeconds, wantSum)
+	}
+	if s.MinSeconds > s.MaxSeconds {
+		t.Fatalf("min %v > max %v", s.MinSeconds, s.MaxSeconds)
+	}
+}
+
+func TestHistogramBucketBoundsAndQuantiles(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	// 100 observations of 1ms: every quantile must land in the bucket
+	// containing 1ms, i.e. (512µs, 1024µs].
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.snapshot()
+	for _, q := range []float64{s.P50Seconds, s.P90Seconds, s.P99Seconds} {
+		if q < 512e-6 || q > 1024e-6 {
+			t.Fatalf("quantile %v outside the 1ms bucket (512µs, 1024µs]", q)
+		}
+	}
+	if s.MinSeconds != 1e-3 || s.MaxSeconds != 1e-3 {
+		t.Fatalf("min/max = %v/%v, want 1ms/1ms", s.MinSeconds, s.MaxSeconds)
+	}
+	// Quantiles are monotone.
+	if s.P50Seconds > s.P90Seconds || s.P90Seconds > s.P99Seconds {
+		t.Fatalf("quantiles not monotone: %v %v %v", s.P50Seconds, s.P90Seconds, s.P99Seconds)
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound must exceed its predecessor's.
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpperSeconds(i) <= bucketUpperSeconds(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d", i)
+		}
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.one").Add(5)
+	r.Gauge("g.one").Set(-2)
+	r.Histogram("h.one").Observe(3 * time.Millisecond)
+	r.Histogram("h.one").Observe(40 * time.Second)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Time     time.Time        `json:"time"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Hists    map[string]struct {
+			Count      int64   `json:"count"`
+			SumSeconds float64 `json:"sum_seconds"`
+			P50        float64 `json:"p50_seconds"`
+			Buckets    []struct {
+				Le    float64 `json:"le_seconds"`
+				Count int64   `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON of the documented shape: %v\n%s", err, raw)
+	}
+	if decoded.Counters["c.one"] != 5 {
+		t.Fatalf("counters = %v", decoded.Counters)
+	}
+	if decoded.Gauges["g.one"] != -2 {
+		t.Fatalf("gauges = %v", decoded.Gauges)
+	}
+	h, ok := decoded.Hists["h.one"]
+	if !ok || h.Count != 2 {
+		t.Fatalf("histograms = %v", decoded.Hists)
+	}
+	if len(h.Buckets) != 2 {
+		t.Fatalf("want 2 non-empty buckets, got %v", h.Buckets)
+	}
+	if decoded.Time.IsZero() {
+		t.Fatal("snapshot time missing")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["hits"] != 1 {
+		t.Fatalf("handler snapshot = %+v", snap)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	if s := h.snapshot(); s.P50Seconds != 0 || s.Count != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+	// An observation beyond the covered range lands in the overflow bucket;
+	// the quantile estimate must be finite (the bucket's lower bound).
+	h.Observe(10 * time.Minute)
+	s := h.snapshot()
+	if math.IsInf(s.P99Seconds, 1) || math.IsNaN(s.P99Seconds) {
+		t.Fatalf("overflow quantile = %v, want finite", s.P99Seconds)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("overflow bucket is not JSON-serializable: %v", err)
+	}
+	var rt map[string]any
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	c := GetCounter("obs_test.default.counter")
+	before := c.Value()
+	c.Inc()
+	if GetCounter("obs_test.default.counter").Value() != before+1 {
+		t.Fatal("GetCounter did not resolve to the same default-registry handle")
+	}
+	GetGauge("obs_test.default.gauge").Set(7)
+	GetHistogram("obs_test.default.hist").Observe(time.Millisecond)
+	snap := Default().Snapshot()
+	if snap.Gauges["obs_test.default.gauge"] != 7 {
+		t.Fatalf("default snapshot gauges = %v", snap.Gauges)
+	}
+	if snap.Histograms["obs_test.default.hist"].Count < 1 {
+		t.Fatal("default snapshot histogram missing")
+	}
+}

@@ -1,0 +1,197 @@
+// Span tracing: the per-task timeline complement to the aggregate metrics
+// in obs.go. A Span marks one timed operation; child spans carry their
+// parent's ID so a request's fan-out (poll → transform → store, or job
+// submit → run) reconstructs as a tree. Finished spans land in a fixed
+// ring buffer of recent history — tracing is a flight recorder, not a
+// durable log — queryable as JSON from the /trace endpoint.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is a finished span as stored in the ring and serialized by
+// the /trace endpoint.
+type SpanRecord struct {
+	ID         uint64    `json:"id"`
+	Parent     uint64    `json:"parent,omitempty"`
+	Name       string    `json:"name"`
+	Detail     string    `json:"detail,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// Span is one in-flight timed operation. End (or EndErr) exactly once;
+// a Span is not safe for concurrent use, but distinct spans are.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	detail string
+	start  time.Time
+	ended  bool
+}
+
+// ID returns the span's process-unique ID.
+func (s *Span) ID() uint64 { return s.id }
+
+// SetDetail attaches a free-form annotation serialized with the record.
+func (s *Span) SetDetail(detail string) { s.detail = detail }
+
+// StartChild opens a sub-span parented to s.
+func (s *Span) StartChild(name string) *Span {
+	child := s.tracer.StartSpan(name)
+	child.parent = s.id
+	return child
+}
+
+// End finishes the span successfully and records it.
+func (s *Span) End() { s.end("") }
+
+// EndErr finishes the span, recording err's message if non-nil.
+func (s *Span) EndErr(err error) {
+	if err != nil {
+		s.end(err.Error())
+		return
+	}
+	s.end("")
+}
+
+func (s *Span) end(errMsg string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tracer.record(SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		Detail:     s.detail,
+		Start:      s.start,
+		DurationMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Err:        errMsg,
+	})
+}
+
+// Tracer is a ring buffer of recently finished spans.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int // write cursor into ring
+	total uint64
+}
+
+// DefaultTraceCapacity is the ring size of the package-default tracer.
+const DefaultTraceCapacity = 512
+
+// NewTracer creates a tracer retaining the last capacity finished spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// StartSpan opens a root span.
+func (t *Tracer) StartSpan(name string) *Span {
+	return &Span{tracer: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.next] = r
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+}
+
+// Total reports how many spans have finished since the tracer started
+// (including those already evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// TraceSnapshot is the JSON body of the /trace endpoint.
+type TraceSnapshot struct {
+	Time  time.Time    `json:"time"`
+	Total uint64       `json:"total"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Handler serves the ring as JSON — the /trace endpoint.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		t.mu.Lock()
+		total := t.total
+		t.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(TraceSnapshot{Time: time.Now(), Total: total, Spans: t.Snapshot()})
+	})
+}
+
+// defaultTracer backs the package-level StartSpan, like defaultRegistry
+// for metrics.
+var defaultTracer = NewTracer(DefaultTraceCapacity)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// StartSpan opens a root span on the default tracer.
+func StartSpan(name string) *Span { return defaultTracer.StartSpan(name) }
+
+// spanKey is the context key for span propagation.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s for downstream StartSpanCtx calls.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span parented to the one in ctx (a root span if ctx
+// carries none) and returns a derived context carrying the new span.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	var s *Span
+	if parent := SpanFromContext(ctx); parent != nil {
+		s = parent.StartChild(name)
+	} else {
+		s = StartSpan(name)
+	}
+	return ContextWithSpan(ctx, s), s
+}

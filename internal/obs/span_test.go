@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.StartSpan("root")
+	child := root.StartChild("child")
+	grandchild := child.StartChild("grandchild")
+	grandchild.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Fatalf("root has parent %d", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatalf("child.Parent = %d, want root ID %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Fatalf("grandchild.Parent = %d, want child ID %d", byName["grandchild"].Parent, byName["child"].ID)
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	const capacity = 4
+	tr := NewTracer(capacity)
+	for i := 0; i < 10; i++ {
+		s := tr.StartSpan(fmt.Sprintf("span-%d", i))
+		s.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	// The newest `capacity` spans survive, oldest first.
+	for i, s := range spans {
+		want := fmt.Sprintf("span-%d", 10-capacity+i)
+		if s.Name != want {
+			t.Fatalf("spans[%d] = %q, want %q", i, s.Name, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+}
+
+func TestSpanEndErrAndIdempotence(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.StartSpan("failing")
+	s.SetDetail("unit test")
+	s.EndErr(errors.New("boom"))
+	s.End() // second End must be a no-op
+	s.End()
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans after duplicate End, want 1", len(spans))
+	}
+	if spans[0].Err != "boom" || spans[0].Detail != "unit test" {
+		t.Fatalf("record = %+v", spans[0])
+	}
+	if spans[0].DurationMS < 0 {
+		t.Fatalf("negative duration %v", spans[0].DurationMS)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := tr.StartSpan("worker")
+				s.StartChild("op").End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*100*2 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*100*2)
+	}
+	if got := len(tr.Snapshot()); got != 64 {
+		t.Fatalf("retained %d, want ring capacity 64", got)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	tr.StartSpan("visible").End()
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total != 1 || len(snap.Spans) != 1 || snap.Spans[0].Name != "visible" {
+		t.Fatalf("trace snapshot = %+v", snap)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	tr := NewTracer(8)
+	rootCtx, root := StartSpanCtx(context.Background(), "ctx-root")
+	_ = tr // package-default tracer is used by StartSpanCtx
+	childCtx, child := StartSpanCtx(rootCtx, "ctx-child")
+	if SpanFromContext(childCtx) != child {
+		t.Fatal("child span not carried by derived context")
+	}
+	child.End()
+	root.End()
+	// Find the two spans in the default tracer and confirm parenting.
+	var rootRec, childRec *SpanRecord
+	for _, s := range DefaultTracer().Snapshot() {
+		s := s
+		switch s.Name {
+		case "ctx-root":
+			rootRec = &s
+		case "ctx-child":
+			childRec = &s
+		}
+	}
+	if rootRec == nil || childRec == nil {
+		t.Fatal("ctx spans not recorded in default tracer")
+	}
+	if childRec.Parent != rootRec.ID {
+		t.Fatalf("ctx child parent = %d, want %d", childRec.Parent, rootRec.ID)
+	}
+}

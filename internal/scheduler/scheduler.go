@@ -13,6 +13,22 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"osprey/internal/obs"
+)
+
+// Process-wide scheduler metrics (additive across clusters, like the
+// EMEWS set in internal/emews/metrics.go).
+var (
+	mJobsSubmitted = obs.GetCounter("sched.jobs.submitted")
+	mJobsCompleted = obs.GetCounter("sched.jobs.completed")
+	mJobsFailed    = obs.GetCounter("sched.jobs.failed")
+	mJobsKilled    = obs.GetCounter("sched.jobs.killed")
+	mQueueDepth    = obs.GetGauge("sched.queue.depth")
+	mJobsRunning   = obs.GetGauge("sched.jobs.running")
+	mNodesBusy     = obs.GetGauge("sched.nodes.busy")
+	mJobWait       = obs.GetHistogram("sched.job.wait_seconds")
+	mJobRun        = obs.GetHistogram("sched.job.run_seconds")
 )
 
 // JobState enumerates the lifecycle of a job.
@@ -71,12 +87,13 @@ type Job struct {
 	ID   int
 	Spec JobSpec
 
-	mu       sync.Mutex
-	state    JobState
-	err      error
-	done     chan struct{}
-	started  time.Time
-	finished time.Time
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	done      chan struct{}
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // State returns the job's current state.
@@ -151,6 +168,11 @@ type Cluster struct {
 	killed    int
 	busySecs  float64
 	epoch     time.Time
+	// gQueued/gRunning/gBusy are the levels this cluster last published to
+	// the process-wide gauges (see updateGaugesLocked).
+	gQueued  int
+	gRunning int
+	gBusy    int
 }
 
 type queuedRun struct {
@@ -225,11 +247,27 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 			spec.Nodes, spec.NodeKind, capacity)
 	}
 	c.nextID++
-	job := &Job{ID: c.nextID, Spec: spec, done: make(chan struct{})}
+	job := &Job{ID: c.nextID, Spec: spec, done: make(chan struct{}), submitted: time.Now()}
 	c.submitted++
+	mJobsSubmitted.Inc()
 	c.queue = append(c.queue, job)
 	c.schedLocked()
+	c.updateGaugesLocked()
 	return job, nil
+}
+
+// updateGaugesLocked refreshes the queue/running/busy-node gauges. Caller
+// holds c.mu. Gauges are additive across clusters, so the refresh applies
+// the delta from this cluster's last published levels.
+func (c *Cluster) updateGaugesLocked() {
+	busy := 0
+	for _, run := range c.running {
+		busy += len(run.nodes)
+	}
+	mQueueDepth.Add(int64(len(c.queue) - c.gQueued))
+	mJobsRunning.Add(int64(len(c.running) - c.gRunning))
+	mNodesBusy.Add(int64(busy - c.gBusy))
+	c.gQueued, c.gRunning, c.gBusy = len(c.queue), len(c.running), busy
 }
 
 // schedLocked starts every queued job whose partition has room. Caller
@@ -257,9 +295,13 @@ func (c *Cluster) startLocked(job *Job, nodes []int) {
 	run := &queuedRun{job: job, nodes: nodes, cancel: cancel, start: time.Now()}
 	c.running[job.ID] = run
 	job.setState(Running, nil)
+	mJobWait.Observe(run.start.Sub(job.submitted))
 	go func() {
+		span := obs.StartSpan("sched.job")
+		span.SetDetail(fmt.Sprintf("%s (%d nodes)", job.Spec.Name, len(nodes)))
 		err := job.Spec.Run(ctx, Allocation{JobID: job.ID, Nodes: nodes})
 		timedOut := ctx.Err() == context.DeadlineExceeded
+		mJobRun.ObserveSince(run.start)
 
 		c.mu.Lock()
 		delete(c.running, job.ID)
@@ -269,22 +311,29 @@ func (c *Cluster) startLocked(job *Job, nodes []int) {
 		switch {
 		case timedOut:
 			c.killed++
+			mJobsKilled.Inc()
 		case err != nil:
 			c.failed++
+			mJobsFailed.Inc()
 		default:
 			c.completed++
+			mJobsCompleted.Inc()
 		}
 		c.schedLocked()
+		c.updateGaugesLocked()
 		c.mu.Unlock()
 
 		cancel()
 		switch {
 		case timedOut:
 			job.setState(Killed, fmt.Errorf("scheduler: job %d exceeded walltime %v", job.ID, job.Spec.Walltime))
+			span.EndErr(fmt.Errorf("killed: exceeded walltime %v", job.Spec.Walltime))
 		case err != nil:
 			job.setState(Failed, err)
+			span.EndErr(err)
 		default:
 			job.setState(Completed, nil)
+			span.End()
 		}
 	}()
 }
@@ -300,11 +349,13 @@ func (c *Cluster) Shutdown() {
 	for _, run := range c.running {
 		cancels = append(cancels, run.cancel)
 	}
+	c.updateGaugesLocked()
 	c.mu.Unlock()
 	for _, job := range queued {
 		job.setState(Killed, ErrShutdown)
 		c.mu.Lock()
 		c.killed++
+		mJobsKilled.Inc()
 		c.mu.Unlock()
 	}
 	for _, cancel := range cancels {
