@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke figures figures-quick cover clean
+.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke fuzz-smoke figures figures-quick cover clean
 
 all: build test
 
@@ -26,10 +26,11 @@ fmt-check:
 # locally means a green pipeline.
 ci: vet fmt-check build
 	$(GO) test ./...
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/...
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/...
 
 # The default test path runs the race detector over the distributed task
-# lifecycle (emews) and the scheduler, so the fixed races stay fixed.
+# lifecycle (emews), the scheduler, and the durability layer (WAL +
+# store recovery), so the fixed races stay fixed.
 test: race
 	$(GO) test ./...
 
@@ -37,7 +38,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/...
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/...
 
 race-all:
 	$(GO) test -race ./...
@@ -48,6 +49,10 @@ bench:
 # One iteration per benchmark: the nightly workflow's smoke pass.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short coverage-guided fuzz of the WAL record decoder (nightly job).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseRecord -fuzztime=30s ./internal/wal/
 
 # Regenerate every paper table/figure into out/ (see EXPERIMENTS.md).
 figures:

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	aero-server [-addr 127.0.0.1:7523] [-state aero-state.json]
+//	            [-data-dir DIR] [-fsync always|interval|never]
 //
 // When -state is given, the store is loaded from the file at startup (if it
 // exists) and persisted on every mutation-free interval and at shutdown.
+//
+// -data-dir enables crash-safe write-ahead logging instead: every mutation
+// is persisted before it is applied, restarts replay the log (tolerating a
+// torn tail), and POST /admin/compact (`ospreyctl compact`) snapshots the
+// store and truncates the log. -state and -data-dir are mutually exclusive.
 package main
 
 import (
@@ -20,18 +26,44 @@ import (
 	"time"
 
 	"osprey/internal/aero"
+	"osprey/internal/wal"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("aero-server: ")
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7523", "listen address")
-		state = flag.String("state", "", "optional JSON state file for persistence")
+		addr      = flag.String("addr", "127.0.0.1:7523", "listen address")
+		state     = flag.String("state", "", "optional JSON state file for persistence")
+		dataDir   = flag.String("data-dir", "", "enable WAL persistence under this directory")
+		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 	)
 	flag.Parse()
+	if *state != "" && *dataDir != "" {
+		log.Fatal("-state and -data-dir are mutually exclusive")
+	}
 
-	store := aero.NewStore()
+	var store *aero.Store
+	var walLog *wal.Log
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		walLog, err = wal.Open(*dataDir, wal.Options{Name: "wal.aero", Policy: policy, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = aero.OpenStore(walLog)
+		if err != nil {
+			log.Fatalf("recover store: %v", err)
+		}
+		data, _ := store.ListData()
+		log.Printf("recovered %d data records from %s in %s", len(data), *dataDir, time.Since(start).Round(time.Millisecond))
+	} else {
+		store = aero.NewStore()
+	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			if err := store.Load(f); err != nil {
@@ -63,7 +95,11 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: aero.NewServer(store)}
+	handler := aero.NewServer(store)
+	if walLog != nil {
+		handler.SetCompact(store.Compact)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("metadata service listening on http://%s", *addr)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
@@ -84,5 +120,11 @@ func main() {
 	<-stop
 	log.Print("shutting down")
 	save()
+	if walLog != nil {
+		if err := store.Compact(); err != nil {
+			log.Printf("compact: %v", err)
+		}
+		_ = walLog.Close()
+	}
 	_ = srv.Close()
 }

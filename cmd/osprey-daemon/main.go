@@ -7,6 +7,17 @@
 // Usage:
 //
 //	osprey-daemon [-addr 127.0.0.1:7524] [-tick 10s] [-fast]
+//	              [-data-dir DIR] [-fsync always|interval|never]
+//	              [-task-retention 1h]
+//
+// With -data-dir, the AERO metadata store and the EMEWS task database are
+// backed by write-ahead logs under DIR (DIR/aero, DIR/emews): every
+// mutation is persisted before it is applied, and a restart recovers the
+// full state — data versions, provenance, flow registrations (adopted by
+// name, not duplicated), ID counters, and tasks, with tasks that were
+// Running at crash time requeued since worker leases do not survive.
+// POST /metadata/admin/compact (or `ospreyctl compact`) snapshots both
+// stores and truncates their logs.
 //
 // Endpoints:
 //
@@ -28,13 +39,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"osprey"
 	"osprey/internal/aero"
 	"osprey/internal/emews"
 	"osprey/internal/obs"
+	"osprey/internal/wal"
 )
+
+// autoCompactBytes is the per-log replay debt that triggers a background
+// compaction on the daemon tick.
+const autoCompactBytes = 32 << 20
 
 // probeSubstrate round-trips a few trivial tasks through the platform's
 // EMEWS task DB so the task substrate is exercised (and its metrics are
@@ -68,14 +85,74 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("osprey-daemon: ")
 	var (
-		addr = flag.String("addr", "127.0.0.1:7524", "status/metadata listen address")
-		tick = flag.Duration("tick", 10*time.Second, "wall-clock duration of one simulated day")
-		fast = flag.Bool("fast", false, "reduced MCMC settings (quicker cycles)")
+		addr      = flag.String("addr", "127.0.0.1:7524", "status/metadata listen address")
+		tick      = flag.Duration("tick", 10*time.Second, "wall-clock duration of one simulated day")
+		fast      = flag.Bool("fast", false, "reduced MCMC settings (quicker cycles)")
+		dataDir   = flag.String("data-dir", "", "enable WAL persistence under this directory")
+		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		retention = flag.Duration("task-retention", time.Hour, "prune terminal tasks older than this each tick (0 disables)")
 	)
 	flag.Parse()
 
-	store := aero.NewStore()
-	p, err := osprey.New(osprey.Config{Identity: "daemon", Nodes: 8, Meta: store})
+	// With -data-dir both stateful cores recover from their write-ahead
+	// logs; without it they are the plain in-memory implementations.
+	var (
+		store    *aero.Store
+		taskDB   *emews.DB
+		aeroLog  *wal.Log
+		emewsLog *wal.Log
+	)
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		aeroLog, err = wal.Open(filepath.Join(*dataDir, "aero"),
+			wal.Options{Name: "wal.aero", Policy: policy, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = aero.OpenStore(aeroLog)
+		if err != nil {
+			log.Fatalf("recover metadata store: %v", err)
+		}
+		emewsLog, err = wal.Open(filepath.Join(*dataDir, "emews"),
+			wal.Options{Name: "wal.emews", Policy: policy, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		taskDB, err = emews.OpenDB(emewsLog)
+		if err != nil {
+			log.Fatalf("recover task database: %v", err)
+		}
+		data, _ := store.ListData()
+		flows, _ := store.ListFlows()
+		st := taskDB.Stats()
+		log.Printf("recovered from %s in %s: %d data records, %d flows, %d tasks (%d queued)",
+			*dataDir, time.Since(start).Round(time.Millisecond), len(data), len(flows), st.Submitted, st.Queued)
+	} else {
+		store = aero.NewStore()
+		taskDB = emews.NewDB()
+	}
+	// Registered before the platform so it runs after p.Shutdown (LIFO):
+	// a final compaction bounds the next boot's replay, then the logs
+	// close.
+	defer func() {
+		if aeroLog == nil {
+			return
+		}
+		if err := store.Compact(); err != nil {
+			log.Printf("compact aero: %v", err)
+		}
+		if err := taskDB.Compact(); err != nil {
+			log.Printf("compact emews: %v", err)
+		}
+		_ = aeroLog.Close()
+		_ = emewsLog.Close()
+	}()
+
+	p, err := osprey.New(osprey.Config{Identity: "daemon", Nodes: 8, Meta: store, TaskDB: taskDB})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,6 +199,28 @@ func main() {
 			if err := probeSubstrate(p.TaskDB, 2); err != nil {
 				log.Printf("EMEWS substrate probe failed: %v", err)
 			}
+			// Housekeeping: bound task-DB memory and WAL replay debt.
+			if *retention > 0 {
+				if n, err := p.TaskDB.Prune(*retention); err != nil {
+					log.Printf("prune tasks: %v", err)
+				} else if n > 0 {
+					log.Printf("pruned %d terminal tasks older than %v", n, *retention)
+				}
+			}
+			for _, l := range []*wal.Log{aeroLog, emewsLog} {
+				if l == nil || l.Size() < autoCompactBytes {
+					continue
+				}
+				compact := store.Compact
+				if l == emewsLog {
+					compact = taskDB.Compact
+				}
+				if err := compact(); err != nil {
+					log.Printf("auto-compact %s: %v", l.Dir(), err)
+				} else {
+					log.Printf("auto-compacted %s", l.Dir())
+				}
+			}
 			day++
 			if day >= 365 {
 				log.Print("scenario exhausted; feeds frozen")
@@ -131,7 +230,16 @@ func main() {
 	}()
 
 	mux := http.NewServeMux()
-	mux.Handle("/metadata/", http.StripPrefix("/metadata", aero.NewServer(store)))
+	metaSrv := aero.NewServer(store)
+	if *dataDir != "" {
+		metaSrv.SetCompact(func() error {
+			if err := store.Compact(); err != nil {
+				return err
+			}
+			return taskDB.Compact()
+		})
+	}
+	mux.Handle("/metadata/", http.StripPrefix("/metadata", metaSrv))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"osprey/internal/aero"
+)
+
+// TestDurabilityRoundTrip is the acceptance check for -data-dir: start the
+// daemon with a WAL, let it ingest real data, SIGKILL it mid-flight, boot
+// a second daemon on the same directory, and require the recovered
+// metadata — UUIDs, version counts, flow registrations — to contain
+// everything the first daemon had committed, without duplicated flows.
+func TestDurabilityRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process round-trip in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "osprey-daemon")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build daemon: %v", err)
+	}
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr + "/metadata"
+
+	// Run 1: fast ticks so feeds advance and polls commit versions.
+	run1 := exec.Command(bin, "-addr", addr, "-tick", "300ms", "-fast", "-data-dir", dataDir)
+	run1.Stderr = os.Stderr
+	if err := run1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run1.Process.Kill()
+
+	waitHealthy(t, base, 30*time.Second)
+	// Wait until at least one ingested version and one provenance-bearing
+	// flow run are committed.
+	waitFor(t, 60*time.Second, func() bool {
+		data := listData(t, base)
+		versions := 0
+		for _, d := range data {
+			versions += len(d.Versions)
+		}
+		return len(data) > 0 && versions >= 2
+	})
+	before := listData(t, base)
+	beforeFlows := listFlows(t, base)
+
+	// Crash hard: SIGKILL, no shutdown hooks, no final compaction.
+	if err := run1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = run1.Wait()
+
+	// Run 2: huge tick so recovery itself, not new polls, supplies state.
+	addr2 := freeAddr(t)
+	base2 := "http://" + addr2 + "/metadata"
+	run2 := exec.Command(bin, "-addr", addr2, "-tick", "1h", "-fast", "-data-dir", dataDir)
+	run2.Stderr = os.Stderr
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		run2.Process.Kill()
+		run2.Wait()
+	}()
+	waitHealthy(t, base2, 30*time.Second)
+
+	after := listData(t, base2)
+	afterByUUID := map[string]*aero.DataRecord{}
+	for _, d := range after {
+		afterByUUID[d.UUID] = d
+	}
+	// Every committed record survives with identity, name, and at least
+	// the committed versions (a poll may have landed between our snapshot
+	// and the kill; fsync=always means nothing observed can be lost).
+	for _, d := range before {
+		got, ok := afterByUUID[d.UUID]
+		if !ok {
+			t.Fatalf("data %s (%s) lost across crash", d.UUID, d.Name)
+		}
+		if got.Name != d.Name || got.SourceURL != d.SourceURL {
+			t.Fatalf("data %s identity changed: %+v vs %+v", d.UUID, got, d)
+		}
+		if len(got.Versions) < len(d.Versions) {
+			t.Fatalf("data %s versions %d < committed %d", d.UUID, len(got.Versions), len(d.Versions))
+		}
+		for i, v := range d.Versions {
+			if got.Versions[i].Checksum != v.Checksum || got.Versions[i].Num != v.Num {
+				t.Fatalf("data %s version %d mutated: %+v vs %+v", d.UUID, i, got.Versions[i], v)
+			}
+		}
+	}
+	// Flow registrations are adopted, not duplicated: same IDs, same
+	// count, run counters at least as high as committed.
+	afterFlows := listFlows(t, base2)
+	if len(afterFlows) != len(beforeFlows) {
+		t.Fatalf("flow count changed across crash: %d vs %d (duplicated registrations?)", len(afterFlows), len(beforeFlows))
+	}
+	flowByID := map[string]*aero.FlowRecord{}
+	for _, f := range afterFlows {
+		flowByID[f.ID] = f
+	}
+	for _, f := range beforeFlows {
+		got, ok := flowByID[f.ID]
+		if !ok {
+			t.Fatalf("flow %s (%s) lost across crash", f.ID, f.Name)
+		}
+		if got.Name != f.Name || got.Kind != f.Kind {
+			t.Fatalf("flow %s changed: %+v vs %+v", f.ID, got, f)
+		}
+		if got.Runs < f.Runs {
+			t.Fatalf("flow %s runs went backward: %d < %d", f.ID, got.Runs, f.Runs)
+		}
+	}
+	// Provenance for a versioned output survives.
+	for _, d := range before {
+		if len(d.Versions) == 0 {
+			continue
+		}
+		var edges []aero.ProvenanceEdge
+		getJSON(t, base2+"/data/"+d.UUID+"/provenance", &edges)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s not healthy after %v", base, timeout)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", timeout)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+func listData(t *testing.T, base string) []*aero.DataRecord {
+	t.Helper()
+	var out []*aero.DataRecord
+	getJSON(t, base+"/data", &out)
+	return out
+}
+
+func listFlows(t *testing.T, base string) []*aero.FlowRecord {
+	t.Helper()
+	var out []*aero.FlowRecord
+	getJSON(t, base+"/flows", &out)
+	return out
+}

@@ -15,6 +15,7 @@
 //	metrics               pretty-print the server's /metrics snapshot
 //	trace                 print the server's recent span timeline
 //	health                check server liveness
+//	compact               force a WAL snapshot + log truncation on the server
 package main
 
 import (
@@ -70,6 +71,8 @@ func main() {
 		err = traceCmd(*server)
 	case "health":
 		err = health(*server)
+	case "compact":
+		err = compact(*server)
 	default:
 		usage()
 	}
@@ -79,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|metrics|trace|health")
+	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|metrics|trace|health|compact")
 	fmt.Fprintln(os.Stderr, "       ospreyctl artifacts [-file F] list|search|register|add-env|check ...")
 	os.Exit(2)
 }
@@ -166,6 +169,26 @@ func health(server string) error {
 	}
 	fmt.Println("ok")
 	return nil
+}
+
+// compact asks the server to snapshot its state and truncate its WAL —
+// the manual handle on replay debt (the daemon also compacts on size and
+// at clean shutdown).
+func compact(server string) error {
+	resp, err := http.Post(server+"/admin/compact", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		fmt.Println("compacted")
+		return nil
+	case http.StatusNotImplemented:
+		return fmt.Errorf("server has no WAL persistence enabled (start it with -data-dir)")
+	default:
+		return fmt.Errorf("server returned %d", resp.StatusCode)
+	}
 }
 
 func min(a, b int) int {

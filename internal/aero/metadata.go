@@ -17,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"osprey/internal/wal"
 )
 
 // Version records one immutable version of a data item.
@@ -109,23 +111,28 @@ type Metadata interface {
 var ErrNotFound = errors.New("aero: not found")
 
 // Store is the in-process metadata database. It is safe for concurrent use
-// and serializable to JSON for persistence.
+// and serializable to JSON for persistence. Every mutation flows through a
+// typed mutation record (see durable.go); when a wal.Backend is attached
+// the record is persisted before it is applied, and crash recovery replays
+// the same records through the same transition function.
 type Store struct {
-	mu    sync.RWMutex
-	next  int
-	data  map[string]*DataRecord
-	flows map[string]*FlowRecord
-	prov  []ProvenanceEdge
+	mu      sync.RWMutex
+	next    int
+	data    map[string]*DataRecord
+	flows   map[string]*FlowRecord
+	prov    []ProvenanceEdge
+	backend wal.Backend // nil = in-memory only (the default)
+	wal     *wal.Log    // set by OpenStore; enables Compact
 }
 
-// NewStore creates an empty metadata store.
+// NewStore creates an empty, in-memory metadata store.
 func NewStore() *Store {
 	return &Store{data: map[string]*DataRecord{}, flows: map[string]*FlowRecord{}}
 }
 
-func (s *Store) newID(prefix string) string {
-	s.next++
-	return fmt.Sprintf("%s-%08d", prefix, s.next)
+// idFor renders the ID a create op with counter value seq is assigned.
+func idFor(prefix string, seq int) string {
+	return fmt.Sprintf("%s-%08d", prefix, seq)
 }
 
 // CreateData registers a new data identity and returns its record.
@@ -135,9 +142,12 @@ func (s *Store) CreateData(name, sourceURL string) (*DataRecord, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec := &DataRecord{UUID: s.newID("data"), Name: name, SourceURL: sourceURL}
-	s.data[rec.UUID] = rec
-	return cloneData(rec), nil
+	seq := s.next + 1
+	m := &mutation{Op: opCreateData, Seq: seq, UUID: idFor("data", seq), Name: name, SourceURL: sourceURL}
+	if err := s.commitLocked(m); err != nil {
+		return nil, err
+	}
+	return cloneData(s.data[m.UUID]), nil
 }
 
 // GetData returns a copy of the record for uuid.
@@ -164,7 +174,9 @@ func (s *Store) AppendVersion(uuid string, v Version) (*DataRecord, error) {
 	if v.Timestamp.IsZero() {
 		v.Timestamp = time.Now()
 	}
-	rec.Versions = append(rec.Versions, v)
+	if err := s.commitLocked(&mutation{Op: opAppendVersion, UUID: uuid, Version: &v}); err != nil {
+		return nil, err
+	}
 	return cloneData(rec), nil
 }
 
@@ -187,10 +199,12 @@ func (s *Store) CreateFlow(rec FlowRecord) (*FlowRecord, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec.ID = s.newID("flow")
-	cp := rec
-	s.flows[rec.ID] = &cp
-	out := cp
+	seq := s.next + 1
+	rec.ID = idFor("flow", seq)
+	if err := s.commitLocked(&mutation{Op: opCreateFlow, Seq: seq, Flow: &rec}); err != nil {
+		return nil, err
+	}
+	out := rec
 	return &out, nil
 }
 
@@ -223,21 +237,17 @@ func (s *Store) ListFlows() ([]*FlowRecord, error) {
 func (s *Store) RecordRun(flowID string, at time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.flows[flowID]
-	if !ok {
+	if _, ok := s.flows[flowID]; !ok {
 		return fmt.Errorf("%w: flow %s", ErrNotFound, flowID)
 	}
-	f.Runs++
-	f.LastRun = at
-	return nil
+	return s.commitLocked(&mutation{Op: opRecordRun, FlowID: flowID, At: at})
 }
 
 // AddProvenance appends a derivation edge.
 func (s *Store) AddProvenance(edge ProvenanceEdge) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.prov = append(s.prov, edge)
-	return nil
+	return s.commitLocked(&mutation{Op: opAddProvenance, Edge: &edge})
 }
 
 // Provenance returns the edges touching uuid (as input or output).
@@ -282,9 +292,9 @@ type storeSnapshot struct {
 	Prov  []ProvenanceEdge `json:"provenance"`
 }
 
-// Save serializes the store as JSON.
-func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
+// snapshotLocked captures the full store state. The caller holds s.mu (at
+// least for reading).
+func (s *Store) snapshotLocked() storeSnapshot {
 	snap := storeSnapshot{Next: s.next, Prov: append([]ProvenanceEdge(nil), s.prov...)}
 	for _, d := range s.data {
 		snap.Data = append(snap.Data, cloneData(d))
@@ -293,9 +303,16 @@ func (s *Store) Save(w io.Writer) error {
 		cp := *f
 		snap.Flows = append(snap.Flows, &cp)
 	}
-	s.mu.RUnlock()
 	sort.Slice(snap.Data, func(i, j int) bool { return snap.Data[i].UUID < snap.Data[j].UUID })
 	sort.Slice(snap.Flows, func(i, j int) bool { return snap.Flows[i].ID < snap.Flows[j].ID })
+	return snap
+}
+
+// Save serializes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := s.snapshotLocked()
+	s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)

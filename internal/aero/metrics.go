@@ -7,7 +7,8 @@ import "osprey/internal/obs"
 // new data versions, how quickly a data update fanned out into an analysis
 // dispatch, and the HTTP surface of the metadata server.
 var (
-	mEventsLogged = obs.GetCounter("aero.events.logged")
+	mEventsLogged  = obs.GetCounter("aero.events.logged")
+	mEventsDropped = obs.GetCounter("aero.events.dropped")
 
 	mIngestPolls    = obs.GetCounter("aero.ingest.polls")
 	mIngestUpdates  = obs.GetCounter("aero.ingest.updates")

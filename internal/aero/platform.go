@@ -53,14 +53,23 @@ type Platform struct {
 	identity string
 	tokenID  string
 
-	mu         sync.Mutex
-	analyses   []*AnalysisFlow
+	mu       sync.Mutex
+	analyses []*AnalysisFlow
+	// events is a capped ring: evHead is the slot the next overwrite takes
+	// once len(events) == evCap, evDropped counts overwritten entries. A
+	// long-running daemon logs events forever; the ring bounds the memory.
 	events     []Event
+	evHead     int
+	evCap      int
+	evDropped  int64
 	wg         sync.WaitGroup
 	httpClient *http.Client
 	watch      *watchHub
 	endpoints  map[string]endpointHandle
 }
+
+// DefaultEventBuffer is the event-ring capacity when Config.EventBuffer is 0.
+const DefaultEventBuffer = 4096
 
 // Config assembles a Platform.
 type Config struct {
@@ -71,6 +80,9 @@ type Config struct {
 	TokenID  string
 	// HTTPClient is used by ingestion polls (default http.DefaultClient).
 	HTTPClient *http.Client
+	// EventBuffer caps the in-memory activity log (default
+	// DefaultEventBuffer); the oldest events are dropped past the cap.
+	EventBuffer int
 }
 
 // NewPlatform validates the configuration and returns a platform.
@@ -85,6 +97,10 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	evCap := cfg.EventBuffer
+	if evCap <= 0 {
+		evCap = DefaultEventBuffer
+	}
 	return &Platform{
 		Meta:       cfg.Meta,
 		Transfer:   cfg.Transfer,
@@ -92,22 +108,41 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		identity:   cfg.Identity,
 		tokenID:    cfg.TokenID,
 		httpClient: hc,
+		evCap:      evCap,
 		watch:      newWatchHub(),
 	}, nil
 }
 
 func (p *Platform) logEvent(kind, flow, detail string) {
 	mEventsLogged.Inc()
+	ev := Event{Time: time.Now(), Kind: kind, Flow: flow, Detail: detail}
 	p.mu.Lock()
-	p.events = append(p.events, Event{Time: time.Now(), Kind: kind, Flow: flow, Detail: detail})
+	if len(p.events) < p.evCap {
+		p.events = append(p.events, ev)
+	} else {
+		p.events[p.evHead] = ev
+		p.evHead = (p.evHead + 1) % p.evCap
+		p.evDropped++
+		mEventsDropped.Inc()
+	}
 	p.mu.Unlock()
 }
 
-// Events returns a copy of the activity log.
+// Events returns a copy of the activity log, oldest first. Once the ring
+// is full it holds the newest EventBuffer events.
 func (p *Platform) Events() []Event {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]Event(nil), p.events...)
+	out := make([]Event, 0, len(p.events))
+	out = append(out, p.events[p.evHead:]...)
+	return append(out, p.events[:p.evHead]...)
+}
+
+// EventsDropped reports how many events the capped ring has overwritten.
+func (p *Platform) EventsDropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evDropped
 }
 
 // WaitIdle blocks until all asynchronously dispatched analysis runs finish.
@@ -169,25 +204,39 @@ func (p *Platform) RegisterIngestion(spec IngestionSpec) (*IngestionFlow, error)
 	if !spec.Storage.valid() {
 		return nil, errors.New("aero: ingestion needs a Storage target")
 	}
-	raw, err := p.Meta.CreateData(spec.Name+"/raw", spec.URL)
-	if err != nil {
+	// Re-registration against a recovered metadata store adopts the
+	// existing identities instead of minting duplicates, so a daemon
+	// restart with -data-dir is idempotent.
+	rawUUID, outUUID, flowID := "", "", ""
+	if prev, err := p.findFlow(spec.Name, IngestionKind); err != nil {
 		return nil, err
-	}
-	out, err := p.Meta.CreateData(spec.Name+"/transformed", "")
-	if err != nil {
-		return nil, err
-	}
-	rec, err := p.Meta.CreateFlow(FlowRecord{
-		Name:        spec.Name,
-		Kind:        IngestionKind,
-		OutputUUIDs: []string{raw.UUID, out.UUID},
-	})
-	if err != nil {
-		return nil, err
+	} else if prev != nil {
+		if len(prev.OutputUUIDs) != 2 {
+			return nil, fmt.Errorf("aero: existing flow %s (%s) is not an ingestion registration", prev.ID, spec.Name)
+		}
+		flowID, rawUUID, outUUID = prev.ID, prev.OutputUUIDs[0], prev.OutputUUIDs[1]
+	} else {
+		raw, err := p.Meta.CreateData(spec.Name+"/raw", spec.URL)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Meta.CreateData(spec.Name+"/transformed", "")
+		if err != nil {
+			return nil, err
+		}
+		rec, err := p.Meta.CreateFlow(FlowRecord{
+			Name:        spec.Name,
+			Kind:        IngestionKind,
+			OutputUUIDs: []string{raw.UUID, out.UUID},
+		})
+		if err != nil {
+			return nil, err
+		}
+		flowID, rawUUID, outUUID = rec.ID, raw.UUID, out.UUID
 	}
 	flow := &IngestionFlow{
-		ID: rec.ID, Name: spec.Name,
-		RawUUID: raw.UUID, OutputUUID: out.UUID,
+		ID: flowID, Name: spec.Name,
+		RawUUID: rawUUID, OutputUUID: outUUID,
 		platform: p, spec: spec,
 	}
 	if spec.PollInterval > 0 && p.Timers != nil {
@@ -202,6 +251,21 @@ func (p *Platform) RegisterIngestion(spec IngestionSpec) (*IngestionFlow, error)
 		flow.timer = t
 	}
 	return flow, nil
+}
+
+// findFlow returns the registered flow named name of the given kind, or
+// nil if none exists.
+func (p *Platform) findFlow(name string, kind FlowKind) (*FlowRecord, error) {
+	flows, err := p.Meta.ListFlows()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range flows {
+		if f.Name == name && f.Kind == kind {
+			return f, nil
+		}
+	}
+	return nil, nil
 }
 
 // Timer exposes the flow's poll timer (nil for manual flows).
@@ -409,25 +473,39 @@ func (p *Platform) RegisterAnalysis(spec AnalysisSpec) (*AnalysisFlow, error) {
 			return nil, fmt.Errorf("aero: unknown input %s: %w", u, err)
 		}
 	}
+	// Adopt an existing registration on re-register (recovered store).
+	var flowID string
 	var outUUIDs []string
-	for _, name := range spec.OutputNames {
-		rec, err := p.Meta.CreateData(spec.Name+"/"+name, "")
+	if prev, err := p.findFlow(spec.Name, AnalysisKind); err != nil {
+		return nil, err
+	} else if prev != nil {
+		if len(prev.OutputUUIDs) != len(spec.OutputNames) {
+			return nil, fmt.Errorf("aero: existing flow %s (%s) declares %d outputs, spec declares %d",
+				prev.ID, spec.Name, len(prev.OutputUUIDs), len(spec.OutputNames))
+		}
+		flowID = prev.ID
+		outUUIDs = append([]string(nil), prev.OutputUUIDs...)
+	} else {
+		for _, name := range spec.OutputNames {
+			rec, err := p.Meta.CreateData(spec.Name+"/"+name, "")
+			if err != nil {
+				return nil, err
+			}
+			outUUIDs = append(outUUIDs, rec.UUID)
+		}
+		rec, err := p.Meta.CreateFlow(FlowRecord{
+			Name:        spec.Name,
+			Kind:        AnalysisKind,
+			InputUUIDs:  append([]string(nil), spec.InputUUIDs...),
+			OutputUUIDs: append([]string(nil), outUUIDs...),
+		})
 		if err != nil {
 			return nil, err
 		}
-		outUUIDs = append(outUUIDs, rec.UUID)
-	}
-	rec, err := p.Meta.CreateFlow(FlowRecord{
-		Name:        spec.Name,
-		Kind:        AnalysisKind,
-		InputUUIDs:  append([]string(nil), spec.InputUUIDs...),
-		OutputUUIDs: append([]string(nil), outUUIDs...),
-	})
-	if err != nil {
-		return nil, err
+		flowID = rec.ID
 	}
 	flow := &AnalysisFlow{
-		ID: rec.ID, Name: spec.Name, OutputUUIDs: outUUIDs,
+		ID: flowID, Name: spec.Name, OutputUUIDs: outUUIDs,
 		platform: p, spec: spec,
 		pendingVersion:  map[string]int{},
 		consumedVersion: map[string]int{},

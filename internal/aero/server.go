@@ -31,9 +31,11 @@ import (
 //	GET  /healthz                                        -> 200 "ok"
 //	GET  /metrics                                        -> obs.Snapshot JSON
 //	GET  /trace                                          -> obs.TraceSnapshot JSON
+//	POST /admin/compact                                  -> 204 (501 without WAL)
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
+	store   *Store
+	mux     *http.ServeMux
+	compact func() error // set by SetCompact; nil = persistence disabled
 }
 
 // NewServer wraps a store in the HTTP API.
@@ -49,7 +51,29 @@ func NewServer(store *Store) *Server {
 	})
 	s.mux.Handle("/metrics", obs.Default().Handler())
 	s.mux.Handle("/trace", obs.DefaultTracer().Handler())
+	s.mux.HandleFunc("/admin/compact", s.handleCompact)
 	return s
+}
+
+// SetCompact installs the snapshot+truncate hook behind POST
+// /admin/compact (typically Store.Compact, or a closure compacting every
+// WAL the process owns). Without it the route answers 501.
+func (s *Server) SetCompact(fn func() error) { s.compact = fn }
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.compact == nil {
+		http.Error(w, "aero: persistence not enabled (no -data-dir)", http.StatusNotImplemented)
+		return
+	}
+	if err := s.compact(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // ServeHTTP implements http.Handler, counting and timing every request.

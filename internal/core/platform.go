@@ -28,6 +28,9 @@ type Config struct {
 	// Meta optionally points the platform at a remote AERO metadata
 	// server; nil uses an in-process store.
 	Meta aero.Metadata
+	// TaskDB optionally supplies a pre-built (e.g. WAL-recovered) EMEWS
+	// task database; nil creates a fresh in-memory one.
+	TaskDB *emews.DB
 	// BatchWalltime bounds batch compute tasks (default 10m).
 	BatchWalltime time.Duration
 }
@@ -85,6 +88,10 @@ func New(cfg Config) (*Platform, error) {
 	if meta == nil {
 		meta = aero.NewStore()
 	}
+	taskDB := cfg.TaskDB
+	if taskDB == nil {
+		taskDB = emews.NewDB()
+	}
 	timers := globus.NewTimerService(auth)
 	transfer := globus.NewTransferService(auth)
 	aeroPlat, err := aero.NewPlatform(aero.Config{
@@ -114,7 +121,7 @@ func New(cfg Config) (*Platform, error) {
 			globus.BatchEngine{Cluster: cluster, Nodes: 1, Walltime: cfg.BatchWalltime}),
 		Meta:   meta,
 		AERO:   aeroPlat,
-		TaskDB: emews.NewDB(),
+		TaskDB: taskDB,
 	}, nil
 }
 

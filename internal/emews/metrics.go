@@ -31,6 +31,9 @@ var (
 	mReaperRequeued = obs.GetCounter("emews.reaper.requeued")
 	mReaperTerminal = obs.GetCounter("emews.reaper.terminal")
 
+	mTaskPruned    = obs.GetCounter("emews.tasks.pruned")
+	mTaskRecovered = obs.GetCounter("emews.tasks.recovered_requeued")
+
 	mNetConns      = obs.GetGauge("emews.net.connections")
 	mNetRequests   = obs.GetCounter("emews.net.requests")
 	mNetClaims     = obs.GetGauge("emews.net.active_claims")

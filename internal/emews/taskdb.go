@@ -15,10 +15,13 @@ package emews
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"osprey/internal/wal"
 )
 
 // TaskStatus enumerates the task lifecycle.
@@ -132,6 +135,10 @@ type Stats struct {
 }
 
 // DB is the EMEWS task database. All methods are safe for concurrent use.
+// Every mutation flows through a typed taskMutation record (see
+// durable.go); when a wal.Backend is attached the record is persisted
+// before it is applied, and crash recovery replays the same records
+// through the same transition function.
 type DB struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -145,6 +152,8 @@ type DB struct {
 	// leaseTimeout, when positive, bounds how long a popped task may run
 	// before ReapExpired reclaims it (see lease.go).
 	leaseTimeout time.Duration
+	backend      wal.Backend // nil = in-memory only (the default)
+	wal          *wal.Log    // set by OpenDB; enables Compact
 }
 
 // NewDB creates an empty task database.
@@ -183,36 +192,30 @@ func (db *DB) SubmitRetry(taskType string, priority int, payload string, maxAtte
 	if taskType == "" {
 		return nil, errors.New("emews: task type required")
 	}
-	f := db.submitLocked(taskType, priority, payload, maxAttempts)
+	f, err := db.submitLocked(taskType, priority, payload, maxAttempts)
+	if err != nil {
+		return nil, err
+	}
 	db.cond.Broadcast()
 	return f, nil
 }
 
 // submitLocked inserts one task; the caller holds db.mu and broadcasts.
-func (db *DB) submitLocked(taskType string, priority int, payload string, maxAttempts int) *Future {
+func (db *DB) submitLocked(taskType string, priority int, payload string, maxAttempts int) (*Future, error) {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
-	db.nextID++
-	t := &Task{
-		ID: db.nextID, Type: taskType, Priority: priority, Payload: payload,
+	t := Task{
+		ID: db.nextID + 1, Type: taskType, Priority: priority, Payload: payload,
 		MaxAttempts: maxAttempts,
 		Status:      StatusQueued, Submitted: time.Now(),
 	}
-	db.tasks[t.ID] = t
-	q, ok := db.queues[taskType]
-	if !ok {
-		q = &taskHeap{}
-		db.queues[taskType] = q
+	if _, err := db.commitLocked(&taskMutation{Op: opSubmit, Task: &t}); err != nil {
+		return nil, err
 	}
-	heap.Push(q, heapItem{id: t.ID, priority: priority, seq: t.ID})
-	f := &Future{TaskID: t.ID, db: db, done: make(chan struct{})}
-	db.futures[t.ID] = f
-	db.stats.Submitted++
-	db.stats.Queued++
 	mTaskSubmitted.Inc()
 	mQueueDepth.Inc()
-	return f
+	return db.futures[t.ID], nil
 }
 
 // SubmitBatch submits several payloads of one type at a single priority.
@@ -230,7 +233,16 @@ func (db *DB) SubmitBatch(taskType string, priority int, payloads []string) ([]*
 	}
 	out := make([]*Future, 0, len(payloads))
 	for _, p := range payloads {
-		out = append(out, db.submitLocked(taskType, priority, p, 1))
+		f, err := db.submitLocked(taskType, priority, p, 1)
+		if err != nil {
+			// Fail-stop mid-batch: earlier tasks are committed and stay;
+			// report the persistence fault rather than a partial success.
+			if len(out) > 0 {
+				db.cond.Broadcast()
+			}
+			return nil, err
+		}
+		out = append(out, f)
 	}
 	if len(out) > 0 {
 		db.cond.Broadcast()
@@ -276,7 +288,11 @@ func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
 		if db.closed {
 			return nil, ErrClosed
 		}
-		if c := db.popLocked(taskType); c != nil {
+		c, err := db.popLocked(taskType)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
 			mPopWait.ObserveSince(waitStart)
 			return c, nil
 		}
@@ -291,40 +307,44 @@ func (db *DB) TryPop(taskType string) (*Claim, bool, error) {
 	if db.closed {
 		return nil, false, ErrClosed
 	}
-	if c := db.popLocked(taskType); c != nil {
+	c, err := db.popLocked(taskType)
+	if err != nil {
+		return nil, false, err
+	}
+	if c != nil {
 		return c, true, nil
 	}
 	return nil, false, nil
 }
 
 // popLocked claims the highest-priority queued task of taskType, or
-// returns nil if none is queued. The caller holds db.mu.
-func (db *DB) popLocked(taskType string) *Claim {
+// returns (nil, nil) if none is queued. The caller holds db.mu.
+func (db *DB) popLocked(taskType string) (*Claim, error) {
 	q, ok := db.queues[taskType]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	for q.Len() > 0 {
 		item := heap.Pop(q).(heapItem)
 		t := db.tasks[item.id]
 		// Defensive lazy deletion: skip heap entries whose task is no
-		// longer queued (e.g. resolved out of band) rather than
-		// corrupting its state.
+		// longer queued (e.g. resolved out of band, or a stale entry a
+		// replayed pop left behind) rather than corrupting its state.
 		if t == nil || t.Status != StatusQueued {
 			continue
 		}
-		t.Status = StatusRunning
-		t.Attempts++
-		t.Epoch++
-		t.Started = time.Now()
-		db.stats.Queued--
-		db.stats.Running++
+		if _, err := db.commitLocked(&taskMutation{Op: opPop, ID: t.ID, At: time.Now()}); err != nil {
+			// Fail-stop: the pop was never committed, so the task stays
+			// queued — put its heap entry back.
+			heap.Push(q, item)
+			return nil, err
+		}
 		mTaskPopped.Inc()
 		mQueueDepth.Dec()
 		mRunningNow.Inc()
-		return &Claim{Task: *t, db: db}
+		return &Claim{Task: *t, db: db}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // finish resolves an attempt of task id. epoch > 0 fences the resolution:
@@ -387,19 +407,20 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 		db.mu.Unlock()
 		return false, fmt.Errorf("emews: task %d not running (state %v)", id, t.Status)
 	}
-	// Automatic retry: a failed attempt with budget left goes back to the
-	// queue instead of terminating the future.
-	if status == StatusFailed && t.Attempts < t.MaxAttempts && !db.closed {
-		t.Status = StatusQueued
-		t.ErrMsg = errMsg
-		db.stats.Running--
-		db.stats.Queued++
-		q, ok := db.queues[t.Type]
-		if !ok {
-			q = &taskHeap{}
-			db.queues[t.Type] = q
-		}
-		heap.Push(q, heapItem{id: t.ID, priority: t.Priority, seq: t.ID})
+	// The decision is made under the lock: a failed attempt with budget
+	// left goes back to the queue (automatic retry) instead of terminating
+	// the future. The decision is recorded in the mutation so replay does
+	// not have to re-derive it.
+	requeue := status == StatusFailed && t.Attempts < t.MaxAttempts && !db.closed
+	res, err := db.commitLocked(&taskMutation{
+		Op: opFinish, ID: id, Status: status, Result: result, ErrMsg: errMsg,
+		Requeued: requeue, At: time.Now(),
+	})
+	if err != nil {
+		db.mu.Unlock()
+		return false, err
+	}
+	if requeue {
 		db.cond.Broadcast()
 		db.mu.Unlock()
 		mTaskRequeued.Inc()
@@ -407,21 +428,7 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 		mQueueDepth.Inc()
 		return true, nil
 	}
-	t.Status = status
-	t.Result = result
-	t.ErrMsg = errMsg
-	t.Finished = time.Now()
 	service := t.Finished.Sub(t.Started)
-	db.stats.Running--
-	switch status {
-	case StatusComplete:
-		db.stats.Complete++
-	case StatusFailed:
-		db.stats.Failed++
-	case StatusCanceled:
-		db.stats.Canceled++
-	}
-	f := db.futures[id]
 	db.mu.Unlock()
 	mRunningNow.Dec()
 	mTaskService.Observe(service)
@@ -433,8 +440,8 @@ func (db *DB) finish(id, epoch int64, status TaskStatus, result, errMsg string) 
 	case StatusCanceled:
 		mTaskCanceled.Inc()
 	}
-	if f != nil {
-		close(f.done)
+	if res.terminal != nil {
+		close(res.terminal.done)
 	}
 	return false, nil
 }
@@ -481,33 +488,28 @@ func (db *DB) Stats() Stats {
 }
 
 // Close cancels all queued tasks and unblocks every waiting Pop with
-// ErrClosed. Running tasks may still Complete/Fail.
+// ErrClosed. Running tasks may still Complete/Fail. The close is logged
+// best-effort: a WAL write failure cannot prevent shutdown, so on that
+// path the cancellations are applied in memory only (a subsequent crash
+// replays them as still queued, which is the safer direction).
 func (db *DB) Close() {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return
 	}
-	db.closed = true
-	var canceled []*Future
-	for _, q := range db.queues {
-		for q.Len() > 0 {
-			item := heap.Pop(q).(heapItem)
-			t := db.tasks[item.id]
-			t.Status = StatusCanceled
-			t.Finished = time.Now()
-			db.stats.Queued--
-			db.stats.Canceled++
-			mQueueDepth.Dec()
-			mTaskCanceled.Inc()
-			if f := db.futures[t.ID]; f != nil {
-				canceled = append(canceled, f)
-			}
+	m := &taskMutation{Op: opDBClose, At: time.Now()}
+	if db.backend != nil {
+		if rec, err := json.Marshal(m); err == nil {
+			_ = db.backend.Append(rec)
 		}
 	}
+	res, _ := db.applyLocked(m)
 	db.cond.Broadcast()
 	db.mu.Unlock()
-	for _, f := range canceled {
+	for _, f := range res.canceled {
+		mQueueDepth.Dec()
+		mTaskCanceled.Inc()
 		close(f.done)
 	}
 }
