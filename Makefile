@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke fuzz-smoke figures figures-quick cover clean
+.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke bench-json fuzz-smoke figures figures-quick cover clean
 
 all: build test
 
@@ -26,7 +26,9 @@ fmt-check:
 # locally means a green pipeline.
 ci: vet fmt-check build
 	$(GO) test ./...
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/...
+	GOMAXPROCS=1 $(GO) test ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/parallel/
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/...
+	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/
 
 # The default test path runs the race detector over the distributed task
 # lifecycle (emews), the scheduler, and the durability layer (WAL +
@@ -38,7 +40,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/...
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/...
+	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/
 
 race-all:
 	$(GO) test -race ./...
@@ -49,6 +52,11 @@ bench:
 # One iteration per benchmark: the nightly workflow's smoke pass.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Committed benchmark snapshot: the root-package paper benchmarks converted
+# to JSON for before/after comparison (see BENCH_baseline.json).
+bench-json:
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
 
 # Short coverage-guided fuzz of the WAL record decoder (nightly job).
 fuzz-smoke:

@@ -41,6 +41,7 @@ func benchGoldstein() osprey.GoldsteinOptions {
 // Goldstein analyses through the batch scheduler, and the population-
 // weighted aggregation.
 func BenchmarkFigure1WorkflowPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		p, err := osprey.New(osprey.Config{Identity: "bench", Nodes: 8})
@@ -67,6 +68,7 @@ func BenchmarkFigure1WorkflowPipeline(b *testing.B) {
 // BenchmarkFigure2GoldsteinRt measures one plant's semi-parametric Bayesian
 // R(t) estimation — the expensive step the paper routes to a compute node.
 func BenchmarkFigure2GoldsteinRt(b *testing.B) {
+	b.ReportAllocs()
 	sc := wastewater.DefaultScenario(100)
 	s := wastewater.Generate(wastewater.ChicagoPlants()[0], sc, rng.New(1))
 	opt := benchGoldstein()
@@ -155,6 +157,7 @@ func benchMusicOpts() osprey.MusicOptions {
 // BenchmarkFigure4MUSIC measures one fixed-seed MUSIC GSA trajectory (the
 // teal curves of Figure 4) at a reduced budget.
 func BenchmarkFigure4MUSIC(b *testing.B) {
+	b.ReportAllocs()
 	space := metarvm.GSAParameterSpace()
 	for i := 0; i < b.N; i++ {
 		opts := benchMusicOpts()
@@ -176,6 +179,7 @@ func BenchmarkFigure4MUSIC(b *testing.B) {
 // BenchmarkFigure4PCE measures the one-shot PCE baseline (the magenta
 // curves of Figure 4): nested LHS designs, degree-3 fit per size.
 func BenchmarkFigure4PCE(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := osprey.RunPCEComparison(nil, uint64(i+1), 11, []int{60, 100, 150, 200}, 3); err != nil {
 			b.Fatal(err)
@@ -303,6 +307,7 @@ func BenchmarkAblationAcquisition(b *testing.B) {
 	space := metarvm.GSAParameterSpace()
 	for _, acq := range []music.AcqKind{music.EIGF, music.Variance, music.Random} {
 		b.Run(acq.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opts := benchMusicOpts()
 				opts.Space = space
@@ -394,6 +399,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 	space := metarvm.GSAParameterSpace()
 	for _, q := range []int{1, 4} {
 		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opts := benchMusicOpts()
 				opts.Space = space

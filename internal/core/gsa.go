@@ -12,6 +12,7 @@ import (
 	"osprey/internal/emews"
 	"osprey/internal/metarvm"
 	"osprey/internal/music"
+	"osprey/internal/parallel"
 	"osprey/internal/pce"
 	"osprey/internal/rng"
 )
@@ -386,30 +387,50 @@ func RunPCEComparison(space *design.Space, seed uint64, modelSeed uint64, sizes 
 			max = s
 		}
 	}
+	// Model evaluations are independent (each run owns its config and RNG),
+	// as are the per-size fits over the shared read-only design — so both
+	// fan out over the worker pool into per-index slots, with errors and
+	// results reduced in design/size order.
 	pts := design.LatinHypercubeIn(rng.New(seed).Split("pce"), max, space)
 	ys := make([]float64, max)
-	for i, pt := range pts {
-		y, err := metarvm.EvaluateGSA(pt, modelSeed)
+	evalErrs := make([]error, max)
+	parallel.ForChunk(max, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ys[i], evalErrs[i] = metarvm.EvaluateGSA(pts[i], modelSeed)
+		}
+	})
+	for _, err := range evalErrs {
 		if err != nil {
 			return nil, err
 		}
-		ys[i] = y
 	}
 	unit := make([][]float64, max)
 	for i, pt := range pts {
 		unit[i] = space.Unscale(pt)
 	}
-	out := &PCEComparison{}
+	kept := make([]int, 0, len(sizes))
 	for _, n := range sizes {
-		if n > max {
-			continue
+		if n <= max {
+			kept = append(kept, n)
 		}
-		m, err := pce.Fit(unit[:n], ys[:n], pce.Options{Degree: degree, Ridge: 1e-8})
+	}
+	indices := make([][]float64, len(kept))
+	fitErrs := make([]error, len(kept))
+	parallel.For(len(kept), func(k int) {
+		m, err := pce.Fit(unit[:kept[k]], ys[:kept[k]], pce.Options{Degree: degree, Ridge: 1e-8})
 		if err != nil {
-			return nil, err
+			fitErrs[k] = err
+			return
+		}
+		indices[k] = m.FirstOrderIndices()
+	})
+	out := &PCEComparison{}
+	for k, n := range kept {
+		if fitErrs[k] != nil {
+			return nil, fitErrs[k]
 		}
 		out.Sizes = append(out.Sizes, n)
-		out.Indices = append(out.Indices, m.FirstOrderIndices())
+		out.Indices = append(out.Indices, indices[k])
 	}
 	return out, nil
 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"osprey/internal/parallel"
+	"osprey/internal/rt"
+)
+
+// TestPollAllSerialParallelEquality is the platform leg of the
+// repository-wide determinism contract: the four plants' Goldstein
+// analyses run concurrently inside PollAll, and the resulting per-plant
+// estimates and population-weighted ensemble must be bit-identical at
+// one worker and at eight.
+func TestPollAllSerialParallelEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	defer parallel.SetWorkers(0)
+	run := func(workers int) (map[string]*rt.Estimate, *rt.EnsembleEstimate) {
+		parallel.SetWorkers(workers)
+		p := newPlatform(t)
+		cfg := WastewaterConfig{
+			ScenarioDays: 90,
+			StartDay:     70,
+			Goldstein:    rt.GoldsteinOptions{Iterations: 120, BurnIn: 180, Thin: 2},
+			Seed:         42,
+		}
+		wp, err := NewWastewaterPipeline(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wp.Close()
+		if _, err := wp.PollAll(); err != nil {
+			t.Fatal(err)
+		}
+		ests := make(map[string]*rt.Estimate)
+		for _, name := range wp.PlantNames() {
+			est, err := wp.LatestEstimate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests[name] = est
+		}
+		ens, err := wp.LatestEnsemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ests, ens
+	}
+	estA, ensA := run(1)
+	estB, ensB := run(8)
+	for name, a := range estA {
+		b := estB[name]
+		for d := range a.Median {
+			if a.Median[d] != b.Median[d] || a.Lower[d] != b.Lower[d] || a.Upper[d] != b.Upper[d] {
+				t.Fatalf("%s day %d: serial and parallel plant estimates differ", name, d)
+			}
+		}
+	}
+	for d := range ensA.Median {
+		if ensA.Median[d] != ensB.Median[d] || ensA.Lower[d] != ensB.Lower[d] || ensA.Upper[d] != ensB.Upper[d] {
+			t.Fatalf("day %d: serial and parallel ensembles differ", d)
+		}
+	}
+}

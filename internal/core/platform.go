@@ -14,6 +14,7 @@ import (
 	"osprey/internal/aero"
 	"osprey/internal/emews"
 	"osprey/internal/globus"
+	"osprey/internal/parallel"
 	"osprey/internal/scheduler"
 )
 
@@ -33,6 +34,11 @@ type Config struct {
 	TaskDB *emews.DB
 	// BatchWalltime bounds batch compute tasks (default 10m).
 	BatchWalltime time.Duration
+	// Parallelism, when positive, bounds the process-wide numerical worker
+	// pool (internal/parallel). Zero keeps the existing resolution:
+	// OSPREY_PARALLELISM if set, else GOMAXPROCS. Results are identical at
+	// any setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // Platform is a fully wired OSPREY deployment.
@@ -69,6 +75,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.BatchWalltime <= 0 {
 		cfg.BatchWalltime = 10 * time.Minute
+	}
+	if cfg.Parallelism > 0 {
+		parallel.SetWorkers(cfg.Parallelism)
 	}
 
 	auth := globus.NewAuth()

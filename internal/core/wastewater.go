@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"osprey/internal/aero"
+	"osprey/internal/parallel"
 	"osprey/internal/rng"
 	"osprey/internal/rt"
 	"osprey/internal/wastewater"
@@ -286,14 +287,24 @@ func runEnsembleHarness(_ context.Context, payload []byte) ([]byte, error) {
 // PollAll polls every ingestion flow once and waits for all triggered
 // analyses (including the aggregate) to finish — one simulated "daily"
 // cycle of the automated workflow. It reports how many feeds had updates.
+//
+// The per-plant polls (fetch + validation transform) run concurrently
+// across the worker pool; the triggered Goldstein analyses were already
+// dispatched asynchronously by AERO and are joined by WaitIdle. Update
+// counts and errors are reduced in plant order, so the reported result is
+// independent of poll completion order.
 func (wp *WastewaterPipeline) PollAll() (int, error) {
+	ups := make([]bool, len(wp.plants))
+	errs := make([]error, len(wp.plants))
+	parallel.For(len(wp.plants), func(i int) {
+		ups[i], errs[i] = wp.plants[i].ingestion.Poll()
+	})
 	updates := 0
-	for _, rig := range wp.plants {
-		up, err := rig.ingestion.Poll()
-		if err != nil {
-			return updates, err
+	for i := range wp.plants {
+		if errs[i] != nil {
+			return updates, errs[i]
 		}
-		if up {
+		if ups[i] {
 			updates++
 		}
 	}

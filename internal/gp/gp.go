@@ -14,9 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"osprey/internal/linalg"
 	"osprey/internal/optim"
+	"osprey/internal/parallel"
 )
 
 // KernelKind selects the covariance family.
@@ -97,7 +100,17 @@ type GP struct {
 	lml    float64   // log marginal likelihood at the fitted parameters
 	jitter float64   // diagonal jitter applied during factorization
 	opts   Options
+
+	// gen changes whenever the hyperparameters change, so kernel-column
+	// caches (MeanCache) can tell "same GP, more training points" apart
+	// from "refit with new lengthscales". Appending data without
+	// reoptimizing leaves gen untouched.
+	gen uint64
 }
+
+// genCounter hands out process-unique generation numbers so that a gen value
+// is never reused, even across distinct GP instances at the same address.
+var genCounter atomic.Uint64
 
 // ErrNoData is returned when Fit receives an empty training set.
 var ErrNoData = errors.New("gp: empty training set")
@@ -171,20 +184,26 @@ func (g *GP) applyTheta(theta []float64) {
 	} else {
 		g.nugget = math.Exp(theta[g.dim+1])
 	}
+	g.gen = genCounter.Add(1)
 }
 
 // buildK assembles the full covariance matrix with the current parameters.
+// Rows are built across the worker pool; worker i owns row i's upper
+// triangle plus its mirrored column, so no entry is written twice and the
+// result is identical to the serial construction.
 func (g *GP) buildK() *linalg.Dense {
 	n := len(g.x)
 	k := linalg.NewDense(n, n)
-	for i := 0; i < n; i++ {
-		k.Set(i, i, g.sf2+g.nugget)
-		for j := i + 1; j < n; j++ {
-			v := g.sf2 * corr(g.kind, g.x[i], g.x[j], g.ls)
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+	parallel.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.Set(i, i, g.sf2+g.nugget)
+			for j := i + 1; j < n; j++ {
+				v := g.sf2 * corr(g.kind, g.x[i], g.x[j], g.ls)
+				k.Set(i, j, v)
+				k.Set(j, i, v)
+			}
 		}
-	}
+	})
 	return k
 }
 
@@ -206,20 +225,11 @@ func (g *GP) factor() (float64, error) {
 
 func (g *GP) optimize() error {
 	nt := g.nTheta()
-	obj := func(theta []float64) float64 {
-		for _, v := range theta {
-			// Guard against absurd scales that destabilize Cholesky.
-			if v < -14 || v > 14 {
-				return math.Inf(1)
-			}
-		}
-		g.applyTheta(theta)
-		lml, err := g.factor()
-		if err != nil {
-			return math.Inf(1)
-		}
-		return -lml
-	}
+	// Pack every pairwise per-dimension squared difference once; each of the
+	// hundreds of Nelder–Mead likelihood evaluations then assembles K as a
+	// fused multiply-add over the cached diffs instead of rebuilding scaled
+	// distances from raw coordinates (see lml.go).
+	sq := packSquaredDiffs(g.x, g.dim)
 
 	starts := make([][]float64, 0, g.opts.Restarts+1)
 	base := make([]float64, nt)
@@ -242,7 +252,14 @@ func (g *GP) optimize() error {
 		starts = append(starts, s)
 	}
 
-	res := optim.MultiStart(obj, starts, optim.NelderMeadOptions{MaxIter: g.opts.MaxIter})
+	// Each restart gets its own evaluator (the evaluator carries the K and
+	// solve scratch that the serial objective used to keep on g), so the
+	// restarts run concurrently; the ordered reduction in MultiStartParallel
+	// keeps the winner identical at any worker count.
+	objFor := func(int) func([]float64) float64 {
+		return newLMLEvaluator(g, sq).negLML
+	}
+	res := optim.MultiStartParallel(objFor, starts, optim.NelderMeadOptions{MaxIter: g.opts.MaxIter})
 	if math.IsInf(res.F, 1) {
 		return errors.New("gp: hyperparameter optimization failed to find a feasible point")
 	}
@@ -251,26 +268,55 @@ func (g *GP) optimize() error {
 	return err
 }
 
-// Predict returns the posterior mean and variance at point x (raw scale).
-// The variance includes the latent-function uncertainty but not the nugget;
-// use PredictNoisy for the predictive variance of a new noisy observation.
-func (g *GP) Predict(x []float64) (mean, variance float64) {
+// predictScratch is the reusable working set of one prediction: the kernel
+// cross-covariance vector and the forward-solve output. Pooling it makes
+// Predict allocation-free in steady state while staying safe for concurrent
+// callers (each in-flight prediction holds its own scratch).
+type predictScratch struct{ k, v []float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// grow returns buf resized to length n, reallocating only when the capacity
+// is insufficient. Contents are not preserved.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// predictWith computes the posterior mean and variance at x using
+// caller-owned scratch. This is the single prediction kernel behind Predict,
+// PredictBatch, and Predictor, so all three are bit-identical by
+// construction.
+func (g *GP) predictWith(x []float64, s *predictScratch) (mean, variance float64) {
 	if len(x) != g.dim {
 		panic("gp: Predict dimension mismatch")
 	}
 	n := len(g.x)
-	k := make([]float64, n)
+	s.k = grow(s.k, n)
+	s.v = grow(s.v, n)
 	for i := 0; i < n; i++ {
-		k[i] = g.sf2 * corr(g.kind, x, g.x[i], g.ls)
+		s.k[i] = g.sf2 * corr(g.kind, x, g.x[i], g.ls)
 	}
-	mu := linalg.Dot(k, g.alpha)
-	v := g.chol.ForwardSolve(k)
-	variance = g.sf2 - linalg.Dot(v, v)
+	mu := linalg.Dot(s.k, g.alpha)
+	g.chol.ForwardSolveTo(s.v, s.k)
+	variance = g.sf2 - linalg.Dot(s.v, s.v)
 	if variance < 0 {
 		variance = 0
 	}
 	mean = g.yMean + g.yStd*mu
 	variance *= g.yStd * g.yStd
+	return mean, variance
+}
+
+// Predict returns the posterior mean and variance at point x (raw scale).
+// The variance includes the latent-function uncertainty but not the nugget;
+// use PredictNoisy for the predictive variance of a new noisy observation.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	s := scratchPool.Get().(*predictScratch)
+	mean, variance = g.predictWith(x, s)
+	scratchPool.Put(s)
 	return mean, variance
 }
 
@@ -281,13 +327,20 @@ func (g *GP) PredictNoisy(x []float64) (mean, variance float64) {
 	return m, v + g.nugget*g.yStd*g.yStd
 }
 
-// PredictBatch evaluates Predict over many points.
+// PredictBatch evaluates Predict over many points across the worker pool.
+// Each point is computed with the same kernel as Predict and written to its
+// own output slot, so the result is bit-identical to the serial loop at any
+// worker count.
 func (g *GP) PredictBatch(xs [][]float64) (means, variances []float64) {
 	means = make([]float64, len(xs))
 	variances = make([]float64, len(xs))
-	for i, x := range xs {
-		means[i], variances[i] = g.Predict(x)
-	}
+	parallel.ForChunk(len(xs), func(lo, hi int) {
+		s := scratchPool.Get().(*predictScratch)
+		for i := lo; i < hi; i++ {
+			means[i], variances[i] = g.predictWith(xs[i], s)
+		}
+		scratchPool.Put(s)
+	})
 	return means, variances
 }
 
@@ -401,6 +454,7 @@ func Restore(x [][]float64, y []float64, hp Hyperparams, opts Options) (*GP, err
 	for i, v := range y {
 		g.y[i] = (v - hp.YMean) / hp.YStd
 	}
+	g.gen = genCounter.Add(1)
 	if _, err := g.factor(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,151 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/design"
+	"osprey/internal/parallel"
+	"osprey/internal/rng"
+)
+
+// fitTestData builds a smooth 3-D response over a Latin hypercube.
+func fitTestData(n int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	x := design.LatinHypercube(r, n, 3)
+	y := make([]float64, n)
+	for i, p := range x {
+		y[i] = math.Sin(3*p[0]) + 2*p[1]*p[1] - p[2] + 0.1*p[0]*p[2]
+	}
+	return x, y
+}
+
+// TestFitSerialParallelEquality is the gp leg of the repository-wide
+// determinism contract: the multi-start hyperparameter search, kernel
+// assembly, and Cholesky factorization must give bit-identical models
+// at one worker and at eight.
+func TestFitSerialParallelEquality(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	x, y := fitTestData(40, 7)
+	run := func(workers int) *GP {
+		parallel.SetWorkers(workers)
+		g, err := Fit(x, y, Options{Kernel: Matern52, Restarts: 3, MaxIter: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := run(1)
+	b := run(8)
+	for d := range a.ls {
+		if a.ls[d] != b.ls[d] {
+			t.Fatalf("lengthscale %d: %x (serial) vs %x (parallel)", d, a.ls[d], b.ls[d])
+		}
+	}
+	if a.sf2 != b.sf2 || a.nugget != b.nugget || a.lml != b.lml {
+		t.Fatalf("amplitude/nugget/lml differ: (%x,%x,%x) vs (%x,%x,%x)",
+			a.sf2, a.nugget, a.lml, b.sf2, b.nugget, b.lml)
+	}
+	for i := range a.alpha {
+		if a.alpha[i] != b.alpha[i] {
+			t.Fatalf("alpha %d: serial and parallel weights differ", i)
+		}
+	}
+}
+
+// TestPredictBatchSerialParallelEquality checks the chunked batch
+// prediction path against single-point Predict under both worker counts.
+func TestPredictBatchSerialParallelEquality(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	x, y := fitTestData(30, 8)
+	g, err := Fit(x, y, Options{Kernel: SquaredExponential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(101)
+	qs := make([][]float64, 200)
+	for i := range qs {
+		qs[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+
+	parallel.SetWorkers(1)
+	m1, v1 := g.PredictBatch(qs)
+	parallel.SetWorkers(8)
+	m8, v8 := g.PredictBatch(qs)
+	for i := range qs {
+		if m1[i] != m8[i] || v1[i] != v8[i] {
+			t.Fatalf("query %d: serial and parallel batch predictions differ", i)
+		}
+		mp, vp := g.Predict(qs[i])
+		if mp != m1[i] || vp != v1[i] {
+			t.Fatalf("query %d: batch and single-point predictions differ", i)
+		}
+	}
+}
+
+// TestPredictorMatchesPredict pins the reusable-scratch Predictor to the
+// pooled Predict path.
+func TestPredictorMatchesPredict(t *testing.T) {
+	x, y := fitTestData(25, 9)
+	g, err := Fit(x, y, Options{Kernel: Matern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := g.NewPredictor()
+	r := rng.New(55)
+	for i := 0; i < 100; i++ {
+		q := []float64{r.Float64(), r.Float64(), r.Float64()}
+		m1, v1 := g.Predict(q)
+		m2, v2 := pred.Predict(q)
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("query %d: Predictor diverges from Predict", i)
+		}
+		if pm := pred.PredictMean(q); pm != g.PredictMean(q) {
+			t.Fatalf("query %d: PredictMean diverges", i)
+		}
+	}
+}
+
+// TestMeanCacheMatchesPredictMean checks that the cached-correlation mean
+// path reproduces PredictMean bit-for-bit, across cheap Adds (column
+// extension) and refits (full rebuild).
+func TestMeanCacheMatchesPredictMean(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	x, y := fitTestData(20, 10)
+	g, err := Fit(x, y, Options{Kernel: SquaredExponential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	pts := make([][]float64, 64)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	check := func(c *MeanCache, stage string) {
+		out := make([]float64, len(pts))
+		c.Means(g, out)
+		for q, pt := range pts {
+			if want := g.PredictMean(pt); out[q] != want {
+				t.Fatalf("%s query %d: cache %x vs PredictMean %x", stage, q, out[q], want)
+			}
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		parallel.SetWorkers(workers)
+		c := NewMeanCache(pts)
+		check(c, "fresh")
+		// Cheap appends extend cached columns.
+		for k := 0; k < 3; k++ {
+			p := []float64{r.Float64(), r.Float64(), r.Float64()}
+			if err := g.Add(p, math.Sin(3*p[0])+2*p[1]*p[1]-p[2], false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(c, "after add")
+		// A refit bumps the generation and forces a rebuild.
+		if err := g.Add([]float64{0.5, 0.5, 0.5}, 0.7, true); err != nil {
+			t.Fatal(err)
+		}
+		check(c, "after refit")
+	}
+}

@@ -1,0 +1,106 @@
+package gp
+
+import (
+	"osprey/internal/parallel"
+)
+
+// Predictor carries reusable prediction scratch for repeated queries against
+// one GP. It is cheaper than Predict in tight loops because the scratch
+// never goes back through the pool, and it keeps working (resizing lazily)
+// as training points are appended. A Predictor is not safe for concurrent
+// use; give each worker its own.
+type Predictor struct {
+	g *GP
+	s predictScratch
+}
+
+// NewPredictor returns a Predictor bound to g.
+func (g *GP) NewPredictor() *Predictor {
+	return &Predictor{g: g}
+}
+
+// Predict is equivalent to g.Predict(x) — same kernel, bit-identical
+// results — without any steady-state allocation.
+func (p *Predictor) Predict(x []float64) (mean, variance float64) {
+	return p.g.predictWith(x, &p.s)
+}
+
+// PredictMean is equivalent to g.PredictMean(x).
+func (p *Predictor) PredictMean(x []float64) float64 {
+	return p.g.PredictMean(x)
+}
+
+// MeanCache caches the kernel cross-covariance columns between a fixed set
+// of query points and a GP's training set, for workloads that re-predict the
+// same design over and over (MUSIC evaluates one QMC Sobol design against
+// the surrogate after every refit). The expensive part of PredictMean is the
+// n·q transcendental kernel evaluations; those depend only on (query points,
+// training inputs, hyperparameters), so:
+//
+//   - while the hyperparameters are unchanged (GP generation stable, e.g.
+//     cheap Add calls between refit intervals), only the columns for newly
+//     appended training points are computed;
+//   - when the GP is refit (generation bump), all columns are rebuilt.
+//
+// Means then reduces each cached column against alpha in index order,
+// reproducing g.PredictMean bit-for-bit.
+type MeanCache struct {
+	pts  [][]float64 // fixed query points (borrowed; do not mutate)
+	g    *GP
+	gen  uint64
+	n    int         // training-set size the columns cover
+	cols [][]float64 // cols[q][i] = corr(pts[q], x[i]) at the cached gen
+}
+
+// NewMeanCache creates a cache over the given fixed query points. The slice
+// is borrowed, not copied.
+func NewMeanCache(pts [][]float64) *MeanCache {
+	return &MeanCache{pts: pts, cols: make([][]float64, len(pts))}
+}
+
+// Means writes g.PredictMean(pts[q]) for every query point into out, reusing
+// cached kernel columns where the GP's hyperparameters allow. len(out) must
+// equal the number of query points.
+func (c *MeanCache) Means(g *GP, out []float64) {
+	if len(out) != len(c.pts) {
+		panic("gp: MeanCache output length mismatch")
+	}
+	n := len(g.x)
+	fresh := c.g != g || c.gen != g.gen
+	if fresh {
+		c.g, c.gen = g, g.gen
+		c.n = 0
+	}
+	lo := c.n
+	if n < lo {
+		// Training set shrank without a generation bump — cannot happen via
+		// the public API, but recompute defensively.
+		lo = 0
+	}
+	parallel.ForChunk(len(c.pts), func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			col := c.cols[q]
+			if cap(col) < n {
+				// Headroom for the steady drip of one-point Adds between
+				// refits, so each snapshot does not reallocate every column.
+				grown := make([]float64, n, n+64)
+				copy(grown, col[:lo])
+				col = grown
+			} else {
+				col = col[:n]
+			}
+			pt := c.pts[q]
+			for i := lo; i < n; i++ {
+				col[i] = corr(g.kind, pt, g.x[i], g.ls)
+			}
+			c.cols[q] = col
+			// Ordered reduction, matching PredictMean's loop exactly.
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += g.alpha[i] * col[i]
+			}
+			out[q] = g.yMean + g.yStd*g.sf2*s
+		}
+	})
+	c.n = n
+}

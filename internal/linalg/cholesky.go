@@ -77,20 +77,27 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 
 // ForwardSolve solves L y = b.
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	y := make([]float64, c.L.Rows)
+	c.ForwardSolveTo(y, b)
+	return y
+}
+
+// ForwardSolveTo solves L y = b into the caller-supplied slice dst, which
+// may alias b. It allocates nothing, which is what makes batched GP
+// prediction allocation-free in steady state.
+func (c *Cholesky) ForwardSolveTo(dst, b []float64) {
 	n := c.L.Rows
-	if len(b) != n {
-		panic("linalg: ForwardSolve dimension mismatch")
+	if len(b) != n || len(dst) != n {
+		panic("linalg: ForwardSolveTo dimension mismatch")
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		li := c.L.Row(i)
 		for k := 0; k < i; k++ {
-			s -= li[k] * y[k]
+			s -= li[k] * dst[k]
 		}
-		y[i] = s / li[i]
+		dst[i] = s / li[i]
 	}
-	return y
 }
 
 // BackSolve solves Lᵀ x = y.

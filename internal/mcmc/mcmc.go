@@ -158,11 +158,44 @@ func Run(logp LogDensity, x0 []float64, opts Options) (*Chain, error) {
 	return &Chain{Samples: kept, LogDens: keptLp, AcceptanceRate: rate, FinalScales: scales}, nil
 }
 
+// ComponentTarget is a log density that can exploit the structure of
+// component-at-a-time proposals. Between Commit calls, every LogDensityAt
+// receives an x that differs from the last committed point in at most the
+// one coordinate `changed` (changed < 0 means "assume everything moved" —
+// used for the initial full evaluation). An implementation may therefore
+// cache intermediate state of the committed point and recompute only what
+// coordinate `changed` influences, as the Goldstein R(t) likelihood does
+// with its renewal recursion. Commit declares the most recently evaluated
+// proposal accepted, promoting its cached state.
+//
+// Implementations must return bit-identical values to their full evaluation
+// for the sampler to remain reproducible across the incremental and plain
+// paths.
+type ComponentTarget interface {
+	LogDensityAt(x []float64, changed int) float64
+	Commit()
+}
+
+// densityTarget adapts a memoryless LogDensity to ComponentTarget.
+type densityTarget struct{ f LogDensity }
+
+func (t densityTarget) LogDensityAt(x []float64, _ int) float64 { return t.f(x) }
+func (t densityTarget) Commit()                                 {}
+
 // RunComponentwise draws from logp with a component-at-a-time random-walk
 // kernel: each iteration sweeps every coordinate with its own adapted
 // scale. This mixes far better than the blockwise kernel for the
 // high-dimensional latent log-R(t) increments of the Goldstein model.
 func RunComponentwise(logp LogDensity, x0 []float64, opts Options) (*Chain, error) {
+	return RunComponentwiseTarget(densityTarget{f: logp}, x0, opts)
+}
+
+// RunComponentwiseTarget is RunComponentwise for targets that track the
+// committed/proposed distinction (see ComponentTarget). The sampling
+// protocol — proposal order, RNG consumption, accept/reject arithmetic — is
+// exactly that of RunComponentwise, so a target whose incremental evaluation
+// is bit-faithful to its full evaluation yields an identical chain.
+func RunComponentwiseTarget(target ComponentTarget, x0 []float64, opts Options) (*Chain, error) {
 	dim := len(x0)
 	if dim == 0 {
 		return nil, errors.New("mcmc: empty initial point")
@@ -173,10 +206,11 @@ func RunComponentwise(logp LogDensity, x0 []float64, opts Options) (*Chain, erro
 	r := opts.Rand
 
 	x := append([]float64(nil), x0...)
-	lp := logp(x)
+	lp := target.LogDensityAt(x, -1)
 	if math.IsInf(lp, -1) || math.IsNaN(lp) {
 		return nil, errors.New("mcmc: initial point has zero posterior density")
 	}
+	target.Commit()
 
 	logScale := make([]float64, dim) // per-coordinate adapted log multipliers
 	total := opts.BurnIn + opts.Iterations*opts.Thin
@@ -188,11 +222,12 @@ func RunComponentwise(logp LogDensity, x0 []float64, opts Options) (*Chain, erro
 		for i := 0; i < dim; i++ {
 			old := x[i]
 			x[i] = old + math.Exp(logScale[i])*opts.Scales[i]*r.Normal()
-			lpProp := logp(x)
+			lpProp := target.LogDensityAt(x, i)
 			accepted := false
 			if !math.IsNaN(lpProp) && math.Log(r.Float64Open()) < lpProp-lp {
 				lp = lpProp
 				accepted = true
+				target.Commit()
 			} else {
 				x[i] = old
 			}

@@ -21,6 +21,7 @@ import (
 
 	"osprey/internal/design"
 	"osprey/internal/gp"
+	"osprey/internal/parallel"
 	"osprey/internal/rng"
 	"osprey/internal/sobolidx"
 )
@@ -148,6 +149,14 @@ type Algorithm struct {
 	issuedInit  bool
 	history     []Snapshot
 	lastIndices []float64
+
+	// Index-estimation fast path: the QMC pick–freeze design is identical
+	// for every snapshot, so it is built once and its kernel columns against
+	// the growing training set are cached across snapshots (see
+	// gp.MeanCache). idxVals is the reused surrogate-mean buffer.
+	idxDesign *sobolidx.Design
+	idxCache  *gp.MeanCache
+	idxVals   []float64
 }
 
 // New validates options and creates an instance.
@@ -229,25 +238,26 @@ func (a *Algorithm) refit(added int) error {
 }
 
 // snapshot estimates current first-order (and optionally total-order)
-// indices from the surrogate mean.
+// indices from the surrogate mean. The pick–freeze design is cached across
+// snapshots and the surrogate is scored through a kernel-column cache, so
+// each snapshot after the first only computes kernel entries for training
+// points added since — while producing the exact values a fresh
+// sobolidx.Estimate over PredictMean would.
 func (a *Algorithm) snapshot() error {
-	predict := a.surrogate.PredictMean
-	snap := Snapshot{N: len(a.y)}
+	if a.idxDesign == nil {
+		dg, err := sobolidx.NewDesign(a.Dim(), a.opts.IndexSamples, nil)
+		if err != nil {
+			return err
+		}
+		a.idxDesign = dg
+		a.idxCache = gp.NewMeanCache(dg.Points())
+		a.idxVals = make([]float64, len(dg.Points()))
+	}
+	a.idxCache.Means(a.surrogate, a.idxVals)
+	res := a.idxDesign.Estimate(a.idxVals, true)
+	snap := Snapshot{N: len(a.y), Indices: res.First}
 	if a.opts.TrackTotal {
-		res, err := sobolidx.Estimate(predict, a.Dim(), sobolidx.Options{
-			N: a.opts.IndexSamples, Clamp01: true,
-		})
-		if err != nil {
-			return err
-		}
-		snap.Indices = res.First
 		snap.Total = res.Total
-	} else {
-		idx, err := sobolidx.FirstOrderFromSurrogate(predict, a.Dim(), a.opts.IndexSamples)
-		if err != nil {
-			return err
-		}
-		snap.Indices = idx
 	}
 	a.lastIndices = append([]float64(nil), snap.Indices...)
 	a.history = append(a.history, snap)
@@ -296,21 +306,29 @@ func (a *Algorithm) nextBatch(q int) ([][]float64, error) {
 		score float64
 		pt    []float64
 	}
+	// One parallel pass scores the whole pool: each worker chunk carries
+	// its own prediction scratch and fuses the posterior query with the
+	// nearest-observation scan. Scores land in per-candidate slots, so the
+	// ranking below sees exactly what the serial loop produced.
 	all := make([]scored, len(cands))
-	for i, c := range cands {
-		var score float64
-		switch a.opts.Acquisition {
-		case Variance:
-			_, v := a.surrogate.Predict(c)
-			score = v
-		default: // EIGF with the D1 nearest-observation formulation
-			mu, v := a.surrogate.Predict(c)
-			yNear := a.nearestY(c)
-			d := mu - yNear
-			score = d*d + v
+	parallel.ForChunk(len(cands), func(lo, hi int) {
+		pred := a.surrogate.NewPredictor()
+		for i := lo; i < hi; i++ {
+			c := cands[i]
+			var score float64
+			switch a.opts.Acquisition {
+			case Variance:
+				_, v := pred.Predict(c)
+				score = v
+			default: // EIGF with the D1 nearest-observation formulation
+				mu, v := pred.Predict(c)
+				yNear := a.nearestY(c)
+				d := mu - yNear
+				score = d*d + v
+			}
+			all[i] = scored{score: score, pt: c}
 		}
-		all[i] = scored{score: score, pt: c}
-	}
+	})
 	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
 	out := make([][]float64, q)
 	for i := 0; i < q; i++ {

@@ -1,0 +1,105 @@
+package music
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/parallel"
+)
+
+// TestTrajectorySerialParallelEquality is the MUSIC leg of the
+// repository-wide determinism contract: a full adaptive trajectory —
+// initial design, candidate scoring, GP refits, and every per-snapshot
+// Sobol' estimate — must be bit-identical at one worker and at eight.
+func TestTrajectorySerialParallelEquality(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	space := unitSpace(3)
+	f := func(x []float64) (float64, error) {
+		return math.Sin(3*x[0]) + 2*x[1]*x[1] + 0.3*x[2], nil
+	}
+	run := func(workers int) ([]Snapshot, []float64) {
+		parallel.SetWorkers(workers)
+		opts := fastOpts(space, 17)
+		opts.TrackTotal = true
+		a, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSequential(a, f); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := a.Indices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.History(), idx
+	}
+	ha, ia := run(1)
+	hb, ib := run(8)
+	if len(ha) != len(hb) {
+		t.Fatalf("history lengths differ: %d vs %d", len(ha), len(hb))
+	}
+	for s := range ha {
+		if ha[s].N != hb[s].N {
+			t.Fatalf("snapshot %d: sample counts differ", s)
+		}
+		for d := range ha[s].Indices {
+			if ha[s].Indices[d] != hb[s].Indices[d] {
+				t.Fatalf("snapshot %d dim %d: first-order index %x (serial) vs %x (parallel)",
+					s, d, ha[s].Indices[d], hb[s].Indices[d])
+			}
+			if ha[s].Total[d] != hb[s].Total[d] {
+				t.Fatalf("snapshot %d dim %d: total index differs", s, d)
+			}
+		}
+	}
+	for d := range ia {
+		if ia[d] != ib[d] {
+			t.Fatalf("final index %d: serial and parallel runs differ", d)
+		}
+	}
+}
+
+// TestBatchSelectionSerialParallelEquality pins the parallel candidate
+// scoring in nextBatch: the ranked batch must not depend on worker count.
+func TestBatchSelectionSerialParallelEquality(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	space := unitSpace(2)
+	run := func(workers int) [][]float64 {
+		parallel.SetWorkers(workers)
+		opts := fastOpts(space, 23)
+		opts.BatchSize = 5
+		a, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := a.InitialDesign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p[0]*p[0] + 0.5*p[1]
+		}
+		if err := a.Observe(pts, vals); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := a.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch
+	}
+	a := run(1)
+	b := run(8)
+	if len(a) != len(b) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatalf("batch point %d dim %d: serial and parallel selections differ", i, d)
+			}
+		}
+	}
+}

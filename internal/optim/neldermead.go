@@ -5,6 +5,8 @@ package optim
 
 import (
 	"math"
+
+	"osprey/internal/parallel"
 )
 
 // Result reports the outcome of an optimization run.
@@ -177,6 +179,27 @@ func MultiStart(f func([]float64) float64, starts [][]float64, opt NelderMeadOpt
 	best := Result{F: math.Inf(1)}
 	for _, s := range starts {
 		r := NelderMead(f, s, opt)
+		if r.F < best.F {
+			best = r
+		}
+	}
+	return best
+}
+
+// MultiStartParallel runs NelderMead from each start point concurrently
+// under the process-wide worker bound. objFor(i) must return an objective
+// for exclusive use by start i (restart objectives typically carry scratch
+// state, so they cannot be shared). The winner is chosen by an ordered
+// reduction over start index with the same strictly-less rule as
+// MultiStart, so the result is bit-identical to the serial path at any
+// worker count.
+func MultiStartParallel(objFor func(i int) func([]float64) float64, starts [][]float64, opt NelderMeadOptions) Result {
+	results := make([]Result, len(starts))
+	parallel.For(len(starts), func(i int) {
+		results[i] = NelderMead(objFor(i), starts[i], opt)
+	})
+	best := Result{F: math.Inf(1)}
+	for _, r := range results {
 		if r.F < best.F {
 			best = r
 		}

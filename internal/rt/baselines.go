@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"osprey/internal/epi"
+	"osprey/internal/parallel"
 	"osprey/internal/stats"
 	"osprey/internal/wastewater"
 )
@@ -111,24 +112,20 @@ func EstimateGoldsteinChains(obs []wastewater.Observation, plant wastewater.Plan
 	if nChains < 2 {
 		return nil, errors.New("rt: need at least 2 chains for diagnostics")
 	}
+	// Chains run across the shared worker pool (each writing only its own
+	// slot) instead of one unbounded goroutine apiece; errors are collected
+	// in chain order, so the reported failure is deterministic.
 	type chainOut struct {
 		est *Estimate
 		err error
 	}
 	outs := make([]chainOut, nChains)
-	done := make(chan int, nChains)
-	for c := 0; c < nChains; c++ {
-		go func(c int) {
-			o := opt
-			o.Seed = opt.Seed + uint64(c)*104729
-			est, err := EstimateGoldstein(obs, plant, days, o)
-			outs[c] = chainOut{est: est, err: err}
-			done <- c
-		}(c)
-	}
-	for i := 0; i < nChains; i++ {
-		<-done
-	}
+	parallel.For(nChains, func(c int) {
+		o := opt
+		o.Seed = opt.Seed + uint64(c)*104729
+		est, err := EstimateGoldstein(obs, plant, days, o)
+		outs[c] = chainOut{est: est, err: err}
+	})
 	ests := make([]*Estimate, nChains)
 	for c, o := range outs {
 		if o.err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"osprey/internal/parallel"
 	"osprey/internal/stats"
 )
 
@@ -67,23 +68,27 @@ func EnsembleWeighted(estimates []*Estimate, weights []float64) (*EnsembleEstima
 
 	// Per-day weighted mixture of all plants' draws: each draw carries its
 	// plant's weight divided by the plant's draw count, so plants with
-	// more retained draws are not over-represented.
-	var pool []float64
-	var poolW []float64
-	for d := 0; d < days; d++ {
-		pool = pool[:0]
-		poolW = poolW[:0]
-		for pi, e := range estimates {
-			w := out.Weights[pi] / float64(len(e.Draws))
-			for _, draw := range e.Draws {
-				pool = append(pool, draw[d])
-				poolW = append(poolW, w)
+	// more retained draws are not over-represented. Days are independent —
+	// each worker chunk pools into its own buffers and writes only its own
+	// day slots, so the summaries match the serial loop exactly.
+	parallel.ForChunk(days, func(lo, hi int) {
+		var pool []float64
+		var poolW []float64
+		for d := lo; d < hi; d++ {
+			pool = pool[:0]
+			poolW = poolW[:0]
+			for pi, e := range estimates {
+				w := out.Weights[pi] / float64(len(e.Draws))
+				for _, draw := range e.Draws {
+					pool = append(pool, draw[d])
+					poolW = append(poolW, w)
+				}
 			}
+			out.Lower[d] = stats.WeightedQuantile(pool, poolW, 0.025)
+			out.Median[d] = stats.WeightedQuantile(pool, poolW, 0.5)
+			out.Upper[d] = stats.WeightedQuantile(pool, poolW, 0.975)
 		}
-		out.Lower[d] = stats.WeightedQuantile(pool, poolW, 0.025)
-		out.Median[d] = stats.WeightedQuantile(pool, poolW, 0.5)
-		out.Upper[d] = stats.WeightedQuantile(pool, poolW, 0.975)
-	}
+	})
 	return out, nil
 }
 

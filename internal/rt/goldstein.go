@@ -20,6 +20,7 @@ import (
 
 	"osprey/internal/epi"
 	"osprey/internal/mcmc"
+	"osprey/internal/parallel"
 	"osprey/internal/rng"
 	"osprey/internal/stats"
 	"osprey/internal/wastewater"
@@ -113,8 +114,19 @@ func (m *goldsteinModel) nParams() int { return len(m.knots) + 2 }
 // dailyLogR expands knot values to a day-indexed series by linear
 // interpolation.
 func (m *goldsteinModel) dailyLogR(knotVals []float64, out []float64) {
+	m.dailyLogRRange(knotVals, out, 0, m.days)
+}
+
+// dailyLogRRange interpolates only days [from, to). The per-day arithmetic
+// is identical to a full expansion — the knot cursor is advanced to `from`
+// exactly as the sequential loop would have left it — which is what lets the
+// incremental likelihood rebuild just the segment a knot move touches.
+func (m *goldsteinModel) dailyLogRRange(knotVals []float64, out []float64, from, to int) {
 	k := 0
-	for d := 0; d < m.days; d++ {
+	for k+1 < len(m.knots) && m.knots[k+1] < from {
+		k++
+	}
+	for d := from; d < to; d++ {
 		for k+1 < len(m.knots) && m.knots[k+1] < d {
 			k++
 		}
@@ -231,9 +243,6 @@ func EstimateGoldstein(obs []wastewater.Observation, plant wastewater.Plant, day
 		m.knots = append(m.knots, days-1)
 	}
 
-	scratch := &goldsteinScratch{logR: make([]float64, days), inc: make([]float64, days)}
-	logp := func(theta []float64) float64 { return m.logPosterior(theta, scratch) }
-
 	// Initialization: R = 1 everywhere, sigma = 0.5, seed matched to the
 	// observed concentration scale (the scale parameter is absorbed into
 	// the seed — they are confounded through the linear renewal process).
@@ -248,7 +257,11 @@ func EstimateGoldstein(obs []wastewater.Observation, plant wastewater.Plant, day
 	scales[len(m.knots)] = 0.1
 	scales[len(m.knots)+1] = 0.15
 
-	chain, err := mcmc.RunComponentwise(logp, x0, mcmc.Options{
+	// The componentwise sampler moves one coordinate per proposal, so the
+	// posterior is evaluated through the incremental target: it reuses the
+	// committed renewal/observation state and recomputes only the suffix a
+	// coordinate influences, bit-identically to the full logPosterior.
+	chain, err := mcmc.RunComponentwiseTarget(newGoldsteinTarget(m), x0, mcmc.Options{
 		Iterations: opt.Iterations,
 		BurnIn:     opt.BurnIn,
 		Thin:       opt.Thin,
@@ -271,25 +284,31 @@ func EstimateGoldstein(obs []wastewater.Observation, plant wastewater.Plant, day
 		est.Days[d] = d
 	}
 
-	// Expand each retained draw to daily R(t).
+	// Expand each retained draw to daily R(t). Each draw writes only its own
+	// row and each day only its own summary slot, so both passes parallelize
+	// without changing a bit of the output.
 	est.Draws = make([][]float64, len(chain.Samples))
-	logR := make([]float64, days)
-	for k, smp := range chain.Samples {
-		m.dailyLogR(smp[:len(m.knots)], logR)
-		row := make([]float64, days)
-		for d := 0; d < days; d++ {
-			row[d] = math.Exp(logR[d])
+	parallel.ForChunk(len(chain.Samples), func(lo, hi int) {
+		logR := make([]float64, days)
+		for k := lo; k < hi; k++ {
+			m.dailyLogR(chain.Samples[k][:len(m.knots)], logR)
+			row := make([]float64, days)
+			for d := 0; d < days; d++ {
+				row[d] = math.Exp(logR[d])
+			}
+			est.Draws[k] = row
 		}
-		est.Draws[k] = row
-	}
-	col := make([]float64, len(est.Draws))
-	for d := 0; d < days; d++ {
-		for k := range est.Draws {
-			col[k] = est.Draws[k][d]
+	})
+	parallel.ForChunk(days, func(lo, hi int) {
+		col := make([]float64, len(est.Draws))
+		for d := lo; d < hi; d++ {
+			for k := range est.Draws {
+				col[k] = est.Draws[k][d]
+			}
+			qs := stats.Quantiles(col, 0.025, 0.5, 0.975)
+			est.Lower[d], est.Median[d], est.Upper[d] = qs[0], qs[1], qs[2]
 		}
-		qs := stats.Quantiles(col, 0.025, 0.5, 0.975)
-		est.Lower[d], est.Median[d], est.Upper[d] = qs[0], qs[1], qs[2]
-	}
+	})
 
 	// Minimum knot ESS as a convergence diagnostic.
 	est.MinESS = math.Inf(1)

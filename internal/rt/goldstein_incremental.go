@@ -1,0 +1,176 @@
+package rt
+
+import (
+	"math"
+
+	"osprey/internal/stats"
+)
+
+// goldsteinState is the full intermediate state of one posterior evaluation:
+// the interpolated daily log-R series, its exponentials, the renewal
+// incidence, and the per-observation shedding loads and log-likelihood
+// terms.
+type goldsteinState struct {
+	logR, expLogR, inc []float64
+	load, term         []float64
+}
+
+func newGoldsteinState(days, nObs int) *goldsteinState {
+	return &goldsteinState{
+		logR:    make([]float64, days),
+		expLogR: make([]float64, days),
+		inc:     make([]float64, days),
+		load:    make([]float64, nObs),
+		term:    make([]float64, nObs),
+	}
+}
+
+// goldsteinTarget is the mcmc.ComponentTarget form of the Goldstein
+// posterior. The component-at-a-time sampler changes one coordinate per
+// proposal, so most of the evaluation is unchanged from the committed point:
+//
+//   - a log-R knot move only perturbs the interpolated series between its
+//     neighboring knots, and the renewal recursion only diverges from that
+//     day forward;
+//   - a noise-scale (sigma) move leaves the entire latent epidemic and the
+//     shedding loads untouched — only the observation densities rerun;
+//   - a seed move leaves log-R (and its exponentials, the expensive part of
+//     the renewal loop) untouched.
+//
+// Everything that is recomputed uses the same operations on the same inputs,
+// in the same order, as goldsteinModel.logPosterior; everything else is
+// copied bit-for-bit from the committed point. The chain this target
+// produces is therefore bit-identical to running the plain posterior — which
+// TestGoldsteinIncrementalMatchesFull enforces.
+type goldsteinTarget struct {
+	m         *goldsteinModel
+	cur, prop *goldsteinState
+	committed bool
+	propOK    bool
+}
+
+func newGoldsteinTarget(m *goldsteinModel) *goldsteinTarget {
+	return &goldsteinTarget{
+		m:    m,
+		cur:  newGoldsteinState(m.days, len(m.obs)),
+		prop: newGoldsteinState(m.days, len(m.obs)),
+	}
+}
+
+func (t *goldsteinTarget) LogDensityAt(theta []float64, changed int) float64 {
+	m := t.m
+	nk := len(m.knots)
+	t.propOK = false
+	knotVals := theta[:nk]
+	logSigma := theta[nk]
+	logSeed := theta[nk+1]
+	if logSigma < -5 || logSigma > 3 || logSeed < -25 || logSeed > 25 {
+		return math.Inf(-1)
+	}
+	sigma := math.Exp(logSigma)
+
+	// Priors — always recomputed, in logPosterior's exact order.
+	lp := 0.0
+	lp += -0.5 * (knotVals[0] / 0.5) * (knotVals[0] / 0.5)
+	for i := 1; i < nk; i++ {
+		d := (knotVals[i] - knotVals[i-1]) / m.rwSigma
+		lp += -0.5 * d * d
+	}
+	lp += -0.5 * ((logSigma - math.Log(0.5)) / 1.0) * ((logSigma - math.Log(0.5)) / 1.0)
+	lp += -0.5 * (logSeed / 10.0) * (logSeed / 10.0)
+
+	// Influence range of the changed coordinate.
+	logRFrom, logRTo := 0, m.days // segment of logR to rebuild
+	incFrom := 0                  // first day of the renewal suffix to rebuild
+	sigmaMoved := true
+	if t.committed && changed >= 0 {
+		sigmaMoved = changed == nk
+		switch {
+		case changed < nk: // a log-R knot
+			if changed > 0 {
+				logRFrom = m.knots[changed-1] + 1
+			}
+			if changed+1 < nk {
+				logRTo = m.knots[changed+1] + 1
+				if logRTo > m.days {
+					logRTo = m.days
+				}
+			}
+			incFrom = logRFrom
+			if incFrom < m.seedDays {
+				incFrom = m.seedDays
+			}
+		case changed == nk: // observation noise: latent epidemic untouched
+			logRFrom, logRTo, incFrom = m.days, m.days, m.days
+		default: // seed: logR untouched, renewal rebuilt from day 0
+			logRFrom, logRTo = m.days, m.days
+		}
+	}
+	cur, p := t.cur, t.prop
+
+	// Interpolated logR and its exponentials.
+	copy(p.logR[:logRFrom], cur.logR[:logRFrom])
+	copy(p.logR[logRTo:], cur.logR[logRTo:])
+	copy(p.expLogR[:logRFrom], cur.expLogR[:logRFrom])
+	copy(p.expLogR[logRTo:], cur.expLogR[logRTo:])
+	if logRFrom < logRTo {
+		m.dailyLogRRange(knotVals, p.logR, logRFrom, logRTo)
+		for d := logRFrom; d < logRTo; d++ {
+			p.expLogR[d] = math.Exp(p.logR[d])
+		}
+	}
+
+	// Renewal recursion over the affected suffix.
+	seed := math.Exp(logSeed)
+	copy(p.inc[:incFrom], cur.inc[:incFrom])
+	maxLag := len(m.genPMF) - 1
+	for d := incFrom; d < m.days; d++ {
+		if d < m.seedDays {
+			p.inc[d] = seed
+			continue
+		}
+		lambda := 0.0
+		for lag := 1; lag <= maxLag && lag <= d; lag++ {
+			lambda += p.inc[d-lag] * m.genPMF[lag]
+		}
+		p.inc[d] = p.expLogR[d] * lambda
+	}
+
+	// Observation model: loads rerun only where the incidence moved, the
+	// log-normal densities additionally when sigma moved.
+	for oi := range m.obs {
+		o := &m.obs[oi]
+		if o.Day >= incFrom {
+			load := 0.0
+			for lag := 0; lag < len(m.shedPMF) && lag <= o.Day; lag++ {
+				load += p.inc[o.Day-lag] * m.shedPMF[lag]
+			}
+			p.load[oi] = load
+		} else {
+			p.load[oi] = cur.load[oi]
+		}
+		if p.load[oi] <= 0 {
+			return math.Inf(-1)
+		}
+		if o.Day >= incFrom || sigmaMoved {
+			p.term[oi] = stats.LogNormalPDFLog(o.Concentration, math.Log(p.load[oi]), sigma)
+		} else {
+			p.term[oi] = cur.term[oi]
+		}
+		lp += p.term[oi]
+	}
+	if math.IsNaN(lp) {
+		return math.Inf(-1)
+	}
+	t.propOK = true
+	return lp
+}
+
+func (t *goldsteinTarget) Commit() {
+	if !t.propOK {
+		panic("rt: Commit of an invalid Goldstein proposal")
+	}
+	t.cur, t.prop = t.prop, t.cur
+	t.committed = true
+	t.propOK = false
+}

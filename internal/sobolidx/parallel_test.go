@@ -1,0 +1,71 @@
+package sobolidx
+
+import (
+	"math"
+	"testing"
+
+	"osprey/internal/parallel"
+)
+
+// TestConcurrentMatchesSerial checks that Options.Concurrent changes only
+// wall-clock time: index estimates must be bit-identical to the serial
+// evaluation path at any worker count.
+func TestConcurrentMatchesSerial(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	serial, err := Estimate(ishigami, 3, Options{N: 2048, Clamp01: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		parallel.SetWorkers(workers)
+		conc, err := Estimate(ishigami, 3, Options{N: 2048, Clamp01: true, Concurrent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.First {
+			if serial.First[i] != conc.First[i] || serial.Total[i] != conc.Total[i] {
+				t.Fatalf("workers=%d dim %d: concurrent estimate %x/%x vs serial %x/%x",
+					workers, i, conc.First[i], conc.Total[i], serial.First[i], serial.Total[i])
+			}
+		}
+		if serial.Variance != conc.Variance {
+			t.Fatalf("workers=%d: variances differ", workers)
+		}
+	}
+}
+
+// TestDesignEstimateMatchesFunc pins the split Design/Estimate API (used by
+// MUSIC's cached surrogate path) to the closed-loop Estimate.
+func TestDesignEstimateMatchesFunc(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	d, n := 3, 1024
+	ref, err := Estimate(ishigami, d, Options{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Result {
+		parallel.SetWorkers(workers)
+		dg, err := NewDesign(d, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := dg.Points()
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = ishigami(p)
+		}
+		return dg.Estimate(vals, false)
+	}
+	for _, workers := range []int{1, 8} {
+		res := run(workers)
+		for i := 0; i < d; i++ {
+			if res.First[i] != ref.First[i] || res.Total[i] != ref.Total[i] {
+				t.Fatalf("workers=%d dim %d: design-path estimate differs from Estimate", workers, i)
+			}
+		}
+		if math.IsNaN(res.Variance) || res.Variance != ref.Variance {
+			t.Fatalf("workers=%d: design-path variance differs", workers)
+		}
+	}
+}
