@@ -3,9 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check ci test test-short race race-all bench bench-smoke bench-json fuzz-smoke figures figures-quick cover clean
+# Coverage floor for cover-check (percent of statements in internal/...).
+COVER_FLOOR ?= 60
+
+.PHONY: all build vet fmt-check ci check-ci-mirror test test-go test-short test-shuffle test-single-core race race-lifecycle race-numerics race-all smoke-ctl soak bench bench-smoke bench-json bench-compare fuzz-smoke figures figures-quick cover cover-check clean
 
 all: build test
+
+# CI_STEPS is the single source of truth for the per-push CI pipeline.
+# `make ci` runs the steps in order; the `test` job in
+# .github/workflows/ci.yml runs `make <step>` once per step in the same
+# order; scripts/check_ci_mirror.sh (itself the first step) fails the
+# build when the two lists diverge. To change the pipeline, edit this
+# variable and mirror the step list in ci.yml — see DESIGN.md,
+# "Load & chaos testing", for the mirror rule.
+CI_STEPS := check-ci-mirror vet fmt-check build test-go test-shuffle test-single-core race-lifecycle race-numerics smoke-ctl
+
+ci: $(CI_STEPS)
+
+check-ci-mirror:
+	./scripts/check_ci_mirror.sh
 
 build:
 	$(GO) build ./...
@@ -22,29 +39,52 @@ fmt-check:
 		exit 1; \
 	fi
 
-# Mirrors .github/workflows/ci.yml step for step, so a green `make ci`
-# locally means a green pipeline.
-ci: vet fmt-check build
+test-go:
 	$(GO) test ./...
+
+# Shuffled test order: catches inter-test state leaks (shared registries,
+# leftover files) that a fixed order hides.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
+test-single-core:
 	GOMAXPROCS=1 $(GO) test ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/parallel/
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/...
+
+# Race detector over the distributed task lifecycle (emews), the
+# scheduler, the durability layer (WAL + store recovery), and the load
+# harness with its chaos proxy.
+race-lifecycle:
+	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/... ./internal/chaos/... ./internal/loadgen/...
+
+race-numerics:
 	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/
 
-# The default test path runs the race detector over the distributed task
-# lifecycle (emews), the scheduler, and the durability layer (WAL +
-# store recovery), so the fixed races stay fixed.
+# End-to-end CLI smoke: a daemon on a temp -data-dir driven through real
+# ospreyctl subcommands (exit codes + JSON shapes), plus the daemon's own
+# SIGKILL/recover round trip.
+smoke-ctl:
+	$(GO) test -run 'TestOspreyctlSmoke|TestDurabilityRoundTrip' -count=1 ./cmd/ospreyctl/ ./cmd/osprey-daemon/
+
+# The default test path runs the race detector over the lifecycle
+# packages so the fixed races stay fixed.
 test: race
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
-race:
-	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/...
-	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/
+race: race-lifecycle race-numerics
 
 race-all:
 	$(GO) test -race ./...
+
+# Deterministic load + chaos soak (the CI soak job): two same-seed runs
+# through the full fault schedule — connection kills, refuse windows,
+# latency injection, worker-pool crash, daemon crash, torn-WAL crash —
+# asserting the ledger/WAL invariants and identical workload digests.
+# The JSON run report lands in SOAK_report.json.
+soak:
+	$(GO) run ./cmd/osprey-loadgen -seed 42 -duration 30s -rate 150 -workers 8 -faults default -runs 2 -out SOAK_report.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -57,6 +97,13 @@ bench-smoke:
 # to JSON for before/after comparison (see BENCH_baseline.json).
 bench-json:
 	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
+# Fresh snapshot vs the committed baseline; fails on a >15% ns/op
+# regression (the nightly bench-regression job). The per-benchmark diff
+# lands in bench-diff.json.
+bench-compare:
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_fresh.json -tolerance 0.15 -diff-out bench-diff.json
 
 # Short coverage-guided fuzz of the WAL record decoder (nightly job).
 fuzz-smoke:
@@ -72,5 +119,16 @@ figures-quick:
 cover:
 	$(GO) test -cover ./internal/...
 
+# Coverage profile over internal/..., HTML report, and a floor check:
+# total statement coverage below $(COVER_FLOOR)% fails (the CI coverage
+# job uploads cover.html as an artifact).
+cover-check:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
 clean:
-	rm -rf out
+	rm -rf out cover.out cover.html BENCH_fresh.json bench-diff.json SOAK_report.json

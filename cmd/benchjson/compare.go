@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Comparison is the diff of two benchmark snapshots, the artifact the
+// nightly bench-regression job uploads.
+type Comparison struct {
+	Tolerance  float64     `json:"tolerance"`
+	Regressed  []BenchDiff `json:"regressed,omitempty"`
+	Improved   []BenchDiff `json:"improved,omitempty"`
+	Unchanged  []BenchDiff `json:"unchanged,omitempty"`
+	OnlyInOld  []string    `json:"only_in_old,omitempty"`
+	OnlyInNew  []string    `json:"only_in_new,omitempty"`
+	Pass       bool        `json:"pass"`
+	MaxRatio   float64     `json:"max_ratio"`    // worst new/old ns-per-op ratio
+	MaxRatioOf string      `json:"max_ratio_of"` // the benchmark it came from
+}
+
+// BenchDiff is one benchmark's old-vs-new timing.
+type BenchDiff struct {
+	Name     string  `json:"name"`
+	OldNsOp  float64 `json:"old_ns_per_op"`
+	NewNsOp  float64 `json:"new_ns_per_op"`
+	Ratio    float64 `json:"ratio"` // new/old; >1 is slower
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// baseName strips the GOMAXPROCS suffix go test appends to parallel
+// benchmarks (BenchmarkFoo-8 -> BenchmarkFoo) so snapshots taken on
+// machines with different core counts still line up.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		digits := name[i+1:]
+		if digits != "" && strings.Trim(digits, "0123456789") == "" {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compare builds the diff of two snapshots. A benchmark regresses when
+// its ns/op grew by more than tolerance (0.15 = 15%). Benchmarks present
+// in only one snapshot are reported but do not fail the comparison —
+// suites grow and shrink legitimately.
+func compare(old, new *Snapshot, tolerance float64) *Comparison {
+	c := &Comparison{Tolerance: tolerance, Pass: true}
+	oldBy := map[string]Result{}
+	for _, r := range old.Results {
+		oldBy[baseName(r.Name)] = r
+	}
+	newBy := map[string]Result{}
+	for _, r := range new.Results {
+		newBy[baseName(r.Name)] = r
+	}
+	var names []string
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			c.OnlyInOld = append(c.OnlyInOld, name)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		d := BenchDiff{
+			Name: name, OldNsOp: o.NsPerOp, NewNsOp: n.NsPerOp,
+			Ratio: ratio, DeltaPct: (ratio - 1) * 100,
+		}
+		if ratio > c.MaxRatio {
+			c.MaxRatio, c.MaxRatioOf = ratio, name
+		}
+		switch {
+		case ratio > 1+tolerance:
+			c.Regressed = append(c.Regressed, d)
+			c.Pass = false
+		case ratio < 1-tolerance:
+			c.Improved = append(c.Improved, d)
+		default:
+			c.Unchanged = append(c.Unchanged, d)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			c.OnlyInNew = append(c.OnlyInNew, name)
+		}
+	}
+	sort.Strings(c.OnlyInNew)
+	return c
+}
+
+// runCompare implements `benchjson -compare old.json new.json`. Exit
+// codes: 0 within tolerance, 1 regression, 2 usage/IO error.
+func runCompare(oldPath, newPath string, tolerance float64, outPath string) int {
+	old, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	c := compare(old, new, tolerance)
+	buf, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	for _, d := range c.Regressed {
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f -> %.1f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+			d.Name, d.OldNsOp, d.NewNsOp, d.DeltaPct, tolerance*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks: %d regressed, %d improved, %d within tolerance\n",
+		len(c.Regressed)+len(c.Improved)+len(c.Unchanged), len(c.Regressed), len(c.Improved), len(c.Unchanged))
+	if !c.Pass {
+		return 1
+	}
+	return 0
+}

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | go run ./cmd/benchjson -out BENCH_$(date +%F).json
+//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_new.json -tolerance 0.15 -diff-out bench-diff.json
 //
 // Lines that are not benchmark results (PASS, ok, log output) are ignored.
+// In -compare mode the two snapshots are diffed per benchmark (GOMAXPROCS
+// name suffixes stripped) and the exit code is 1 when any benchmark's
+// ns/op regressed by more than the tolerance — the nightly
+// bench-regression CI job runs exactly this.
 package main
 
 import (
@@ -82,7 +87,24 @@ func parse(r io.Reader) (*Snapshot, error) {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	doCompare := flag.Bool("compare", false, "compare two snapshot files: -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op growth in -compare mode (0.15 = 15%)")
+	diffOut := flag.String("diff-out", "", "write the -compare diff JSON here (default stdout)")
 	flag.Parse()
+
+	if *doCompare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		// Flags given after the positional file arguments (e.g.
+		// `-compare old new -tolerance 0.2`) are parsed in a second pass.
+		if len(args) > 2 {
+			flag.CommandLine.Parse(args[2:])
+		}
+		os.Exit(runCompare(args[0], args[1], *tolerance, *diffOut))
+	}
 
 	snap, err := parse(os.Stdin)
 	if err != nil {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: osprey/internal/compute
+cpu: Some CPU @ 2.00GHz
+BenchmarkSurrogate-8   	    1000	   1200.5 ns/op	     128 B/op	       2 allocs/op
+BenchmarkRt-8          	     500	   2500.0 ns/op
+PASS
+ok  	osprey/internal/compute	1.2s
+`
+
+func parseSample(t *testing.T, s string) *Snapshot {
+	t.Helper()
+	snap, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	snap := parseSample(t, sampleBench)
+	if len(snap.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkSurrogate-8" || r.NsPerOp != 1200.5 || r.BytesPerOp != 128 || r.AllocsPerOp != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+	if snap.Env["goos"] != "linux" {
+		t.Fatalf("env = %+v", snap.Env)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":     "BenchmarkFoo",
+		"BenchmarkFoo-16":    "BenchmarkFoo",
+		"BenchmarkFoo":       "BenchmarkFoo",
+		"BenchmarkFoo-bar":   "BenchmarkFoo-bar",
+		"BenchmarkFoo/sub-4": "BenchmarkFoo/sub",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkC-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 1000},
+	}}
+	// A regresses 30%, B improves 30%, C is within tolerance; the core
+	// count changed between snapshots and must not matter.
+	new := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA-16", NsPerOp: 1300},
+		{Name: "BenchmarkB-16", NsPerOp: 700},
+		{Name: "BenchmarkC-16", NsPerOp: 1100},
+		{Name: "BenchmarkNew-16", NsPerOp: 1},
+	}}
+	c := compare(old, new, 0.15)
+	if c.Pass {
+		t.Fatal("30% regression passed a 15% tolerance")
+	}
+	if len(c.Regressed) != 1 || c.Regressed[0].Name != "BenchmarkA" {
+		t.Fatalf("regressed = %+v", c.Regressed)
+	}
+	if len(c.Improved) != 1 || c.Improved[0].Name != "BenchmarkB" {
+		t.Fatalf("improved = %+v", c.Improved)
+	}
+	if len(c.Unchanged) != 1 || c.Unchanged[0].Name != "BenchmarkC" {
+		t.Fatalf("unchanged = %+v", c.Unchanged)
+	}
+	if len(c.OnlyInOld) != 1 || c.OnlyInOld[0] != "BenchmarkGone" ||
+		len(c.OnlyInNew) != 1 || c.OnlyInNew[0] != "BenchmarkNew" {
+		t.Fatalf("only-in sets: old=%v new=%v", c.OnlyInOld, c.OnlyInNew)
+	}
+	if c.MaxRatioOf != "BenchmarkA" || c.MaxRatio < 1.29 || c.MaxRatio > 1.31 {
+		t.Fatalf("max ratio %v of %q", c.MaxRatio, c.MaxRatioOf)
+	}
+
+	// Within tolerance on both sides: pass.
+	if c := compare(old, old, 0.15); !c.Pass || len(c.Regressed) != 0 {
+		t.Fatalf("self-compare failed: %+v", c)
+	}
+}

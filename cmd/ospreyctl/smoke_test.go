@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"osprey/internal/obs"
+)
+
+// TestOspreyctlSmoke is the end-to-end CLI acceptance check: build the
+// real daemon and the real ospreyctl binary, boot the daemon on a temp
+// -data-dir, and drive every read-side subcommand against it over HTTP,
+// asserting exit codes and output shapes. This is what `make smoke-ctl`
+// (and the CI leg of the same name) runs.
+func TestOspreyctlSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke test in -short mode")
+	}
+	binDir := t.TempDir()
+	daemon := filepath.Join(binDir, "osprey-daemon")
+	ctl := filepath.Join(binDir, "ospreyctl")
+	for target, dir := range map[string]string{daemon: "../osprey-daemon", ctl: "."} {
+		build := exec.Command("go", "build", "-o", target, dir)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", dir, err)
+		}
+	}
+
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	root := "http://" + addr
+	meta := root + "/metadata"
+
+	proc := exec.Command(daemon, "-addr", addr, "-tick", "200ms", "-fast", "-data-dir", dataDir)
+	proc.Stderr = os.Stderr
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Process.Kill()
+	waitHealthy(t, meta, 30*time.Second)
+
+	// run executes ospreyctl with -server pointing at server and returns
+	// combined output; wantExit is asserted.
+	run := func(server string, wantExit int, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(ctl, append([]string{"-server", server}, args...)...)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("ospreyctl %v: %v", args, err)
+		}
+		if exit != wantExit {
+			t.Fatalf("ospreyctl %v: exit %d, want %d\n%s", args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	// Liveness and admin against the metadata mount.
+	if out := run(meta, 0, "health"); !strings.Contains(out, "ok") {
+		t.Fatalf("health output: %q", out)
+	}
+	if out := run(meta, 0, "compact"); !strings.Contains(out, "compacted") {
+		t.Fatalf("compact output: %q", out)
+	}
+
+	// Listing commands: the -fast daemon registers flows and ingests data
+	// within the first ticks; wait until both lists are non-empty through
+	// the CLI itself.
+	waitFor(t, 60*time.Second, func() bool {
+		return strings.Contains(run(meta, 0, "flows"), "flow-") &&
+			strings.Contains(run(meta, 0, "data"), "data-")
+	})
+
+	// versions/provenance on a real UUID from the data listing.
+	dataOut := run(meta, 0, "data")
+	uuid := ""
+	for _, f := range strings.Fields(dataOut) {
+		if strings.HasPrefix(f, "data-") {
+			uuid = f
+			break
+		}
+	}
+	if uuid == "" {
+		t.Fatalf("no data UUID in listing:\n%s", dataOut)
+	}
+	run(meta, 0, "versions", uuid)
+	run(meta, 0, "provenance", uuid)
+
+	// Observability commands read /metrics and /trace at the server root.
+	metricsOut := run(root, 0, "metrics")
+	for _, section := range []string{"counters:", "gauges:", "histograms:"} {
+		if !strings.Contains(metricsOut, section) {
+			t.Fatalf("metrics output missing %q:\n%s", section, metricsOut)
+		}
+	}
+	run(root, 0, "trace")
+
+	// The raw metrics endpoint must parse as an obs.Snapshot (the scrape
+	// contract external agents rely on).
+	resp, err := http.Get(root + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("GET /metrics does not parse as obs.Snapshot: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("metrics snapshot has no counters")
+	}
+
+	// Failure modes: an unknown subcommand is a usage error (exit 2), an
+	// unreachable server a runtime error (log.Fatal -> exit 1).
+	run(meta, 2, "no-such-command")
+	run("http://127.0.0.1:1/metadata", 1, "health")
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	waitFor(t, timeout, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal(fmt.Errorf("condition not met within %v", timeout))
+}

@@ -1,0 +1,206 @@
+// Package chaos is the fault-injection machinery for exercising the
+// OSPREY service stack under the failure modes of shared, reclaimable
+// compute resources: refused connections, slow accepts, injected wire
+// latency, and connections severed mid-flight.
+//
+// The central piece is Proxy, a TCP proxy placed between a client (an
+// EMEWS worker pool, an ME algorithm process) and a backend (the task
+// database server). Faults are toggled at runtime, so a test or the
+// loadgen harness can interleave a declarative fault schedule with live
+// traffic. The package grew out of the fault-proxy used by the EMEWS
+// wire-protocol tests and is shared by those tests and internal/loadgen.
+//
+// Everything is stdlib-only and safe for concurrent use.
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyStats counts what the proxy has done to traffic so far.
+type ProxyStats struct {
+	Accepted int64 `json:"accepted"` // connections bridged to the backend
+	Refused  int64 `json:"refused"`  // connections dropped by a refuse window
+	Killed   int64 `json:"killed"`   // live connections severed by KillActive
+}
+
+// Proxy is a TCP fault-injection proxy in front of a backend address.
+// New connections can be refused or delayed, bridged traffic can have
+// per-chunk latency injected, and live connections can be severed.
+type Proxy struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	accepted atomic.Int64
+	refused  atomic.Int64
+	killed   atomic.Int64
+
+	mu          sync.Mutex
+	backend     string
+	closed      bool
+	refuse      bool
+	acceptDelay time.Duration
+	latency     time.Duration
+	conns       map[net.Conn]struct{} // client-side conns of live pairs
+}
+
+// NewProxy listens on 127.0.0.1:0 and bridges connections to backend.
+func NewProxy(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, backend: backend, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients dial instead of
+// the backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend retargets new connections to addr (existing pairs keep their
+// old backend until killed). Used when the backend restarts on a new
+// address.
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// SetRefuse makes the proxy drop new connections immediately (on) or
+// accept them again (off) — the backend looks unreachable.
+func (p *Proxy) SetRefuse(on bool) {
+	p.mu.Lock()
+	p.refuse = on
+	p.mu.Unlock()
+}
+
+// SetAcceptDelay delays each new connection before bridging it,
+// simulating a slow or overloaded accept path. Zero disables.
+func (p *Proxy) SetAcceptDelay(d time.Duration) {
+	p.mu.Lock()
+	p.acceptDelay = d
+	p.mu.Unlock()
+}
+
+// SetLatency injects d of delay before each chunk of proxied bytes, in
+// both directions, on all current and future connections. Zero disables.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// KillActive severs every live proxied connection — worker death, node
+// reclamation, network partition — and returns how many were killed.
+func (p *Proxy) KillActive() int {
+	p.mu.Lock()
+	n := len(p.conns)
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.killed.Add(int64(n))
+	return n
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Accepted: p.accepted.Load(),
+		Refused:  p.refused.Load(),
+		Killed:   p.killed.Load(),
+	}
+}
+
+// Close stops the listener, severs all live pairs, and waits for the
+// bridge goroutines to finish. Safe to call more than once.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.KillActive()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refuse, delay, backend := p.refuse, p.acceptDelay, p.backend
+		p.mu.Unlock()
+		if refuse {
+			p.refused.Add(1)
+			client.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			server, err := net.Dial("tcp", backend)
+			if err != nil {
+				client.Close()
+				return
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				client.Close()
+				server.Close()
+				return
+			}
+			p.conns[client] = struct{}{}
+			p.mu.Unlock()
+			p.accepted.Add(1)
+			var pipe sync.WaitGroup
+			pipe.Add(2)
+			go func() { defer pipe.Done(); p.pump(server, client); server.Close() }()
+			go func() { defer pipe.Done(); p.pump(client, server); client.Close() }()
+			pipe.Wait()
+			p.mu.Lock()
+			delete(p.conns, client)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// pump copies src to dst chunk by chunk, sleeping the configured latency
+// before forwarding each chunk (a crude but effective slow-link model).
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			lat := p.latency
+			p.mu.Unlock()
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

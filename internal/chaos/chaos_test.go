@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func roundTrip(conn net.Conn, msg string) (string, error) {
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	return bufio.NewReader(conn).ReadString('\n')
+}
+
+func TestProxyBridgesAndCounts(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := roundTrip(conn, "hello"); err != nil || got != "hello\n" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+	if st := p.Stats(); st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1", st.Accepted)
+	}
+}
+
+func TestProxyRefuseAndRecover(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.SetRefuse(true)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// The dial may succeed before the proxy drops it; the read fails.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := roundTrip(conn, "x"); err == nil {
+			t.Fatal("round trip succeeded through refusing proxy")
+		}
+		conn.Close()
+	}
+	p.SetRefuse(false)
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if got, err := roundTrip(conn2, "back"); err != nil || got != "back\n" {
+		t.Fatalf("roundTrip after recover = %q, %v", got, err)
+	}
+	if st := p.Stats(); st.Refused == 0 {
+		t.Fatalf("Refused = %d, want > 0", st.Refused)
+	}
+}
+
+func TestProxyKillActive(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.KillActive(); n != 1 {
+		t.Fatalf("KillActive = %d, want 1", n)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := roundTrip(conn, "dead"); err == nil {
+		t.Fatal("round trip succeeded on killed connection")
+	}
+	if st := p.Stats(); st.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", st.Killed)
+	}
+}
+
+func TestProxyLatencyInjection(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetLatency(30 * time.Millisecond)
+	start := time.Now()
+	if got, err := roundTrip(conn, "slow"); err != nil || got != "slow\n" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+	// Two directions, each delayed at least once.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("latency not injected: round trip took %v", elapsed)
+	}
+	p.SetLatency(0)
+}
+
+func TestProxyRetarget(t *testing.T) {
+	lnA := echoServer(t)
+	p, err := NewProxy(lnA.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	connA, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	if _, err := roundTrip(connA, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the backend elsewhere; new connections must reach it.
+	lnB := echoServer(t)
+	p.SetBackend(lnB.Addr().String())
+	lnA.Close()
+	p.KillActive()
+
+	connB, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	if got, err := roundTrip(connB, "b"); err != nil || got != "b\n" {
+		t.Fatalf("roundTrip after retarget = %q, %v", got, err)
+	}
+}
+
+func TestProxyCloseIdempotentUnderLoad(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			roundTrip(conn, "spin")
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	p.Close()
+}

@@ -8,7 +8,7 @@
 //
 // Request ops and their fields:
 //
-//	submit   {op, type, priority, payload}            -> {ok, task_id}
+//	submit   {op, type, priority, payload[, max_attempts]} -> {ok, task_id}
 //	pop      {op, type, timeout_ms}                   -> {ok, task_id, epoch, payload} | {ok, empty:true}
 //	complete {op, task_id, epoch, result}             -> {ok} | {error, stale?}
 //	fail     {op, task_id, epoch, err_msg}            -> {ok} | {error, stale?}
@@ -54,6 +54,10 @@ type wireRequest struct {
 	Result    string `json:"result,omitempty"`
 	ErrMsg    string `json:"err_msg,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	// MaxAttempts > 0 on submit enables automatic requeue-on-failure up to
+	// that many attempts (DB.SubmitRetry semantics); 0 keeps the
+	// single-attempt default.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 type wireResponse struct {
@@ -193,7 +197,13 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse {
 	switch req.Op {
 	case "submit":
-		f, err := s.db.Submit(req.Type, req.Priority, req.Payload)
+		var f *Future
+		var err error
+		if req.MaxAttempts > 0 {
+			f, err = s.db.SubmitRetry(req.Type, req.Priority, req.Payload, req.MaxAttempts)
+		} else {
+			f, err = s.db.Submit(req.Type, req.Priority, req.Payload)
+		}
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
@@ -508,6 +518,17 @@ func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
 // Submit inserts a task remotely and returns its ID.
 func (c *Client) Submit(taskType string, priority int, payload string) (int64, error) {
 	resp, err := c.roundTrip(wireRequest{Op: "submit", Type: taskType, Priority: priority, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TaskID, nil
+}
+
+// SubmitRetry inserts a task remotely with a retry budget: a failed
+// attempt requeues the task until maxAttempts is exhausted. Like Submit,
+// it is not transport-retried once the request may have been applied.
+func (c *Client) SubmitRetry(taskType string, priority int, payload string, maxAttempts int) (int64, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "submit", Type: taskType, Priority: priority, Payload: payload, MaxAttempts: maxAttempts})
 	if err != nil {
 		return 0, err
 	}

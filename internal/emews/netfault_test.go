@@ -3,129 +3,24 @@ package emews
 import (
 	"context"
 	"errors"
-	"io"
-	"net"
 	"strconv"
 	"sync"
 	"testing"
 	"time"
+
+	"osprey/internal/chaos"
 )
 
-// faultProxy is the fault-injection harness: a TCP proxy in front of a
-// Server that can refuse new connections, delay accepted ones, and kill
-// live connections mid-flight — the failure modes of workers on shared,
-// reclaimable compute resources.
-type faultProxy struct {
-	ln      net.Listener
-	backend string
-	wg      sync.WaitGroup
-
-	mu          sync.Mutex
-	closed      bool
-	refuse      bool
-	acceptDelay time.Duration
-	conns       map[net.Conn]struct{} // client-side conns of live pairs
-}
-
-func newFaultProxy(t *testing.T, backend string) *faultProxy {
+// newFaultProxy places a chaos.Proxy (the shared fault-injection proxy;
+// see internal/chaos) in front of the server under test.
+func newFaultProxy(t *testing.T, backend string) *chaos.Proxy {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	p, err := chaos.NewProxy(backend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &faultProxy{ln: ln, backend: backend, conns: map[net.Conn]struct{}{}}
-	p.wg.Add(1)
-	go p.acceptLoop()
 	t.Cleanup(p.Close)
 	return p
-}
-
-func (p *faultProxy) Addr() string { return p.ln.Addr().String() }
-
-// setRefuse makes the proxy drop new connections immediately (on) or
-// accept them again (off).
-func (p *faultProxy) setRefuse(on bool) {
-	p.mu.Lock()
-	p.refuse = on
-	p.mu.Unlock()
-}
-
-// setAcceptDelay delays each new connection before bridging it.
-func (p *faultProxy) setAcceptDelay(d time.Duration) {
-	p.mu.Lock()
-	p.acceptDelay = d
-	p.mu.Unlock()
-}
-
-// killActive severs every live proxied connection, simulating worker
-// death / network partition, and returns how many were killed.
-func (p *faultProxy) killActive() int {
-	p.mu.Lock()
-	n := len(p.conns)
-	for c := range p.conns {
-		c.Close()
-	}
-	p.mu.Unlock()
-	return n
-}
-
-func (p *faultProxy) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	p.mu.Unlock()
-	p.ln.Close()
-	p.killActive()
-	p.wg.Wait()
-}
-
-func (p *faultProxy) acceptLoop() {
-	defer p.wg.Done()
-	for {
-		client, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		p.mu.Lock()
-		refuse, delay := p.refuse, p.acceptDelay
-		p.mu.Unlock()
-		if refuse {
-			client.Close()
-			continue
-		}
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			server, err := net.Dial("tcp", p.backend)
-			if err != nil {
-				client.Close()
-				return
-			}
-			p.mu.Lock()
-			if p.closed {
-				p.mu.Unlock()
-				client.Close()
-				server.Close()
-				return
-			}
-			p.conns[client] = struct{}{}
-			p.mu.Unlock()
-			var pipe sync.WaitGroup
-			pipe.Add(2)
-			go func() { defer pipe.Done(); io.Copy(server, client); server.Close() }()
-			go func() { defer pipe.Done(); io.Copy(client, server); client.Close() }()
-			pipe.Wait()
-			p.mu.Lock()
-			delete(p.conns, client)
-			p.mu.Unlock()
-		}()
-	}
 }
 
 // A remote worker that dies after pop must not leak a StatusRunning task:
@@ -152,7 +47,7 @@ func TestConnDropRequeuesClaimWithoutReaper(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("pop = %v ok=%v", err, ok)
 	}
-	if n := proxy.killActive(); n == 0 {
+	if n := proxy.KillActive(); n == 0 {
 		t.Fatal("no connection to kill")
 	}
 	w1.Close()
@@ -272,7 +167,7 @@ func TestClientReconnectsAfterKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 3; round++ {
-		proxy.killActive()
+		proxy.KillActive()
 		// stats is retry-safe: the op must succeed on a fresh connection.
 		if _, err := c.RemoteStats(); err != nil {
 			t.Fatalf("round %d: op after kill failed: %v", round, err)
@@ -312,7 +207,7 @@ func TestWaitResultSurvivesTransportBlips(t *testing.T) {
 	// Blips while the poll is in flight.
 	for i := 0; i < 3; i++ {
 		time.Sleep(10 * time.Millisecond)
-		proxy.killActive()
+		proxy.KillActive()
 	}
 	claim, err := db.Pop(context.Background(), "m")
 	if err != nil {
@@ -379,7 +274,7 @@ func TestRemotePoolSurvivesConnectionChurn(t *testing.T) {
 		defer close(churnDone)
 		for i := 0; i < 10; i++ {
 			time.Sleep(15 * time.Millisecond)
-			proxy.killActive()
+			proxy.KillActive()
 		}
 	}()
 
@@ -436,7 +331,7 @@ func TestSubmitNotRetriedAfterSend(t *testing.T) {
 	// Stop the server so the submit's response can never arrive, then
 	// sever the proxied connection to force a mid-op transport error.
 	srv.Close()
-	proxy.killActive()
+	proxy.KillActive()
 	if _, err := c.Submit("m", 0, "x"); !errors.Is(err, ErrTransport) {
 		t.Fatalf("submit through dead server = %v, want ErrTransport", err)
 	}
@@ -453,7 +348,7 @@ func TestClientToleratesSlowAccept(t *testing.T) {
 	}
 	defer srv.Close()
 	proxy := newFaultProxy(t, srv.Addr())
-	proxy.setAcceptDelay(30 * time.Millisecond)
+	proxy.SetAcceptDelay(30 * time.Millisecond)
 
 	c, err := Dial(proxy.Addr())
 	if err != nil {
@@ -491,12 +386,12 @@ func TestClientBackoffThenRecovery(t *testing.T) {
 	}
 	defer c.Close()
 
-	proxy.setRefuse(true)
-	proxy.killActive()
+	proxy.SetRefuse(true)
+	proxy.KillActive()
 	if _, err := c.RemoteStats(); !errors.Is(err, ErrTransport) {
 		t.Fatalf("stats with refused connections = %v, want ErrTransport", err)
 	}
-	proxy.setRefuse(false)
+	proxy.SetRefuse(false)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		if _, err := c.RemoteStats(); err == nil {

@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FaultKind names one chaos action the harness can take mid-run.
+type FaultKind string
+
+const (
+	// FaultKill severs every active worker connection through the proxy.
+	// Unresolved claims are failed by the server's connection-scoped
+	// cleanup and requeued.
+	FaultKill FaultKind = "kill"
+	// FaultRefuse makes the proxy refuse new connections for a window
+	// (Value), simulating a partition between the worker pool and the
+	// task server.
+	FaultRefuse FaultKind = "refuse"
+	// FaultLatency injects per-chunk latency (Value) on every proxied
+	// connection for a window (Dur), simulating a congested link.
+	FaultLatency FaultKind = "latency"
+	// FaultPoolCrash hard-kills the worker pool mid-task (claims are
+	// abandoned, not resolved) and restarts it after Value.
+	FaultPoolCrash FaultKind = "pool-crash"
+	// FaultCrash SIGKILLs the simulated daemon: the task server, metadata
+	// server, and WAL handles are dropped without close/compact, then
+	// everything is rebooted from the data directory on the same ports.
+	FaultCrash FaultKind = "crash"
+	// FaultTornCrash is FaultCrash plus a torn tail: the last bytes of
+	// the task WAL's active segment are chopped before reboot, exercising
+	// the truncate-and-warn recovery path. A torn tail may lose a finish
+	// record, so a task can legally be re-executed after this fault (the
+	// per-(task,epoch) fencing invariants still hold).
+	FaultTornCrash FaultKind = "torn-crash"
+)
+
+// FaultEvent is one scheduled chaos action. At is the offset from run
+// start. Value and Dur are kind-specific (see the kind docs); zero means
+// the kind's default.
+type FaultEvent struct {
+	At    time.Duration `json:"at"`
+	Kind  FaultKind     `json:"kind"`
+	Value time.Duration `json:"value,omitempty"`
+	Dur   time.Duration `json:"dur,omitempty"`
+}
+
+func (f FaultEvent) String() string {
+	switch f.Kind {
+	case FaultRefuse, FaultPoolCrash:
+		return fmt.Sprintf("%v:%s:%v", f.At, f.Kind, f.Value)
+	case FaultLatency:
+		return fmt.Sprintf("%v:%s:%v:%v", f.At, f.Kind, f.Value, f.Dur)
+	default:
+		return fmt.Sprintf("%v:%s", f.At, f.Kind)
+	}
+}
+
+// Fault window defaults, applied by ParseFaults/DefaultFaults when the
+// DSL omits them.
+const (
+	defaultRefuseWindow  = 500 * time.Millisecond
+	defaultLatency       = 20 * time.Millisecond
+	defaultLatencyWindow = time.Second
+	defaultPoolRestart   = 200 * time.Millisecond
+)
+
+// ParseFaults parses the fault-schedule DSL: semicolon-separated
+// AT:KIND[:ARG[:ARG2]] entries, where AT and the args are Go durations.
+//
+//	5s:kill                  kill active connections at t=5s
+//	8s:refuse:1s             refuse new connections from t=8s for 1s
+//	12s:latency:50ms:2s      inject 50ms per-chunk latency from t=12s for 2s
+//	15s:pool-crash:500ms     crash the worker pool at t=15s, restart after 500ms
+//	20s:crash                daemon crash + recovery at t=20s
+//	25s:torn-crash           daemon crash with a torn WAL tail at t=25s
+//
+// The keywords "default" and "none" expand to DefaultFaults(d)/no faults
+// when given to ParseFaultsFor; events are returned sorted by At.
+func ParseFaults(s string) ([]FaultEvent, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var events []FaultEvent
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("loadgen: fault %q: want AT:KIND[:ARG[:ARG2]]", entry)
+		}
+		at, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: fault %q: bad offset: %v", entry, err)
+		}
+		ev := FaultEvent{At: at, Kind: FaultKind(parts[1])}
+		arg := func(i int, def time.Duration) (time.Duration, error) {
+			if len(parts) <= i {
+				return def, nil
+			}
+			return time.ParseDuration(parts[i])
+		}
+		switch ev.Kind {
+		case FaultKill, FaultCrash, FaultTornCrash:
+			if len(parts) > 2 {
+				return nil, fmt.Errorf("loadgen: fault %q: %s takes no arguments", entry, ev.Kind)
+			}
+		case FaultRefuse:
+			if ev.Value, err = arg(2, defaultRefuseWindow); err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: bad window: %v", entry, err)
+			}
+		case FaultLatency:
+			if ev.Value, err = arg(2, defaultLatency); err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: bad latency: %v", entry, err)
+			}
+			if ev.Dur, err = arg(3, defaultLatencyWindow); err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: bad window: %v", entry, err)
+			}
+		case FaultPoolCrash:
+			if ev.Value, err = arg(2, defaultPoolRestart); err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: bad restart delay: %v", entry, err)
+			}
+		default:
+			return nil, fmt.Errorf("loadgen: fault %q: unknown kind %q", entry, parts[1])
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// DefaultFaults builds the full fault schedule for a run of length d:
+// every fault kind, spread across the middle of the run so the tail
+// leaves room to drain. Windows scale with d but are clamped to the
+// DSL defaults' order of magnitude.
+func DefaultFaults(d time.Duration) []FaultEvent {
+	frac := func(f float64) time.Duration { return time.Duration(f * float64(d)) }
+	win := func(f float64, min, max time.Duration) time.Duration {
+		w := frac(f)
+		if w < min {
+			w = min
+		}
+		if w > max {
+			w = max
+		}
+		return w
+	}
+	return []FaultEvent{
+		{At: frac(0.15), Kind: FaultKill},
+		{At: frac(0.25), Kind: FaultRefuse, Value: win(0.04, 100*time.Millisecond, time.Second)},
+		{At: frac(0.40), Kind: FaultLatency, Value: defaultLatency, Dur: win(0.08, 200*time.Millisecond, 2*time.Second)},
+		{At: frac(0.55), Kind: FaultPoolCrash, Value: defaultPoolRestart},
+		{At: frac(0.68), Kind: FaultCrash},
+		{At: frac(0.82), Kind: FaultTornCrash},
+		{At: frac(0.90), Kind: FaultKill},
+	}
+}
+
+// ParseFaultsFor resolves a -faults flag value: "default" expands to
+// DefaultFaults(d), "none"/"" to an empty schedule, anything else is
+// parsed as the DSL.
+func ParseFaultsFor(s string, d time.Duration) ([]FaultEvent, error) {
+	if strings.TrimSpace(s) == "default" {
+		return DefaultFaults(d), nil
+	}
+	return ParseFaults(s)
+}

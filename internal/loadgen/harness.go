@@ -1,0 +1,880 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osprey/internal/aero"
+	"osprey/internal/chaos"
+	"osprey/internal/emews"
+	"osprey/internal/obs"
+	"osprey/internal/wal"
+)
+
+// Config shapes one harness run. The zero value is usable: every field
+// has a default (see withDefaults). Seed plus the shape parameters fully
+// determine the workload plan; see the package comment for the
+// determinism contract.
+type Config struct {
+	Seed     uint64
+	Duration time.Duration // workload window (drain time comes on top)
+	Rate     float64       // task submissions per second (plan size)
+	Workers  int           // worker goroutines popping through the chaos proxy
+	Closed   bool          // closed-loop: pace submits by in-flight cap, not wall clock
+	Window   int           // closed-loop in-flight cap; default 2×Workers
+
+	TaskTypes []string      // task-type mix; workers are assigned round-robin
+	FailFrac  float64       // fraction of tasks that fail at least once (<0 disables)
+	WorkMean  time.Duration // mean simulated model work per attempt
+
+	IngestRate    float64 // AERO data-version ingests per second (<0 disables)
+	IngestStreams int     // data items the ingests round-robin over
+
+	ScrapeEvery time.Duration // metrics-scrape interval
+
+	DataDir string // WAL root; "" = private temp dir, removed when the run passes
+	Faults  []FaultEvent
+
+	DrainTimeout time.Duration // max wait for the queue to empty after the plan
+	Logf         func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Duration < minDuration {
+		c.Duration = minDuration
+	}
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if len(c.TaskTypes) == 0 {
+		c.TaskTypes = []string{"sim", "calibrate"}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Workers < len(c.TaskTypes) {
+		c.Workers = len(c.TaskTypes) // every type needs a worker or the drain hangs
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * c.Workers
+	}
+	if c.FailFrac == 0 {
+		c.FailFrac = 0.15
+	}
+	if c.WorkMean <= 0 {
+		c.WorkMean = 2 * time.Millisecond
+	}
+	if c.IngestRate == 0 {
+		c.IngestRate = 5
+	}
+	if c.IngestStreams <= 0 {
+		c.IngestStreams = 2
+	}
+	if c.ScrapeEvery <= 0 {
+		c.ScrapeEvery = 500 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// tracker is the harness-side ledger of what workers observed: popped
+// attempt epochs and accepted resolutions, keyed so the end-of-run
+// invariants can prove fencing worked from the client's point of view.
+type tracker struct {
+	mu       sync.Mutex
+	pops     map[int64][]int64          // task ID -> popped epochs, observation order
+	accepted map[int64]map[int64]string // task ID -> epoch -> "complete" | "fail"
+
+	stale      int64 // resolutions rejected with ErrStaleClaim (expected under chaos)
+	unresolved int64 // resolutions lost to transport errors (server cleanup requeues)
+}
+
+func newTracker() *tracker {
+	return &tracker{pops: map[int64][]int64{}, accepted: map[int64]map[int64]string{}}
+}
+
+func (tr *tracker) popped(id, epoch int64) {
+	tr.mu.Lock()
+	tr.pops[id] = append(tr.pops[id], epoch)
+	tr.mu.Unlock()
+}
+
+func (tr *tracker) resolved(id, epoch int64, kind string, err error) {
+	switch {
+	case err == nil:
+		tr.mu.Lock()
+		if tr.accepted[id] == nil {
+			tr.accepted[id] = map[int64]string{}
+		}
+		tr.accepted[id][epoch] = kind
+		tr.mu.Unlock()
+	case errors.Is(err, emews.ErrStaleClaim):
+		atomic.AddInt64(&tr.stale, 1)
+	default:
+		atomic.AddInt64(&tr.unresolved, 1)
+	}
+}
+
+// harness owns the full service stack for one run. The mutable service
+// handles (db, store, servers, logs) are swapped atomically under mu by
+// crash/boot; everything else is fixed for the run.
+type harness struct {
+	cfg     Config
+	plan    []PlanEvent
+	start   time.Time
+	tracker *tracker
+	proxy   *chaos.Proxy
+
+	dirTasks, dirAero string
+
+	mu       sync.Mutex
+	db       *emews.DB
+	store    *aero.Store
+	logTasks *wal.Log
+	logAero  *wal.Log
+	taskSrv  *emews.Server
+	httpSrv  *http.Server
+	reapStop context.CancelFunc
+	pool     *pool
+	taskAddr string // pinned after first boot; reboots bind the same ports
+	httpAddr string
+
+	streams map[string]string // stream name -> data UUID (durable across crashes)
+
+	faultMu     sync.Mutex
+	faultCounts map[string]int
+	crashes     int
+	tornCrashes int
+
+	submitRetries int64
+	ingestRetries int64
+	scrapeOK      int64
+	scrapeFailed  int64
+	scrapeBad     int64 // scrapes that returned bytes that don't parse as a Snapshot
+
+	fatal atomic.Value // error: first unrecoverable infrastructure failure
+}
+
+func (h *harness) fail(err error) {
+	if err == nil {
+		return
+	}
+	h.fatal.CompareAndSwap(nil, err)
+	h.cfg.Logf("loadgen: fatal: %v", err)
+}
+
+func (h *harness) fatalErr() error {
+	if v := h.fatal.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+func (h *harness) currentDB() *emews.DB {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.db
+}
+
+func (h *harness) currentStore() *aero.Store {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.store
+}
+
+func (h *harness) currentHTTPAddr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.httpAddr
+}
+
+func (h *harness) currentTaskAddr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.taskAddr
+}
+
+// boot (re)starts the daemon side of the stack from the data directories:
+// WAL-recovered task DB with lease reaper, WAL-recovered metadata store,
+// TCP task server and HTTP metadata/metrics server. After the first boot
+// the listen addresses are pinned so crash recovery comes back on the
+// same ports the clients are retrying.
+func (h *harness) boot() error {
+	logTasks, err := wal.Open(h.dirTasks, wal.Options{Name: "wal.loadgen.tasks", Logf: h.cfg.Logf})
+	if err != nil {
+		return fmt.Errorf("loadgen: open task WAL: %w", err)
+	}
+	db, err := emews.OpenDB(logTasks)
+	if err != nil {
+		logTasks.Close()
+		return fmt.Errorf("loadgen: recover task DB: %w", err)
+	}
+	db.SetLeaseTimeout(5 * time.Second)
+	logAero, err := wal.Open(h.dirAero, wal.Options{Name: "wal.loadgen.aero", Logf: h.cfg.Logf})
+	if err != nil {
+		logTasks.Close()
+		return fmt.Errorf("loadgen: open aero WAL: %w", err)
+	}
+	store, err := aero.OpenStore(logAero)
+	if err != nil {
+		logTasks.Close()
+		logAero.Close()
+		return fmt.Errorf("loadgen: recover metadata store: %w", err)
+	}
+
+	taskSrv, err := listenRetry(func() (*emews.Server, error) {
+		addr := h.taskAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		return emews.Serve(db, addr)
+	})
+	if err != nil {
+		logTasks.Close()
+		logAero.Close()
+		return fmt.Errorf("loadgen: task server: %w", err)
+	}
+	ln, err := listenRetry(func() (net.Listener, error) {
+		addr := h.httpAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		return net.Listen("tcp", addr)
+	})
+	if err != nil {
+		taskSrv.Close()
+		logTasks.Close()
+		logAero.Close()
+		return fmt.Errorf("loadgen: http listener: %w", err)
+	}
+	as := aero.NewServer(store)
+	as.SetCompact(store.Compact)
+	httpSrv := &http.Server{Handler: as}
+	go httpSrv.Serve(ln)
+	reapCtx, reapStop := context.WithCancel(context.Background())
+	db.StartReaper(reapCtx, 500*time.Millisecond)
+
+	h.mu.Lock()
+	h.db, h.store = db, store
+	h.logTasks, h.logAero = logTasks, logAero
+	h.taskSrv, h.httpSrv, h.reapStop = taskSrv, httpSrv, reapStop
+	h.taskAddr, h.httpAddr = taskSrv.Addr(), ln.Addr().String()
+	h.mu.Unlock()
+	if h.proxy != nil {
+		h.proxy.SetBackend(taskSrv.Addr())
+	}
+	return nil
+}
+
+// listenRetry retries a bind briefly: a rebooted daemon can race the
+// previous listener's socket teardown on the pinned port.
+func listenRetry[T any](bind func() (T, error)) (T, error) {
+	var last error
+	for attempt := 0; attempt < 40; attempt++ {
+		v, err := bind()
+		if err == nil {
+			return v, nil
+		}
+		last = err
+		time.Sleep(25 * time.Millisecond)
+	}
+	var zero T
+	return zero, last
+}
+
+// crash simulates a daemon SIGKILL: the WAL handles are closed first —
+// so, as in a real kill, nothing that happens during teardown (like the
+// task server failing unresolved claims of dying connections) reaches the
+// durable log — then the listeners are torn down, optionally the task
+// WAL's tail is chopped, and the whole stack is rebooted from disk on the
+// same ports. db.Close and Compact are never run: recovery starts from
+// raw log replay.
+func (h *harness) crash(torn bool) error {
+	h.mu.Lock()
+	taskSrv, httpSrv := h.taskSrv, h.httpSrv
+	logTasks, logAero := h.logTasks, h.logAero
+	reapStop := h.reapStop
+	h.mu.Unlock()
+
+	reapStop()
+	logTasks.Close()
+	logAero.Close()
+	if torn {
+		if err := tearTail(h.dirTasks, 41); err != nil {
+			return fmt.Errorf("loadgen: tear WAL tail: %w", err)
+		}
+	}
+	taskSrv.Close()
+	httpSrv.Close()
+
+	h.faultMu.Lock()
+	h.crashes++
+	if torn {
+		h.tornCrashes++
+	}
+	h.faultMu.Unlock()
+	return h.boot()
+}
+
+// tearTail chops the last n bytes off the newest WAL segment in dir,
+// leaving a torn record for recovery's truncate-and-warn path to handle.
+func tearTail(dir string, n int64) error {
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(last, size)
+}
+
+// pool is a crash-restartable set of worker goroutines popping tasks
+// through the chaos proxy and resolving them per their payload directive.
+type pool struct {
+	h        *harness
+	ctx      context.Context
+	cancel   context.CancelFunc
+	hardStop chan struct{} // closed on crash: abandon claims mid-task
+	hardOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func (h *harness) startPool() *pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pool{h: h, ctx: ctx, cancel: cancel, hardStop: make(chan struct{})}
+	for i := 0; i < h.cfg.Workers; i++ {
+		taskType := h.cfg.TaskTypes[i%len(h.cfg.TaskTypes)]
+		p.wg.Add(1)
+		go p.worker(taskType)
+	}
+	return p
+}
+
+func (h *harness) currentPool() *pool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pool
+}
+
+func (h *harness) setPool(p *pool) {
+	h.mu.Lock()
+	h.pool = p
+	h.mu.Unlock()
+}
+
+// stop drains gracefully: workers finish their current claim, then exit.
+func (p *pool) stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// crash hard-kills the pool: workers abandon in-flight claims without
+// resolving them, leaving recovery to the server's connection cleanup and
+// the lease reaper.
+func (p *pool) crash() {
+	p.hardOnce.Do(func() { close(p.hardStop) })
+	p.cancel()
+	p.wg.Wait()
+}
+
+func (p *pool) worker(taskType string) {
+	defer p.wg.Done()
+	var cl *emews.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	drop := func() {
+		if cl != nil {
+			cl.Close()
+			cl = nil
+		}
+	}
+	pause := func(d time.Duration) bool {
+		select {
+		case <-p.ctx.Done():
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	for p.ctx.Err() == nil {
+		if cl == nil {
+			c, err := emews.Dial(p.h.proxy.Addr(),
+				emews.WithOpTimeout(3*time.Second),
+				emews.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
+				emews.WithRetries(2))
+			if err != nil {
+				if !pause(25 * time.Millisecond) {
+					return
+				}
+				continue
+			}
+			cl = c
+		}
+		task, ok, err := cl.Pop(taskType, 200*time.Millisecond)
+		if err != nil {
+			drop()
+			if !pause(10 * time.Millisecond) {
+				return
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		p.h.tracker.popped(task.ID, task.Epoch)
+		var spec payloadSpec
+		if err := json.Unmarshal([]byte(task.Payload), &spec); err != nil {
+			// Not a plan task; should never happen. Fail it so it terminates.
+			spec = payloadSpec{Index: -1, FailN: failAlways}
+		}
+		// Simulated model work. A pool crash abandons the claim mid-task —
+		// the point of the fault.
+		select {
+		case <-time.After(time.Duration(spec.WorkUS) * time.Microsecond):
+		case <-p.hardStop:
+			return
+		}
+		if spec.FailN >= failAlways || task.Epoch <= int64(spec.FailN) {
+			err = cl.Fail(task.ID, task.Epoch, fmt.Sprintf("injected failure at epoch %d", task.Epoch))
+			p.h.tracker.resolved(task.ID, task.Epoch, "fail", err)
+		} else {
+			err = cl.Complete(task.ID, task.Epoch, submitResult(spec.Index))
+			p.h.tracker.resolved(task.ID, task.Epoch, "complete", err)
+		}
+		if err != nil && errors.Is(err, emews.ErrTransport) {
+			drop()
+		}
+	}
+}
+
+// ---- drivers ----
+
+// submitDriver walks the submit plan, pacing open-loop by the event's
+// AtMS offset or closed-loop by the in-flight window, and guarantees each
+// event lands exactly once (at-least-once send + presence check on the
+// ambiguous error paths).
+func (h *harness) submitDriver() {
+	var cl *emews.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	for i := range h.plan {
+		ev := &h.plan[i]
+		if ev.Kind != EventSubmit {
+			continue
+		}
+		if h.fatalErr() != nil {
+			return
+		}
+		if h.cfg.Closed {
+			for {
+				st := h.currentDB().Stats()
+				if st.Queued+st.Running < h.cfg.Window {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		} else {
+			sleepUntil(h.start.Add(time.Duration(ev.AtMS) * time.Millisecond))
+		}
+		cl = h.ensureSubmitted(cl, ev)
+	}
+}
+
+// ensureSubmitted submits ev, reconciling ambiguity: when the send fails
+// the task may or may not have been applied, so the driver checks the
+// live ledger for the event's plan index before re-sending. The returned
+// client replaces the caller's (it may have been redialed or dropped).
+func (h *harness) ensureSubmitted(cl *emews.Client, ev *PlanEvent) *emews.Client {
+	for attempt := 0; ; attempt++ {
+		if h.fatalErr() != nil {
+			return cl
+		}
+		if attempt > 0 {
+			atomic.AddInt64(&h.submitRetries, 1)
+			if _, found := h.tasksByPlanIndex()[ev.Index]; found {
+				return cl // the ambiguous send was applied after all
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if cl == nil {
+			c, err := emews.Dial(h.currentTaskAddr(),
+				emews.WithOpTimeout(3*time.Second),
+				emews.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
+				emews.WithRetries(2))
+			if err != nil {
+				continue
+			}
+			cl = c
+		}
+		_, err := cl.SubmitRetry(ev.TaskType, ev.Priority, ev.Payload, ev.MaxAttempts)
+		if err == nil {
+			return cl
+		}
+		cl.Close()
+		cl = nil
+	}
+}
+
+// tasksByPlanIndex scans the live ledger and maps plan index -> task IDs.
+func (h *harness) tasksByPlanIndex() map[int][]int64 {
+	out := map[int][]int64{}
+	for _, t := range h.currentDB().Dump() {
+		var spec payloadSpec
+		if err := json.Unmarshal([]byte(t.Payload), &spec); err == nil {
+			out[spec.Index] = append(out[spec.Index], t.ID)
+		}
+	}
+	return out
+}
+
+// ingestDriver walks the ingest plan, appending data versions over the
+// real HTTP API with presence-check reconciliation (a version whose POST
+// response was lost must not be appended twice).
+func (h *harness) ingestDriver() {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	for i := range h.plan {
+		ev := &h.plan[i]
+		if ev.Kind != EventIngest {
+			continue
+		}
+		if h.fatalErr() != nil {
+			return
+		}
+		sleepUntil(h.start.Add(time.Duration(ev.AtMS) * time.Millisecond))
+		h.ensureIngested(hc, ev)
+	}
+}
+
+func (h *harness) ensureIngested(hc *http.Client, ev *PlanEvent) {
+	uuid := h.streams[ev.Stream]
+	body, err := json.Marshal(aero.Version{
+		Checksum:   ev.Checksum,
+		Size:       1 + ev.Index,
+		Endpoint:   "loadgen",
+		Collection: ev.Stream,
+		Path:       "/" + ev.Checksum,
+	})
+	if err != nil {
+		h.fail(err)
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		if h.fatalErr() != nil {
+			return
+		}
+		if attempt > 0 {
+			atomic.AddInt64(&h.ingestRetries, 1)
+			time.Sleep(20 * time.Millisecond)
+		}
+		if h.ingestPresent(ev) {
+			return
+		}
+		resp, err := hc.Post("http://"+h.currentHTTPAddr()+"/data/"+uuid+"/versions",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			return
+		}
+	}
+}
+
+func (h *harness) ingestPresent(ev *PlanEvent) bool {
+	rec, err := h.currentStore().GetData(h.streams[ev.Stream])
+	if err != nil {
+		return false
+	}
+	for _, v := range rec.Versions {
+		if v.Checksum == ev.Checksum {
+			return true
+		}
+	}
+	return false
+}
+
+// scrapeLoop polls /metrics like an external monitoring agent would,
+// proving the observability surface stays consistent under chaos: scrape
+// failures during fault windows are fine, malformed payloads never are.
+func (h *harness) scrapeLoop(ctx context.Context) {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(h.cfg.ScrapeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		resp, err := hc.Get("http://" + h.currentHTTPAddr() + "/metrics")
+		if err != nil {
+			atomic.AddInt64(&h.scrapeFailed, 1)
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			atomic.AddInt64(&h.scrapeFailed, 1)
+			continue
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(b, &snap); err != nil {
+			atomic.AddInt64(&h.scrapeBad, 1)
+			continue
+		}
+		atomic.AddInt64(&h.scrapeOK, 1)
+	}
+}
+
+// faultRunner fires the fault schedule at its absolute offsets. Windowed
+// faults (refuse, latency) hold the runner for their window, so
+// overlapping windows are not supported — schedules are sequential.
+func (h *harness) faultRunner() {
+	for _, f := range h.cfg.Faults {
+		if h.fatalErr() != nil {
+			return
+		}
+		sleepUntil(h.start.Add(f.At))
+		h.faultMu.Lock()
+		h.faultCounts[string(f.Kind)]++
+		h.faultMu.Unlock()
+		h.cfg.Logf("loadgen: fault %s", f)
+		switch f.Kind {
+		case FaultKill:
+			h.proxy.KillActive()
+		case FaultRefuse:
+			h.proxy.SetRefuse(true)
+			time.Sleep(f.Value)
+			h.proxy.SetRefuse(false)
+		case FaultLatency:
+			h.proxy.SetLatency(f.Value)
+			time.Sleep(f.Dur)
+			h.proxy.SetLatency(0)
+		case FaultPoolCrash:
+			h.currentPool().crash()
+			time.Sleep(f.Value)
+			h.setPool(h.startPool())
+		case FaultCrash:
+			h.fail(h.crash(false))
+		case FaultTornCrash:
+			h.fail(h.crash(true))
+		}
+	}
+}
+
+// sweepSubmits re-submits plan events whose tasks are missing from the
+// ledger. Only a torn-tail crash can eat an acknowledged submit, and a
+// real ME process keeps its own intent log for exactly this
+// reconciliation.
+func (h *harness) sweepSubmits() {
+	present := h.tasksByPlanIndex()
+	var cl *emews.Client
+	for i := range h.plan {
+		ev := &h.plan[i]
+		if ev.Kind != EventSubmit {
+			continue
+		}
+		if _, ok := present[ev.Index]; ok {
+			continue
+		}
+		h.cfg.Logf("loadgen: sweep resubmit of plan event %d (lost to a torn crash)", ev.Index)
+		cl = h.ensureSubmitted(cl, ev)
+	}
+	if cl != nil {
+		cl.Close()
+	}
+}
+
+// sweepIngests re-appends versions missing from the store.
+func (h *harness) sweepIngests() {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	for i := range h.plan {
+		ev := &h.plan[i]
+		if ev.Kind != EventIngest || h.ingestPresent(ev) {
+			continue
+		}
+		h.ensureIngested(hc, ev)
+	}
+}
+
+// drain waits for the queue to empty: every submitted task terminal,
+// nothing running.
+func (h *harness) drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := h.currentDB().Stats()
+		if st.Queued == 0 && st.Running == 0 {
+			return
+		}
+		if h.fatalErr() != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func sleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Run executes one full harness run: boot the stack, drive the plan
+// through the chaos schedule, drain, audit, and report. Infrastructure
+// failures (not invariant violations) are returned as errors; invariant
+// violations make Report.Pass false.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	plan := BuildPlan(cfg)
+
+	dataDir := cfg.DataDir
+	ownDir := false
+	if dataDir == "" {
+		var err error
+		dataDir, err = os.MkdirTemp("", "osprey-loadgen-*")
+		if err != nil {
+			return nil, err
+		}
+		ownDir = true
+	}
+	h := &harness{
+		cfg:         cfg,
+		plan:        plan,
+		tracker:     newTracker(),
+		dirTasks:    filepath.Join(dataDir, "tasks"),
+		dirAero:     filepath.Join(dataDir, "aero"),
+		streams:     map[string]string{},
+		faultCounts: map[string]int{},
+	}
+	for _, d := range []string{h.dirTasks, h.dirAero} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	preObs := obs.Default().Snapshot()
+	if err := h.boot(); err != nil {
+		return nil, err
+	}
+	proxy, err := chaos.NewProxy(h.taskAddr)
+	if err != nil {
+		return nil, err
+	}
+	h.proxy = proxy
+	defer proxy.Close()
+	for i := 0; i < cfg.IngestStreams; i++ {
+		name := StreamName(i)
+		rec, err := h.currentStore().CreateData(name, "loadgen://"+name)
+		if err != nil {
+			return nil, err
+		}
+		h.streams[name] = rec.UUID
+	}
+
+	h.start = time.Now()
+	h.setPool(h.startPool())
+	scrapeCtx, stopScrape := context.WithCancel(context.Background())
+	go h.scrapeLoop(scrapeCtx)
+
+	var wg sync.WaitGroup
+	for _, f := range []func(){h.submitDriver, h.ingestDriver, h.faultRunner} {
+		f := f
+		wg.Add(1)
+		go func() { defer wg.Done(); f() }()
+	}
+	wg.Wait()
+
+	if err := h.fatalErr(); err != nil {
+		stopScrape()
+		h.currentPool().crash()
+		return nil, err
+	}
+
+	// Post-plan reconciliation, then heal the network and drain.
+	h.sweepSubmits()
+	h.sweepIngests()
+	proxy.SetRefuse(false)
+	proxy.SetLatency(0)
+	proxy.SetAcceptDelay(0)
+	h.drain(cfg.DrainTimeout)
+	elapsed := time.Since(h.start)
+	stopScrape()
+	h.currentPool().stop()
+
+	// Graceful teardown: capture final state, then close the stack and
+	// audit the durable history.
+	dump := h.currentDB().Dump()
+	stats := h.currentDB().Stats()
+	streams := map[string]*aero.DataRecord{}
+	for name, uuid := range h.streams {
+		rec, err := h.currentStore().GetData(uuid)
+		if err != nil {
+			return nil, err
+		}
+		streams[name] = rec
+	}
+	postObs := obs.Default().Snapshot()
+
+	h.reapStop()
+	h.taskSrv.Close()
+	h.httpSrv.Close()
+	if err := h.logTasks.Close(); err != nil {
+		return nil, err
+	}
+	if err := h.logAero.Close(); err != nil {
+		return nil, err
+	}
+	audit, err := emews.AuditWAL(h.dirTasks)
+	if err != nil {
+		return nil, err
+	}
+
+	report := h.buildReport(plan, dump, stats, streams, audit, postObs.Delta(preObs), elapsed)
+	if ownDir {
+		if report.Pass {
+			os.RemoveAll(dataDir)
+		} else {
+			report.DataDir = dataDir // keep the evidence
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Two plans built from the same config must be byte-identical; changing
+// the seed must change the digest.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Duration: 5 * time.Second, Rate: 100}
+	a, b := BuildPlan(cfg), BuildPlan(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-config plans differ")
+	}
+	if PlanDigest(a) != PlanDigest(b) {
+		t.Fatal("same-config digests differ")
+	}
+	cfg.Seed = 43
+	if PlanDigest(BuildPlan(cfg)) == PlanDigest(a) {
+		t.Fatal("different seeds produced the same digest")
+	}
+	// Pacing offsets must be sorted and inside the workload window.
+	var last int64
+	for _, ev := range a {
+		if ev.AtMS < last {
+			t.Fatalf("plan not sorted: %d after %d", ev.AtMS, last)
+		}
+		last = ev.AtMS
+	}
+	if n := len(a); n < 500 {
+		t.Fatalf("plan has %d events, want ~500 submits + ingests", n)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	evs, err := ParseFaults("5s:kill; 8s:refuse:1s;12s:latency:50ms:2s; 15s:pool-crash:500ms;20s:crash;25s:torn-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{At: 5 * time.Second, Kind: FaultKill},
+		{At: 8 * time.Second, Kind: FaultRefuse, Value: time.Second},
+		{At: 12 * time.Second, Kind: FaultLatency, Value: 50 * time.Millisecond, Dur: 2 * time.Second},
+		{At: 15 * time.Second, Kind: FaultPoolCrash, Value: 500 * time.Millisecond},
+		{At: 20 * time.Second, Kind: FaultCrash},
+		{At: 25 * time.Second, Kind: FaultTornCrash},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("ParseFaults = %+v, want %+v", evs, want)
+	}
+	// Defaults fill in omitted windows.
+	evs, err = ParseFaults("1s:refuse;2s:latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Value != defaultRefuseWindow || evs[1].Value != defaultLatency || evs[1].Dur != defaultLatencyWindow {
+		t.Fatalf("defaults not applied: %+v", evs)
+	}
+	for _, bad := range []string{"kill", "5s:explode", "x:kill", "5s:refuse:x", "5s:kill:1s"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Fatalf("ParseFaults(%q) did not fail", bad)
+		}
+	}
+	if evs, _ := ParseFaults("none"); evs != nil {
+		t.Fatal("none should parse to an empty schedule")
+	}
+	if evs, err := ParseFaultsFor("default", 10*time.Second); err != nil || len(evs) == 0 {
+		t.Fatalf("default schedule: %v %v", evs, err)
+	}
+}
+
+// The short soak: two same-seed runs through the full fault taxonomy.
+// Every invariant must hold in both runs and the workload digests (and
+// event sequences) must be identical — the determinism contract the soak
+// CI leg enforces at larger scale.
+func TestShortSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak harness in -short mode")
+	}
+	d := 1200 * time.Millisecond
+	cfg := Config{
+		Seed:         7,
+		Duration:     d,
+		Rate:         120,
+		Workers:      6,
+		IngestRate:   15,
+		ScrapeEvery:  150 * time.Millisecond,
+		Faults:       DefaultFaults(d),
+		DrainTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	}
+	var reports [2]*Report
+	for i := range reports {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !r.Pass {
+			t.Fatalf("run %d failed invariants: %v", i, r.FailedInvariants())
+		}
+		if r.Totals.Crashes != 2 || r.Totals.TornCrashes != 1 {
+			t.Fatalf("run %d: crashes=%d torn=%d, want 2/1 from the default schedule",
+				i, r.Totals.Crashes, r.Totals.TornCrashes)
+		}
+		if r.Totals.Complete == 0 || r.Totals.Failed == 0 {
+			t.Fatalf("run %d: degenerate mix complete=%d failed=%d",
+				i, r.Totals.Complete, r.Totals.Failed)
+		}
+		reports[i] = r
+	}
+	if reports[0].Workload.Digest != reports[1].Workload.Digest {
+		t.Fatalf("same-seed runs produced different workload digests: %s != %s",
+			reports[0].Workload.Digest, reports[1].Workload.Digest)
+	}
+	a, _ := json.Marshal(reports[0].Workload.Events)
+	b, _ := json.Marshal(reports[1].Workload.Events)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs produced different event sequences")
+	}
+	// The report must round-trip as JSON (it is the CI artifact).
+	var buf bytes.Buffer
+	if err := reports[0].WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload.Digest != reports[0].Workload.Digest || !back.Pass {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+// A closed-loop run with no faults: the in-flight window caps the queue.
+func TestClosedLoopNoFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak harness in -short mode")
+	}
+	cfg := Config{
+		Seed:        3,
+		Duration:    400 * time.Millisecond,
+		Rate:        100,
+		Workers:     4,
+		Closed:      true,
+		Window:      8,
+		IngestRate:  -1, // disabled
+		ScrapeEvery: 50 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("failed invariants: %v", r.FailedInvariants())
+	}
+	if r.Mode != "closed" {
+		t.Fatalf("mode = %q", r.Mode)
+	}
+	if r.Totals.PlanIngests != 0 {
+		t.Fatalf("ingests planned despite IngestRate<0: %d", r.Totals.PlanIngests)
+	}
+}

@@ -1,0 +1,178 @@
+// Package loadgen is a seeded, deterministic workload driver and chaos
+// harness for the OSPREY service stack. It boots a real EMEWS task server
+// and AERO metadata server in-process, drives configurable open- or
+// closed-loop traffic against them over TCP/HTTP (task submit/pop/finish
+// mixes, data-version ingests, metrics scrapes), interleaves a
+// declarative fault schedule (connection kills, refused connections,
+// injected latency, worker crash-restart, daemon crash + WAL recovery),
+// and then proves end-of-run invariants from the task ledger and a
+// strict WAL replay: submitted = completed + failed + canceled, zero
+// lost tasks, zero double finishes, monotone attempt epochs.
+//
+// Determinism contract: the workload plan — the full sequence of submit
+// and ingest events, including payloads, priorities, simulated work
+// durations, and injected-failure directives — is a pure function of
+// Config.Seed and the shape parameters (rate, duration, mix). Two runs
+// with the same seed produce byte-identical plans and plan digests; only
+// execution timing (latencies, interleavings, fault outcomes) differs.
+// cmd/osprey-loadgen exposes the harness as a CLI and the CI soak leg
+// runs it twice per pipeline to hold the contract.
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"osprey/internal/rng"
+)
+
+// Plan event kinds.
+const (
+	EventSubmit = "submit" // EMEWS task submission over the wire protocol
+	EventIngest = "ingest" // AERO data-version ingest over HTTP
+)
+
+// failAlways marks a task that fails on every attempt: it must terminate
+// as StatusFailed once its retry budget is consumed.
+const failAlways = 1 << 30
+
+// PlanEvent is one deterministic workload event. AtMS is the pacing
+// offset from run start; Index numbers events per kind and is embedded in
+// payloads/checksums so the end-of-run audit can reconcile exactly which
+// plan events reached the stores.
+type PlanEvent struct {
+	Index       int    `json:"i"`
+	AtMS        int64  `json:"at_ms"`
+	Kind        string `json:"kind"`
+	TaskType    string `json:"task_type,omitempty"`
+	Priority    int    `json:"priority,omitempty"`
+	Payload     string `json:"payload,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+	Stream      string `json:"stream,omitempty"`
+	Checksum    string `json:"checksum,omitempty"`
+}
+
+// payloadSpec is the directive encoded into a submit event's payload: the
+// worker evaluating the task simulates WorkUS of model time and fails
+// attempts whose epoch is <= FailN (or every attempt, for failAlways).
+// Failure behavior is decided at plan time, never at execution time, so
+// the intended terminal outcome of every task is known up front.
+type payloadSpec struct {
+	Index  int   `json:"i"`
+	WorkUS int64 `json:"work_us"`
+	FailN  int   `json:"fail_n,omitempty"`
+}
+
+// BuildPlan derives the full workload plan from the configuration. It is
+// a pure function of the seed and the shape parameters.
+func BuildPlan(cfg Config) []PlanEvent {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	var events []PlanEvent
+
+	// Task submissions: Rate × Duration events, evenly paced with ±30%
+	// jitter inside each slot.
+	sub := root.Split("loadgen.submit")
+	nSub := int(cfg.Rate * cfg.Duration.Seconds())
+	if nSub < 1 {
+		nSub = 1
+	}
+	period := float64(cfg.Duration.Milliseconds()) / float64(nSub)
+	meanUS := float64(cfg.WorkMean.Microseconds())
+	for i := 0; i < nSub; i++ {
+		at := int64((float64(i) + 0.5 + 0.3*(2*sub.Float64()-1)) * period)
+		if at < 0 {
+			at = 0
+		}
+		work := int64(sub.Exponential(1 / meanUS))
+		if max := int64(50_000); work > max {
+			work = max // cap simulated work at 50ms so drains stay bounded
+		}
+		spec := payloadSpec{Index: i, WorkUS: work}
+		maxAttempts := 1000 // chaos-induced retries must never exhaust an intended success
+		switch u := sub.Float64(); {
+		case u < cfg.FailFrac/2:
+			spec.FailN = failAlways // intended terminal failure
+			maxAttempts = 2
+		case u < cfg.FailFrac:
+			spec.FailN = 1 + sub.Intn(2) // flaky: fails first 1-2 attempts, then succeeds
+		}
+		payload, err := json.Marshal(spec)
+		if err != nil {
+			panic("loadgen: marshal payloadSpec: " + err.Error())
+		}
+		events = append(events, PlanEvent{
+			Index:       i,
+			AtMS:        at,
+			Kind:        EventSubmit,
+			TaskType:    cfg.TaskTypes[sub.Intn(len(cfg.TaskTypes))],
+			Priority:    sub.Intn(3),
+			Payload:     string(payload),
+			MaxAttempts: maxAttempts,
+		})
+	}
+
+	// AERO data-version ingests, round-robined over the streams.
+	ing := root.Split("loadgen.ingest")
+	nIng := int(cfg.IngestRate * cfg.Duration.Seconds())
+	if cfg.IngestRate > 0 && nIng < 1 {
+		nIng = 1
+	}
+	if nIng > 0 {
+		iperiod := float64(cfg.Duration.Milliseconds()) / float64(nIng)
+		for i := 0; i < nIng; i++ {
+			at := int64((float64(i) + 0.5 + 0.3*(2*ing.Float64()-1)) * iperiod)
+			if at < 0 {
+				at = 0
+			}
+			events = append(events, PlanEvent{
+				Index:    i,
+				AtMS:     at,
+				Kind:     EventIngest,
+				Stream:   StreamName(i % cfg.IngestStreams),
+				Checksum: fmt.Sprintf("plan-%06d", i),
+			})
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.AtMS != b.AtMS {
+			return a.AtMS < b.AtMS
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Index < b.Index
+	})
+	return events
+}
+
+// StreamName names ingest stream n ("stream-00", ...).
+func StreamName(n int) string { return fmt.Sprintf("stream-%02d", n) }
+
+// PlanDigest is the SHA-256 of the canonical JSON encoding of the plan —
+// the value two same-seed runs must agree on.
+func PlanDigest(events []PlanEvent) string {
+	b, err := json.Marshal(events)
+	if err != nil {
+		panic("loadgen: marshal plan: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// expectedOutcome reports the intended terminal state of a submit event:
+// complete (ok=true) or failed (ok=false).
+func expectedOutcome(spec payloadSpec) (ok bool) { return spec.FailN < failAlways }
+
+// submitResult is the result payload an intended-success worker returns.
+func submitResult(index int) string { return fmt.Sprintf("ok:%d", index) }
+
+// Mode durations and windows below this are meaningless; used by config
+// validation.
+const minDuration = 100 * time.Millisecond

@@ -1,0 +1,91 @@
+package obs
+
+// Snapshot deltas: the report-export path of the load-generation harness.
+// Metrics in the Default registry are process-cumulative, so a harness
+// that wants "what happened during this run" snapshots the registry
+// before and after and subtracts. Counters and histogram buckets
+// subtract cleanly; gauges are levels and keep their end-of-run value;
+// histogram quantiles are re-derived from the bucket deltas by the same
+// interpolation the live snapshot uses.
+
+// Sub returns the histogram activity between prev and s: bucket counts,
+// count, and sum are subtracted, and the quantiles are recomputed from
+// the delta buckets. Min/Max cannot be windowed from bucket data alone
+// and keep s's whole-lifetime values.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var counts [histBuckets]int64
+	for _, b := range s.Buckets {
+		counts[bucketIndexForBound(b.LeSeconds)] += b.Count
+	}
+	for _, b := range prev.Buckets {
+		counts[bucketIndexForBound(b.LeSeconds)] -= b.Count
+	}
+	out := HistogramSnapshot{
+		SumSeconds: s.SumSeconds - prev.SumSeconds,
+		MinSeconds: s.MinSeconds,
+		MaxSeconds: s.MaxSeconds,
+	}
+	var total int64
+	for i, n := range counts {
+		if n < 0 {
+			// A torn concurrent snapshot can momentarily under-read a
+			// bucket; clamp rather than emit a negative count.
+			n = 0
+			counts[i] = 0
+		}
+		total += n
+		if n > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{LeSeconds: bucketUpperSeconds(i), Count: n})
+		}
+	}
+	out.Count = total
+	if out.SumSeconds < 0 {
+		out.SumSeconds = 0
+	}
+	out.P50Seconds = quantile(counts[:], total, 0.50)
+	out.P90Seconds = quantile(counts[:], total, 0.90)
+	out.P99Seconds = quantile(counts[:], total, 0.99)
+	return out
+}
+
+// bucketIndexForBound maps a serialized bucket upper bound back to its
+// index in the fixed ladder. The overflow bucket may arrive as +Inf
+// (in-process snapshot) or as the JSON stand-in -1 (decoded snapshot).
+func bucketIndexForBound(le float64) int {
+	if le < 0 || le > bucketUpperSeconds(histBuckets-2) {
+		return histBuckets - 1
+	}
+	for i := 0; i < histBuckets-1; i++ {
+		if le <= bucketUpperSeconds(i) {
+			return i
+		}
+	}
+	return histBuckets - 1
+}
+
+// Delta returns the activity between prev and s: counters subtract
+// (clamped at zero; a counter absent from prev keeps its full value),
+// histograms subtract bucket-wise with re-derived quantiles, and gauges —
+// instantaneous levels — keep their s values. The Time is s's.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Time:       s.Time,
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		d := v - prev.Counters[k]
+		if d < 0 {
+			d = 0
+		}
+		out.Counters[k] = d
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v.Sub(prev.Histograms[k])
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// Delta must isolate the activity of a window: counters subtract,
+// histogram quantiles are recomputed from the bucket deltas, gauges keep
+// their end-of-window level.
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+
+	c.Add(5)
+	g.Set(2)
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Millisecond) // pre-window noise
+	}
+	pre := r.Snapshot()
+
+	c.Add(7)
+	g.Set(9)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // the window's real activity
+	}
+	post := r.Snapshot()
+
+	d := post.Delta(pre)
+	if d.Counters["c"] != 7 {
+		t.Fatalf("counter delta = %d, want 7", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Fatalf("gauge level = %d, want 9", d.Gauges["g"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 100 {
+		t.Fatalf("histogram delta count = %d, want 100", hd.Count)
+	}
+	// All 100 delta observations are ~1ms; without the delta the p50 would
+	// sit near 100ms (200 observations, half at 100ms).
+	if hd.P50Seconds > 0.002 {
+		t.Fatalf("delta p50 = %v, want ~1ms (pre-window noise leaked in)", hd.P50Seconds)
+	}
+	if full := post.Histograms["h"]; full.P90Seconds < 0.01 {
+		t.Fatalf("sanity: full-histogram p90 = %v, expected to reach the noise", full.P90Seconds)
+	}
+	if math.Abs(hd.SumSeconds-0.1) > 0.02 {
+		t.Fatalf("delta sum = %v, want ~0.1", hd.SumSeconds)
+	}
+}
+
+// A counter that first appears inside the window keeps its full value,
+// and deltas survive a JSON round trip (the overflow bucket's +Inf bound
+// is serialized as -1).
+func TestSnapshotDeltaJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(90 * time.Second) // overflow bucket
+	h.Observe(time.Millisecond)
+	pre := r.Snapshot()
+
+	r.Counter("late").Add(3)
+	h.Observe(90 * time.Second)
+	post := r.Snapshot()
+
+	// Round-trip both snapshots through JSON, as a scrape-based consumer
+	// would see them.
+	var pre2, post2 Snapshot
+	for src, dst := range map[*Snapshot]*Snapshot{&pre: &pre2, &post: &post2} {
+		b, err := json.Marshal(*src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := post2.Delta(pre2)
+	if d.Counters["late"] != 3 {
+		t.Fatalf("late counter delta = %d, want 3", d.Counters["late"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 1 {
+		t.Fatalf("delta count = %d, want 1 (the second overflow observation)", hd.Count)
+	}
+	if len(hd.Buckets) != 1 {
+		t.Fatalf("delta buckets = %+v, want exactly the overflow bucket", hd.Buckets)
+	}
+}

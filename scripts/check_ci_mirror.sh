@@ -1,0 +1,39 @@
+#!/bin/sh
+# Guard for the Makefile <-> ci.yml mirror rule (DESIGN.md, "Load & chaos
+# testing"): the Makefile's CI_STEPS variable is the single source of
+# truth for the per-push pipeline, and the `test` job in
+# .github/workflows/ci.yml must run exactly `make <step>` for each step,
+# in the same order. This script fails when the two lists diverge, so a
+# pipeline edit that touches only one of the files cannot land green.
+set -eu
+cd "$(dirname "$0")/.."
+
+make_steps=$(sed -n 's/^CI_STEPS := //p' Makefile | tr ' ' '\n' | sed '/^$/d')
+if [ -z "$make_steps" ]; then
+    echo "check_ci_mirror: no CI_STEPS variable found in Makefile" >&2
+    exit 1
+fi
+
+# Extract the `run: make <step>` lines of the ci.yml `test` job only
+# (other jobs — coverage, soak — have their own make targets and are not
+# part of the mirrored list).
+yml_steps=$(awk '
+    /^  [a-zA-Z_-]+:[ ]*$/ { in_test = ($1 == "test:") }
+    in_test && $1 == "run:" && $2 == "make" { print $3 }
+' .github/workflows/ci.yml)
+if [ -z "$yml_steps" ]; then
+    echo "check_ci_mirror: no 'run: make <step>' lines found in the ci.yml test job" >&2
+    exit 1
+fi
+
+if [ "$make_steps" != "$yml_steps" ]; then
+    echo "check_ci_mirror: Makefile CI_STEPS and the ci.yml test job diverged" >&2
+    echo "--- Makefile CI_STEPS:" >&2
+    echo "$make_steps" >&2
+    echo "--- ci.yml test job 'run: make' steps:" >&2
+    echo "$yml_steps" >&2
+    echo "Edit both files together; see DESIGN.md for the mirror rule." >&2
+    exit 1
+fi
+
+echo "ci mirror ok: $(echo "$make_steps" | wc -l | tr -d ' ') steps match"
