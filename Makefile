@@ -105,9 +105,11 @@ bench-compare:
 	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_fresh.json -tolerance 0.15 -diff-out bench-diff.json
 
-# Short coverage-guided fuzz of the WAL record decoder (nightly job).
+# Short coverage-guided fuzz of the WAL record decoder and the emews
+# binary wire-frame decoder (nightly job).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRecord -fuzztime=30s ./internal/wal/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/emews/
 
 # Regenerate every paper table/figure into out/ (see EXPERIMENTS.md).
 figures:

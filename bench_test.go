@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,11 +20,13 @@ import (
 	"osprey/internal/abm"
 	"osprey/internal/aero"
 	"osprey/internal/calibrate"
+	"osprey/internal/emews"
 	"osprey/internal/epi"
 	"osprey/internal/gp"
 	"osprey/internal/mcmc"
 	"osprey/internal/metarvm"
 	"osprey/internal/music"
+	"osprey/internal/obs"
 	"osprey/internal/rng"
 	"osprey/internal/rt"
 	"osprey/internal/sobolidx"
@@ -535,6 +539,135 @@ func BenchmarkExpensiveModelTimeToSolution(b *testing.B) {
 			b.ReportMetric(float64(runs), "model-runs")
 		}
 	})
+}
+
+// BenchmarkSubstrateThroughput measures the EMEWS wire substrate end to
+// end over real TCP: submit -> pop -> complete for every task, driven by
+// four worker connections. The sub-benchmarks compare the legacy
+// newline-delimited JSON framing at batch 1 against the binary v2 framing
+// at batch 1 and batch 16 (pop_batch/finish_batch, one exchange per
+// lease). Reported metrics: tasks/s and the p99 server-side pop wait.
+func BenchmarkSubstrateThroughput(b *testing.B) {
+	const workers = 4
+	for _, mode := range []struct {
+		name   string
+		batch  int
+		legacy bool
+	}{
+		{"json-b1", 1, true},
+		{"binary-b1", 1, false},
+		{"binary-b16", 16, false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := emews.NewDB()
+			defer db.Close()
+			srv, err := emews.Serve(db, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			clientOpts := func() []emews.ClientOption {
+				opts := []emews.ClientOption{emews.WithOpTimeout(10 * time.Second)}
+				if mode.legacy {
+					opts = append(opts, emews.WithLegacyFraming())
+				}
+				return opts
+			}
+
+			var completed atomic.Int64
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cl, err := emews.Dial(srv.Addr(), clientOpts()...)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer cl.Close()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						if mode.batch > 1 {
+							tasks, err := cl.PopBatch("bench", mode.batch, 50*time.Millisecond)
+							if err != nil || len(tasks) == 0 {
+								continue
+							}
+							fins := make([]emews.FinishOp, len(tasks))
+							for i, task := range tasks {
+								fins[i] = emews.FinishOp{TaskID: task.ID, Epoch: task.Epoch, Result: "ok"}
+							}
+							errs, berr := cl.FinishBatch(fins)
+							if berr != nil {
+								continue
+							}
+							for _, e := range errs {
+								if e == nil {
+									completed.Add(1)
+								}
+							}
+						} else {
+							task, ok, err := cl.Pop("bench", 50*time.Millisecond)
+							if err != nil || !ok {
+								continue
+							}
+							if cl.Complete(task.ID, task.Epoch, "ok") == nil {
+								completed.Add(1)
+							}
+						}
+					}
+				}()
+			}
+
+			driver, err := emews.Dial(srv.Addr(), clientOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer driver.Close()
+
+			before := obs.Default().Snapshot()
+			b.ResetTimer()
+			start := time.Now()
+			if mode.batch > 1 {
+				for sent := 0; sent < b.N; sent += mode.batch {
+					n := mode.batch
+					if b.N-sent < n {
+						n = b.N - sent
+					}
+					payloads := make([]string, n)
+					for i := range payloads {
+						payloads[i] = fmt.Sprintf("task-%d", sent+i)
+					}
+					if _, err := driver.SubmitBatch("bench", 0, payloads, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					if _, err := driver.Submit("bench", 0, fmt.Sprintf("task-%d", i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for completed.Load() < int64(b.N) {
+				time.Sleep(200 * time.Microsecond)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			close(done)
+			wg.Wait()
+
+			delta := obs.Default().Snapshot().Delta(before)
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tasks/s")
+			b.ReportMetric(delta.Histograms["emews.pop.wait_seconds"].P99Seconds*1e3, "p99-pop-ms")
+		})
+	}
 }
 
 // BenchmarkWALAppend measures the write-ahead log's per-mutation cost in

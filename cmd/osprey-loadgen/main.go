@@ -31,6 +31,7 @@ func run() int {
 		rate     = fs.Float64("rate", 100, "task submissions per second")
 		workers  = fs.Int("workers", 6, "worker goroutines")
 		closed   = fs.Bool("closed", false, "closed-loop pacing (in-flight window instead of wall clock)")
+		popBatch = fs.Int("pop-batch", 4, "tasks leased per worker round trip (1 = single-op wire path)")
 		window   = fs.Int("window", 0, "closed-loop in-flight cap (default 2x workers)")
 		ingest   = fs.Float64("ingest-rate", 10, "AERO data-version ingests per second (<0 disables)")
 		faults   = fs.String("faults", "default", `fault schedule: "default", "none", or DSL like "5s:kill;8s:refuse:1s;12s:latency:50ms:2s;15s:pool-crash:500ms;20s:crash;25s:torn-crash"`)
@@ -56,6 +57,7 @@ func run() int {
 		Workers:    *workers,
 		Closed:     *closed,
 		Window:     *window,
+		PopBatch:   *popBatch,
 		IngestRate: *ingest,
 		DataDir:    *dataDir,
 		Faults:     schedule,

@@ -2,18 +2,31 @@
 // separation of ME algorithm processes from worker pools running on other
 // resources.
 //
-// Transport: newline-delimited JSON request/response over TCP. One request
-// per line; one response per line; requests on a connection are processed
-// sequentially.
+// Two framings share one dispatch layer:
 //
-// Request ops and their fields:
+//   - v2 (default): length-prefixed binary frames with request ids, so a
+//     connection can pipeline many ops and the server answers out of
+//     order. See wirev2.go for the frame layout and the connect-time
+//     negotiation; netv2.go holds the server reader/dispatcher/writer
+//     split and the client session demux.
+//   - v1 (legacy): newline-delimited JSON request/response, one op in
+//     flight per connection. New servers detect a JSON client by its
+//     first byte and fall back; new clients detect a JSON-only server by
+//     its handshake reply and fall back. Old and new deployments mix
+//     freely.
 //
-//	submit   {op, type, priority, payload[, max_attempts]} -> {ok, task_id}
-//	pop      {op, type, timeout_ms}                   -> {ok, task_id, epoch, payload} | {ok, empty:true}
-//	complete {op, task_id, epoch, result}             -> {ok} | {error, stale?}
-//	fail     {op, task_id, epoch, err_msg}            -> {ok} | {error, stale?}
-//	result   {op, task_id}                            -> {ok, done, result|error}
-//	stats    {op}                                     -> {ok, stats}
+// Request ops and their fields (JSON names; the binary codec carries the
+// same fields positionally):
+//
+//	submit       {op, type, priority, payload[, max_attempts]}   -> {ok, task_id}
+//	pop          {op, type, timeout_ms}                          -> {ok, task_id, epoch, payload} | {ok, empty:true}
+//	complete     {op, task_id, epoch, result}                    -> {ok} | {error, stale?}
+//	fail         {op, task_id, epoch, err_msg}                   -> {ok} | {error, stale?}
+//	result       {op, task_id}                                   -> {ok, done, failed?, result|error}
+//	stats        {op}                                            -> {ok, stats}
+//	submit_batch {op, type, priority, payloads[, max_attempts]}  -> {ok, task_ids}
+//	pop_batch    {op, type, max, timeout_ms}                     -> {ok, tasks} | {ok, empty:true}
+//	finish_batch {op, finishes:[{task_id, epoch, failed, ...}]}  -> {ok, results:[{ok, stale?, error?}]}
 //
 // Claim fencing: every pop response carries the attempt epoch assigned by
 // the database. complete/fail must echo it back; a resolution whose epoch
@@ -45,7 +58,7 @@ import (
 )
 
 type wireRequest struct {
-	Op        string `json:"op"` // submit | pop | complete | fail | result | stats
+	Op        string `json:"op"`
 	Type      string `json:"type,omitempty"`
 	Priority  int    `json:"priority,omitempty"`
 	Payload   string `json:"payload,omitempty"`
@@ -54,10 +67,37 @@ type wireRequest struct {
 	Result    string `json:"result,omitempty"`
 	ErrMsg    string `json:"err_msg,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
-	// MaxAttempts > 0 on submit enables automatic requeue-on-failure up to
-	// that many attempts (DB.SubmitRetry semantics); 0 keeps the
-	// single-attempt default.
+	// MaxAttempts > 0 on submit/submit_batch enables automatic
+	// requeue-on-failure up to that many attempts (DB.SubmitRetry
+	// semantics); 0 keeps the single-attempt default.
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Max bounds how many tasks one pop_batch may lease.
+	Max      int          `json:"max,omitempty"`
+	Payloads []string     `json:"payloads,omitempty"` // submit_batch
+	Finishes []wireFinish `json:"finishes,omitempty"` // finish_batch
+}
+
+// wireFinish is one resolution inside a finish_batch.
+type wireFinish struct {
+	TaskID int64  `json:"task_id"`
+	Epoch  int64  `json:"epoch,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	Result string `json:"result,omitempty"`
+	ErrMsg string `json:"err_msg,omitempty"`
+}
+
+// wireTask is one claim inside a pop_batch response.
+type wireTask struct {
+	ID      int64  `json:"id"`
+	Epoch   int64  `json:"epoch"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// wireResult is one per-op outcome inside a finish_batch response.
+type wireResult struct {
+	OK    bool   `json:"ok"`
+	Stale bool   `json:"stale,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 type wireResponse struct {
@@ -69,17 +109,74 @@ type wireResponse struct {
 	Payload string `json:"payload,omitempty"`
 	Result  string `json:"result,omitempty"`
 	Done    bool   `json:"done,omitempty"`
-	Empty   bool   `json:"empty,omitempty"`
-	Stats   *Stats `json:"stats,omitempty"`
+	// Failed marks a result response for a task that terminated
+	// unsuccessfully. Clients must key on this, not on Error being
+	// non-empty: a task can fail with an empty message.
+	Failed  bool         `json:"failed,omitempty"`
+	Empty   bool         `json:"empty,omitempty"`
+	Tasks   []wireTask   `json:"tasks,omitempty"`    // pop_batch
+	TaskIDs []int64      `json:"task_ids,omitempty"` // submit_batch
+	Results []wireResult `json:"results,omitempty"`  // finish_batch
+	Stats   *Stats       `json:"stats,omitempty"`
+}
+
+// connClaims tracks task attempts popped on one connection and not yet
+// resolved (taskID -> attempt epoch). The binary handler dispatches
+// requests concurrently, so access is locked.
+type connClaims struct {
+	mu sync.Mutex
+	m  map[int64]int64
+}
+
+func newConnClaims() *connClaims { return &connClaims{m: map[int64]int64{}} }
+
+func (cc *connClaims) add(id, epoch int64) {
+	cc.mu.Lock()
+	cc.m[id] = epoch
+	cc.mu.Unlock()
+	mNetClaims.Inc()
+}
+
+func (cc *connClaims) release(id int64) {
+	cc.mu.Lock()
+	_, held := cc.m[id]
+	delete(cc.m, id)
+	cc.mu.Unlock()
+	if held {
+		mNetClaims.Dec()
+	}
+}
+
+// drain empties the claim table and returns what was held, for the
+// connection-loss cleanup.
+func (cc *connClaims) drain() map[int64]int64 {
+	cc.mu.Lock()
+	m := cc.m
+	cc.m = map[int64]int64{}
+	cc.mu.Unlock()
+	return m
+}
+
+// ServerOption configures a Server at Serve time.
+type ServerOption func(*Server)
+
+// WithLegacyOnlyFraming makes the server speak only the v1 JSON framing,
+// as a pre-v2 server would: a v2 client's handshake is answered with a
+// JSON error line, driving the client down its fallback path. Useful for
+// cross-version testing.
+func WithLegacyOnlyFraming() ServerOption {
+	return func(s *Server) { s.legacyOnly = true }
 }
 
 // Server exposes a DB over TCP.
 type Server struct {
-	db     *DB
-	ln     net.Listener
-	wg     sync.WaitGroup
-	ctx    context.Context
-	cancel context.CancelFunc
+	db         *DB
+	ln         net.Listener
+	wg         sync.WaitGroup
+	dispatchWG sync.WaitGroup // in-flight requests whose responses are not yet flushed
+	ctx        context.Context
+	cancel     context.CancelFunc
+	legacyOnly bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -88,13 +185,16 @@ type Server struct {
 
 // Serve starts a TCP server for db on addr (e.g. "127.0.0.1:0") and returns
 // it; the bound address is available via Addr.
-func Serve(db *DB, addr string) (*Server, error) {
+func Serve(db *DB, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{db: db, ln: ln, ctx: ctx, cancel: cancel, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -105,7 +205,9 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener, cancels in-flight blocking pops, closes all
 // active connections (requeueing their unresolved claims), and waits for
-// connection handlers to finish.
+// connection handlers to finish. In-flight requests get a bounded window
+// to flush their responses (a canceled blocking pop answers with a clean
+// empty response) before the connections are torn down.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -121,6 +223,15 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.ln.Close()
+	flushed := make(chan struct{})
+	go func() {
+		s.dispatchWG.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(2 * time.Second):
+	}
 	for _, c := range conns {
 		c.Close()
 	}
@@ -150,11 +261,9 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle sniffs the framing and runs the matching per-connection loop.
 func (s *Server) handle(conn net.Conn) {
-	// claims tracks task attempts popped on this connection and not yet
-	// resolved: taskID -> attempt epoch. Single handler goroutine per
-	// connection, so no locking is needed.
-	claims := map[int64]int64{}
+	claims := newConnClaims()
 	mNetConns.Inc()
 	defer func() {
 		conn.Close()
@@ -166,13 +275,44 @@ func (s *Server) handle(conn net.Conn) {
 		// claims. Fail them so tasks with retry budget are requeued for
 		// other workers. The epoch fence makes this a no-op for any claim
 		// a lease reaper already reclaimed.
-		for id, epoch := range claims {
+		for id, epoch := range claims.drain() {
 			_, _ = s.db.finish(id, epoch, StatusFailed, "", "connection lost (remote worker gone)")
 			mNetLostClaims.Inc()
 			mNetClaims.Dec()
 		}
 	}()
-	r := bufio.NewReader(conn)
+	br := bufio.NewReader(conn)
+	if s.legacyOnly {
+		s.handleLegacy(conn, br, claims)
+		return
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == '{' {
+		// v1 JSON client: no hello line, requests start immediately.
+		s.handleLegacy(conn, br, claims)
+		return
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	if line != clientHello {
+		enc := json.NewEncoder(conn)
+		_ = enc.Encode(wireResponse{Error: fmt.Sprintf("bad preamble %q", line)})
+		return
+	}
+	if _, err := conn.Write([]byte(serverHelloAck)); err != nil {
+		return
+	}
+	s.handleBinary(conn, br, claims)
+}
+
+// handleLegacy is the v1 loop: one newline-delimited JSON request at a
+// time, processed synchronously.
+func (s *Server) handleLegacy(conn net.Conn, r *bufio.Reader, claims *connClaims) {
 	enc := json.NewEncoder(conn)
 	for {
 		line, err := r.ReadBytes('\n')
@@ -186,15 +326,23 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		mNetRequests.Inc()
 		reqStart := time.Now()
-		resp := s.dispatch(req, claims)
+		s.dispatchWG.Add(1)
+		resp := s.dispatch(s.ctx, req, claims)
 		mNetRequest.ObserveSince(reqStart)
-		if err := enc.Encode(resp); err != nil {
+		err = enc.Encode(resp)
+		s.dispatchWG.Done()
+		if err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse {
+// dispatch executes one request against the DB. It is codec-agnostic:
+// both the JSON loop and the binary handler feed it, so every op
+// (including the batch ops) works over either framing. ctx bounds
+// blocking pops: it is the server context, additionally canceled when the
+// requesting connection dies (binary path).
+func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClaims) wireResponse {
 	switch req.Op {
 	case "submit":
 		var f *Future
@@ -208,44 +356,75 @@ func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse 
 			return wireResponse{Error: err.Error()}
 		}
 		return wireResponse{OK: true, TaskID: f.TaskID}
-	case "pop":
-		// Blocking pops are bounded by server shutdown: Close cancels
-		// s.ctx, so a worker waiting with timeout_ms=0 cannot pin the
-		// server open.
-		ctx := s.ctx
-		if req.TimeoutMS > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-			defer cancel()
+	case "submit_batch":
+		maxAttempts := req.MaxAttempts
+		if maxAttempts < 1 {
+			maxAttempts = 1
 		}
-		claim, err := s.db.Pop(ctx, req.Type)
-		if errors.Is(err, context.DeadlineExceeded) {
-			return wireResponse{OK: true, Empty: true}
-		}
+		fs, err := s.db.SubmitBatchRetry(req.Type, req.Priority, req.Payloads, maxAttempts)
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
-		claims[claim.Task.ID] = claim.Task.Epoch
-		mNetClaims.Inc()
-		return wireResponse{OK: true, TaskID: claim.Task.ID, Epoch: claim.Task.Epoch, Payload: claim.Task.Payload}
-	case "complete":
-		if _, held := claims[req.TaskID]; held {
-			delete(claims, req.TaskID)
-			mNetClaims.Dec()
+		ids := make([]int64, len(fs))
+		for i, f := range fs {
+			ids[i] = f.TaskID
 		}
+		return wireResponse{OK: true, TaskIDs: ids}
+	case "pop":
+		claim, err := s.popCtx(ctx, req, func(pctx context.Context) (any, error) {
+			return s.db.Pop(pctx, req.Type)
+		})
+		if err != nil || claim == nil {
+			return popWaitResponse(err)
+		}
+		c := claim.(*Claim)
+		claims.add(c.Task.ID, c.Task.Epoch)
+		return wireResponse{OK: true, TaskID: c.Task.ID, Epoch: c.Task.Epoch, Payload: c.Task.Payload}
+	case "pop_batch":
+		max := req.Max
+		if max < 1 {
+			max = 1
+		}
+		res, err := s.popCtx(ctx, req, func(pctx context.Context) (any, error) {
+			return s.db.PopBatch(pctx, req.Type, max)
+		})
+		if err != nil || res == nil {
+			return popWaitResponse(err)
+		}
+		cs := res.([]*Claim)
+		tasks := make([]wireTask, len(cs))
+		for i, c := range cs {
+			claims.add(c.Task.ID, c.Task.Epoch)
+			tasks[i] = wireTask{ID: c.Task.ID, Epoch: c.Task.Epoch, Payload: c.Task.Payload}
+		}
+		return wireResponse{OK: true, Tasks: tasks}
+	case "complete":
+		claims.release(req.TaskID)
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusComplete, req.Result, ""); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
 	case "fail":
-		if _, held := claims[req.TaskID]; held {
-			delete(claims, req.TaskID)
-			mNetClaims.Dec()
-		}
+		claims.release(req.TaskID)
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusFailed, "", req.ErrMsg); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
+	case "finish_batch":
+		results := make([]wireResult, len(req.Finishes))
+		for i, fin := range req.Finishes {
+			claims.release(fin.TaskID)
+			status, result, errMsg := StatusComplete, fin.Result, ""
+			if fin.Failed {
+				status, result, errMsg = StatusFailed, "", fin.ErrMsg
+			}
+			if _, err := s.db.finish(fin.TaskID, fin.Epoch, status, result, errMsg); err != nil {
+				results[i] = wireResult{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
+			} else {
+				results[i] = wireResult{OK: true}
+			}
+		}
+		return wireResponse{OK: true, Results: results}
 	case "result":
 		t, err := s.db.Get(req.TaskID)
 		if err != nil {
@@ -255,9 +434,9 @@ func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse 
 		case StatusComplete:
 			return wireResponse{OK: true, Done: true, Result: t.Result}
 		case StatusFailed:
-			return wireResponse{OK: true, Done: true, Error: t.ErrMsg}
+			return wireResponse{OK: true, Done: true, Failed: true, Error: t.ErrMsg}
 		case StatusCanceled:
-			return wireResponse{OK: true, Done: true, Error: "canceled"}
+			return wireResponse{OK: true, Done: true, Failed: true, Error: "canceled"}
 		default:
 			return wireResponse{OK: true, Done: false}
 		}
@@ -269,11 +448,42 @@ func (s *Server) dispatch(req wireRequest, claims map[int64]int64) wireResponse 
 	}
 }
 
+// popCtx runs a blocking pop under the request's timeout. A nil result
+// with nil error never happens: pop returns a claim or an error.
+func (s *Server) popCtx(ctx context.Context, req wireRequest, pop func(context.Context) (any, error)) (any, error) {
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	return pop(ctx)
+}
+
+// popWaitResponse maps the terminal conditions of a blocking pop wait to a
+// response. A deadline is the normal empty-poll outcome; cancellation
+// means the server is shutting down (or the connection died), which a
+// well-behaved worker should also see as a clean empty poll rather than a
+// scary error string — it re-polls and then observes the close properly.
+func popWaitResponse(err error) wireResponse {
+	if err == nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return wireResponse{OK: true, Empty: true}
+	}
+	return wireResponse{Error: err.Error()}
+}
+
 // ErrTransport wraps connection-level client failures (dial, write, read,
 // decode). Check with errors.Is to distinguish a flaky network from a
 // server-side rejection or a task failure; transport errors are the ones
 // worth retrying.
 var ErrTransport = errors.New("emews: transport error")
+
+// errClientClosed marks transport errors caused by Close() being called
+// on the client itself — never worth retrying.
+var errClientClosed = errors.New("client closed")
+
+func closedClientErr() error {
+	return fmt.Errorf("%w: %w", ErrTransport, errClientClosed)
+}
 
 // TaskError is a task-level failure reported by Result/WaitResult: the
 // evaluation itself failed (or was canceled), as opposed to the transport
@@ -294,6 +504,15 @@ type RemoteTask struct {
 	ID      int64
 	Epoch   int64
 	Payload string
+}
+
+// FinishOp is one resolution inside Client.FinishBatch.
+type FinishOp struct {
+	TaskID int64
+	Epoch  int64
+	Failed bool // false: complete with Result; true: fail with ErrMsg
+	Result string
+	ErrMsg string
 }
 
 // Client option defaults.
@@ -325,31 +544,62 @@ func WithBackoff(base, max time.Duration) ClientOption {
 	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
 }
 
+// WithLegacyFraming skips the v2 handshake and speaks the v1 JSON framing
+// unconditionally, behaving exactly like a pre-v2 client. Useful for
+// cross-version testing.
+func WithLegacyFraming() ClientOption {
+	return func(c *Client) { c.forceLegacy = true }
+}
+
 // Client is a TCP client for a remote task DB. Methods are safe for
-// concurrent use (requests are serialized on the connection).
+// concurrent use. Against a v2 server, concurrent ops are pipelined on
+// one connection (matched by request id); against a legacy server they
+// are serialized.
 //
 // The client is resilient: when an op fails at the transport level, the
 // connection is dropped and redialed with exponential backoff, and ops
-// that are safe to re-send are retried. pop/result/stats are always safe:
-// a pop whose response was lost is requeued by the server's
-// connection-scoped claim cleanup. complete/fail are safe when fenced
-// with an epoch, because duplicate resolutions of the same attempt are
-// idempotent. submit is NOT retried once the request may have reached the
-// server (it would duplicate the task); callers see ErrTransport and
-// decide.
+// that are safe to re-send are retried. pop/pop_batch/result/stats are
+// always safe: a pop whose response was lost is requeued by the server's
+// connection-scoped claim cleanup. complete/fail (and finish_batch) are
+// safe only when fenced with an attempt epoch, because duplicate fenced
+// resolutions are idempotent; unfenced (epoch-0) resolutions are NOT
+// retried once the request may have reached the server — a retry could
+// land on a different attempt. submit is likewise not retried; callers
+// see ErrTransport and decide.
 type Client struct {
 	addr        string
 	opTimeout   time.Duration
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	maxRetries  int
+	forceLegacy bool
+
+	closeCh chan struct{} // closed by Close; interrupts backoff waits and pending ops
+
+	// dialMu serializes connect attempts (including the backoff sleep),
+	// deliberately separate from mu so Close and established-connection
+	// ops never wait behind a redial in progress.
+	dialMu sync.Mutex
+
+	// legacyMu serializes request/response exchanges on a legacy (JSON)
+	// connection, which supports only one op in flight.
+	legacyMu sync.Mutex
 
 	mu      sync.Mutex
-	conn    net.Conn
-	r       *bufio.Reader
-	enc     *json.Encoder
-	backoff time.Duration // next redial delay; 0 after a healthy connect
 	closed  bool
+	conn    net.Conn
+	r       *bufio.Reader  // legacy framing only
+	enc     *json.Encoder  // legacy framing only
+	sess    *clientSession // binary framing only (nil on a legacy conn)
+	backoff time.Duration  // next redial delay; 0 after a healthy connect
+}
+
+// connHandle is a stable snapshot of the live connection for one exchange.
+type connHandle struct {
+	conn net.Conn
+	sess *clientSession
+	r    *bufio.Reader
+	enc  *json.Encoder
 }
 
 // Dial connects to a Server.
@@ -360,36 +610,92 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		baseBackoff: defaultBaseBackoff,
 		maxBackoff:  defaultMaxBackoff,
 		maxRetries:  defaultMaxRetries,
+		closeCh:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	if _, err := c.ensureConn(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// Close closes the connection.
+// Close closes the connection and interrupts any in-progress backoff wait
+// or pending op.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn == nil {
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	c.closed = true
+	close(c.closeCh)
+	conn, sess := c.conn, c.sess
+	c.conn, c.r, c.enc, c.sess = nil, nil, nil, nil
+	c.mu.Unlock()
+	if sess != nil {
+		sess.shutdown()
+		return nil
+	}
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
-// connectLocked dials the server, honoring the exponential backoff state
-// from previous failures. Caller holds c.mu.
-func (c *Client) connectLocked() error {
-	if c.backoff > 0 {
-		time.Sleep(c.backoff)
+func (c *Client) bumpBackoffLocked() {
+	if c.backoff == 0 {
+		c.backoff = c.baseBackoff
+	} else if c.backoff < c.maxBackoff {
+		c.backoff *= 2
+		if c.backoff > c.maxBackoff {
+			c.backoff = c.maxBackoff
+		}
+	}
+}
+
+// ensureConn returns the live connection, dialing (with handshake and
+// interruptible backoff) if there is none. The backoff sleep happens
+// under dialMu only, so Close and ops on an established connection are
+// never blocked behind it.
+func (c *Client) ensureConn() (connHandle, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return connHandle{}, closedClientErr()
+	}
+	if c.conn != nil {
+		h := connHandle{conn: c.conn, sess: c.sess, r: c.r, enc: c.enc}
+		c.mu.Unlock()
+		return h, nil
+	}
+	c.mu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Another op may have finished connecting while we waited for dialMu.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return connHandle{}, closedClientErr()
+	}
+	if c.conn != nil {
+		h := connHandle{conn: c.conn, sess: c.sess, r: c.r, enc: c.enc}
+		c.mu.Unlock()
+		return h, nil
+	}
+	backoff := c.backoff
+	c.mu.Unlock()
+
+	if backoff > 0 {
+		t := time.NewTimer(backoff)
+		select {
+		case <-c.closeCh:
+			t.Stop()
+			return connHandle{}, closedClientErr()
+		case <-t.C:
+		}
 	}
 	dialTimeout := c.opTimeout
 	if dialTimeout <= 0 {
@@ -397,61 +703,162 @@ func (c *Client) connectLocked() error {
 	}
 	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
 	if err != nil {
-		if c.backoff == 0 {
-			c.backoff = c.baseBackoff
-		} else if c.backoff < c.maxBackoff {
-			c.backoff *= 2
-			if c.backoff > c.maxBackoff {
-				c.backoff = c.maxBackoff
-			}
+		c.mu.Lock()
+		c.bumpBackoffLocked()
+		c.mu.Unlock()
+		return connHandle{}, fmt.Errorf("%w: dial %s: %v", ErrTransport, c.addr, err)
+	}
+	r := bufio.NewReader(conn)
+	binaryOK, err := c.handshake(conn, r, dialTimeout)
+	if err != nil {
+		conn.Close()
+		c.mu.Lock()
+		c.bumpBackoffLocked()
+		c.mu.Unlock()
+		return connHandle{}, fmt.Errorf("%w: handshake %s: %v", ErrTransport, c.addr, err)
+	}
+	var sess *clientSession
+	var enc *json.Encoder
+	if binaryOK {
+		sess = newClientSession(conn, r)
+	} else {
+		enc = json.NewEncoder(conn)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if sess != nil {
+			sess.shutdown()
+		} else {
+			conn.Close()
 		}
-		return fmt.Errorf("%w: dial %s: %v", ErrTransport, c.addr, err)
+		return connHandle{}, closedClientErr()
 	}
 	c.backoff = 0
-	c.conn = conn
-	c.r = bufio.NewReader(conn)
-	c.enc = json.NewEncoder(conn)
-	return nil
+	c.conn, c.r, c.enc, c.sess = conn, r, enc, sess
+	h := connHandle{conn: conn, sess: sess, r: r, enc: enc}
+	c.mu.Unlock()
+	return h, nil
 }
 
-func (c *Client) dropLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// handshake negotiates the framing on a fresh connection. It returns
+// binaryOK=false when the server only speaks the v1 JSON framing (its
+// reply to the hello starts with '{').
+func (c *Client) handshake(conn net.Conn, r *bufio.Reader, timeout time.Duration) (binaryOK bool, err error) {
+	if c.forceLegacy {
+		return false, nil
 	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	if _, err := conn.Write([]byte(clientHello)); err != nil {
+		return false, err
+	}
+	first, err := r.Peek(1)
+	if err != nil {
+		return false, err
+	}
+	if first[0] == '{' {
+		// Legacy server: it read the hello as one bad JSON request and
+		// answered an error line. Consume it and fall back to v1 framing.
+		if _, err := r.ReadBytes('\n'); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	if line != serverHelloAck {
+		return false, fmt.Errorf("unexpected handshake reply %q", line)
+	}
+	return true, nil
+}
+
+// drop discards conn if it is still the client's current connection and
+// arms the reconnect backoff. Safe to call from several ops that failed
+// on the same connection.
+func (c *Client) drop(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	sess := c.sess
+	c.conn, c.r, c.enc, c.sess = nil, nil, nil, nil
 	if c.backoff == 0 {
 		c.backoff = c.baseBackoff
 	}
+	c.mu.Unlock()
+	if sess != nil {
+		sess.shutdown()
+	} else {
+		conn.Close()
+	}
 }
 
-// retrySafe reports whether op may be re-sent even though the previous
+// retrySafe reports whether req may be re-sent even though the previous
 // attempt may have reached the server (see the Client doc comment).
-func retrySafe(op string) bool {
-	switch op {
-	case "pop", "result", "stats", "complete", "fail":
+// Resolutions are only retry-safe when fenced: the epoch makes a
+// duplicate delivery idempotent, while an unfenced retry could resolve a
+// different attempt than the one the caller observed.
+func retrySafe(req *wireRequest) bool {
+	switch req.Op {
+	case "pop", "pop_batch", "result", "stats":
+		return true
+	case "complete", "fail":
+		return req.Epoch > 0
+	case "finish_batch":
+		for _, f := range req.Finishes {
+			if f.Epoch <= 0 {
+				return false
+			}
+		}
 		return true
 	}
 	return false
 }
 
-// doLocked performs one request/response exchange on the live connection.
-func (c *Client) doLocked(req wireRequest) (wireResponse, error) {
-	if c.opTimeout > 0 {
-		deadline := time.Now().Add(c.opTimeout)
-		if req.Op == "pop" {
-			if req.TimeoutMS == 0 {
-				// Unbounded server-side wait: no read deadline.
-				deadline = time.Time{}
-			} else {
-				deadline = deadline.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
-			}
-		}
-		_ = c.conn.SetDeadline(deadline)
+// exchangeTimeout is the client-side bound for one exchange: the op
+// timeout, plus the requested server-side wait for pops. A pop with
+// TimeoutMS=0 waits unboundedly by design.
+func (c *Client) exchangeTimeout(req *wireRequest) time.Duration {
+	if c.opTimeout <= 0 {
+		return 0
 	}
-	if err := c.enc.Encode(req); err != nil {
+	d := c.opTimeout
+	if req.Op == "pop" || req.Op == "pop_batch" {
+		if req.TimeoutMS == 0 {
+			return 0
+		}
+		d += time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	return d
+}
+
+// exchange performs one request/response on the given connection.
+func (c *Client) exchange(h connHandle, req *wireRequest) (wireResponse, error) {
+	if h.sess != nil {
+		return h.sess.do(req, c.exchangeTimeout(req), c.closeCh)
+	}
+	return c.legacyExchange(h, req)
+}
+
+// legacyExchange is the v1 path: one JSON line out, one JSON line back,
+// serialized with other ops on this client.
+func (c *Client) legacyExchange(h connHandle, req *wireRequest) (wireResponse, error) {
+	c.legacyMu.Lock()
+	defer c.legacyMu.Unlock()
+	var deadline time.Time
+	if d := c.exchangeTimeout(req); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	_ = h.conn.SetDeadline(deadline)
+	if err := h.enc.Encode(req); err != nil {
 		return wireResponse{}, fmt.Errorf("%w: write: %v", ErrTransport, err)
 	}
-	line, err := c.r.ReadBytes('\n')
+	line, err := h.r.ReadBytes('\n')
 	if err != nil {
 		return wireResponse{}, fmt.Errorf("%w: read: %v", ErrTransport, err)
 	}
@@ -459,13 +866,21 @@ func (c *Client) doLocked(req wireRequest) (wireResponse, error) {
 	if err := json.Unmarshal(line, &resp); err != nil {
 		return wireResponse{}, fmt.Errorf("%w: decode: %v", ErrTransport, err)
 	}
-	if resp.Error != "" && !resp.OK {
-		if resp.Stale {
-			return resp, &staleRemoteError{msg: resp.Error}
-		}
-		return resp, errors.New(resp.Error)
+	if err := respError(&resp); err != nil {
+		return resp, err
 	}
 	return resp, nil
+}
+
+// respError converts a server-side rejection into an error.
+func respError(resp *wireResponse) error {
+	if resp.Error != "" && !resp.OK {
+		if resp.Stale {
+			return &staleRemoteError{msg: resp.Error}
+		}
+		return errors.New(resp.Error)
+	}
+	return nil
 }
 
 // staleRemoteError carries a server-side stale-claim rejection verbatim
@@ -479,23 +894,20 @@ func (e *staleRemoteError) Is(target error) bool { return target == ErrStaleClai
 // roundTrip sends req, transparently reconnecting (with exponential
 // backoff) and retrying transport failures for retry-safe ops.
 func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if c.closed {
-			return wireResponse{}, fmt.Errorf("%w: client closed", ErrTransport)
-		}
-		if c.conn == nil {
-			if err := c.connectLocked(); err != nil {
-				lastErr = err
-				if attempt >= c.maxRetries {
-					return wireResponse{}, lastErr
-				}
-				continue
+		h, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				return wireResponse{}, err
 			}
+			lastErr = err
+			if attempt >= c.maxRetries {
+				return wireResponse{}, lastErr
+			}
+			continue
 		}
-		resp, err := c.doLocked(req)
+		resp, err := c.exchange(h, &req)
 		if err == nil {
 			return resp, nil
 		}
@@ -504,9 +916,12 @@ func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
 			// the connection is fine, the request was refused.
 			return resp, err
 		}
-		c.dropLocked()
+		c.drop(h.conn)
+		if errors.Is(err, errClientClosed) {
+			return wireResponse{}, err
+		}
 		lastErr = err
-		if !retrySafe(req.Op) {
+		if !retrySafe(&req) {
 			return wireResponse{}, fmt.Errorf("%w (request may have been applied)", err)
 		}
 		if attempt >= c.maxRetries {
@@ -535,11 +950,44 @@ func (c *Client) SubmitRetry(taskType string, priority int, payload string, maxA
 	return resp.TaskID, nil
 }
 
+// SubmitBatch inserts several tasks of one type at one priority in a
+// single round trip (atomic on the server; see DB.SubmitBatch) and
+// returns their IDs in payload order. maxAttempts > 1 gives every task in
+// the batch that retry budget. Like Submit, the batch is not
+// transport-retried once it may have been applied.
+func (c *Client) SubmitBatch(taskType string, priority int, payloads []string, maxAttempts int) ([]int64, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	resp, err := c.roundTrip(wireRequest{Op: "submit_batch", Type: taskType, Priority: priority, Payloads: payloads, MaxAttempts: maxAttempts})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.TaskIDs) != len(payloads) {
+		return nil, fmt.Errorf("emews: submit_batch returned %d ids for %d payloads", len(resp.TaskIDs), len(payloads))
+	}
+	return resp.TaskIDs, nil
+}
+
+// popTimeoutMS converts a pop timeout to wire milliseconds. Any positive
+// timeout is clamped up to 1ms: truncating (say) 500µs to 0 would turn a
+// bounded wait into an unbounded server-side one.
+func popTimeoutMS(timeout time.Duration) int {
+	if timeout <= 0 {
+		return 0
+	}
+	ms := int(timeout / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
 // Pop claims a task, waiting up to timeout (0 = wait indefinitely on the
 // server side). It returns ok=false if the wait timed out. The returned
 // claim carries the attempt epoch to pass to Complete/Fail.
 func (c *Client) Pop(taskType string, timeout time.Duration) (task RemoteTask, ok bool, err error) {
-	resp, err := c.roundTrip(wireRequest{Op: "pop", Type: taskType, TimeoutMS: int(timeout / time.Millisecond)})
+	resp, err := c.roundTrip(wireRequest{Op: "pop", Type: taskType, TimeoutMS: popTimeoutMS(timeout)})
 	if err != nil {
 		return RemoteTask{}, false, err
 	}
@@ -547,6 +995,25 @@ func (c *Client) Pop(taskType string, timeout time.Duration) (task RemoteTask, o
 		return RemoteTask{}, false, nil
 	}
 	return RemoteTask{ID: resp.TaskID, Epoch: resp.Epoch, Payload: resp.Payload}, true, nil
+}
+
+// PopBatch claims up to max tasks in one round trip, waiting up to
+// timeout (0 = wait indefinitely) for the first one; once any task is
+// available the server returns immediately with whatever else is queued,
+// up to max. An empty (timed-out) wait returns a nil slice and no error.
+func (c *Client) PopBatch(taskType string, max int, timeout time.Duration) ([]RemoteTask, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "pop_batch", Type: taskType, Max: max, TimeoutMS: popTimeoutMS(timeout)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Empty || len(resp.Tasks) == 0 {
+		return nil, nil
+	}
+	tasks := make([]RemoteTask, len(resp.Tasks))
+	for i, t := range resp.Tasks {
+		tasks[i] = RemoteTask{ID: t.ID, Epoch: t.Epoch, Payload: t.Payload}
+	}
+	return tasks, nil
 }
 
 // Complete reports a successful evaluation of the claimed attempt. A
@@ -562,6 +1029,40 @@ func (c *Client) Fail(taskID, epoch int64, errMsg string) error {
 	return err
 }
 
+// FinishBatch resolves many claimed attempts in one round trip. The
+// returned slice has one entry per op, in order: nil for an accepted
+// resolution, an ErrStaleClaim-matching error for a superseded claim, or
+// the server's rejection. The second return value reports a failure of
+// the exchange itself (transport, protocol); when it is non-nil no
+// per-op outcome is known.
+func (c *Client) FinishBatch(ops []FinishOp) ([]error, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	fins := make([]wireFinish, len(ops))
+	for i, op := range ops {
+		fins[i] = wireFinish{TaskID: op.TaskID, Epoch: op.Epoch, Failed: op.Failed, Result: op.Result, ErrMsg: op.ErrMsg}
+	}
+	resp, err := c.roundTrip(wireRequest{Op: "finish_batch", Finishes: fins})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("emews: finish_batch returned %d results for %d ops", len(resp.Results), len(ops))
+	}
+	errs := make([]error, len(ops))
+	for i, r := range resp.Results {
+		switch {
+		case r.OK:
+		case r.Stale:
+			errs[i] = &staleRemoteError{msg: r.Error}
+		default:
+			errs[i] = errors.New(r.Error)
+		}
+	}
+	return errs, nil
+}
+
 // Result polls a task's terminal result; done=false means still pending.
 // A failed or canceled task is reported as (*TaskError, done=true);
 // transport problems are reported wrapped in ErrTransport.
@@ -573,7 +1074,10 @@ func (c *Client) Result(taskID int64) (result string, done bool, err error) {
 	if !resp.Done {
 		return "", false, nil
 	}
-	if resp.Error != "" {
+	// Failed is authoritative (a task can fail with an empty message);
+	// the Error check keeps compatibility with pre-v2 servers that only
+	// signal failure through a non-empty message.
+	if resp.Failed || resp.Error != "" {
 		return "", true, &TaskError{TaskID: taskID, Msg: resp.Error}
 	}
 	return resp.Result, true, nil

@@ -1,0 +1,582 @@
+package emews
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// framingModes are the protocol cross-version matrix: both peers v2
+// (binary), a pre-v2 JSON client against a v2 server, and a v2 client
+// against a JSON-only server (handshake fallback path).
+var framingModes = []struct {
+	name       string
+	serverOpts []ServerOption
+	clientOpts []ClientOption
+	wantBinary bool
+}{
+	{name: "binary", wantBinary: true},
+	{name: "legacy-client", clientOpts: []ClientOption{WithLegacyFraming()}},
+	{name: "legacy-server", serverOpts: []ServerOption{WithLegacyOnlyFraming()}},
+}
+
+func (c *Client) usingBinary() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess != nil
+}
+
+// Every op — including the batch ops — must behave identically across the
+// version matrix, and each mode must negotiate the framing it claims to.
+func TestProtocolCrossVersionMatrix(t *testing.T) {
+	for _, mode := range framingModes {
+		t.Run(mode.name, func(t *testing.T) {
+			db := NewDB()
+			defer db.Close()
+			srv, err := Serve(db, "127.0.0.1:0", mode.serverOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := Dial(srv.Addr(), mode.clientOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if got := c.usingBinary(); got != mode.wantBinary {
+				t.Fatalf("negotiated binary=%v, want %v", got, mode.wantBinary)
+			}
+
+			// Single-op lifecycle.
+			id, err := c.Submit("m", 0, "one")
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, ok, err := c.Pop("m", time.Second)
+			if err != nil || !ok || task.ID != id || task.Epoch != 1 {
+				t.Fatalf("pop = %+v ok=%v err=%v", task, ok, err)
+			}
+			if err := c.Complete(task.ID, task.Epoch, "done"); err != nil {
+				t.Fatal(err)
+			}
+			res, done, err := c.Result(id)
+			if err != nil || !done || res != "done" {
+				t.Fatalf("result = %q done=%v err=%v", res, done, err)
+			}
+
+			// Batched lifecycle: submit N in one exchange, lease them in one
+			// exchange, resolve them (mixed outcomes) in one exchange.
+			payloads := []string{"p0", "p1", "p2", "p3", "p4"}
+			ids, err := c.SubmitBatch("b", 0, payloads, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != len(payloads) {
+				t.Fatalf("SubmitBatch returned %d ids", len(ids))
+			}
+			tasks, err := c.PopBatch("b", len(payloads), time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tasks) != len(payloads) {
+				t.Fatalf("PopBatch leased %d/%d queued tasks", len(tasks), len(payloads))
+			}
+			fins := make([]FinishOp, len(tasks))
+			for i, task := range tasks {
+				if task.Epoch != 1 {
+					t.Fatalf("task %d epoch = %d", task.ID, task.Epoch)
+				}
+				if i%2 == 0 {
+					fins[i] = FinishOp{TaskID: task.ID, Epoch: task.Epoch, Result: "ok:" + task.Payload}
+				} else {
+					fins[i] = FinishOp{TaskID: task.ID, Epoch: task.Epoch, Failed: true, ErrMsg: "injected"}
+				}
+			}
+			errs, err := c.FinishBatch(fins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range errs {
+				if e != nil {
+					t.Fatalf("finish %d rejected: %v", i, e)
+				}
+			}
+			for i, task := range tasks {
+				snap, err := db.Get(task.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i%2 == 0 && (snap.Status != StatusComplete || snap.Result != "ok:"+task.Payload) {
+					t.Fatalf("task %d = %v %q", task.ID, snap.Status, snap.Result)
+				}
+				if i%2 == 1 && snap.Status != StatusFailed {
+					t.Fatalf("task %d = %v, want failed", task.ID, snap.Status)
+				}
+			}
+
+			// A stale fenced resolution inside a batch is rejected per-op
+			// without failing the batch.
+			errs, err = c.FinishBatch([]FinishOp{{TaskID: tasks[0].ID, Epoch: tasks[0].Epoch, Failed: true, ErrMsg: "late"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !errors.Is(errs[0], ErrStaleClaim) {
+				t.Fatalf("late conflicting finish = %v, want ErrStaleClaim", errs[0])
+			}
+
+			// An empty poll must come back clean in every mode.
+			if tasks, err := c.PopBatch("empty-type", 4, 10*time.Millisecond); err != nil || len(tasks) != 0 {
+				t.Fatalf("empty PopBatch = %v, %v", tasks, err)
+			}
+			if _, err := c.RemoteStats(); err != nil {
+				t.Fatal(err)
+			}
+			statsBalanced(t, db)
+		})
+	}
+}
+
+// Pipelining: many goroutines sharing ONE v2 client must make progress
+// concurrently on a single connection, responses matched by request id.
+func TestBinaryClientPipelinesConcurrentOps(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	srv, err := Serve(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.usingBinary() {
+		t.Fatal("expected binary framing")
+	}
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				payload := fmt.Sprintf("w%d-%d", w, i)
+				id, err := c.Submit("pipe", 0, payload)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				task, ok, err := c.Pop("pipe", time.Second)
+				if err != nil || !ok {
+					errCh <- fmt.Errorf("pop: ok=%v err=%v", ok, err)
+					return
+				}
+				if err := c.Complete(task.ID, task.Epoch, "r"); err != nil {
+					errCh <- err
+					return
+				}
+				if _, done, err := c.Result(id); err != nil || !done {
+					errCh <- fmt.Errorf("result %d: done=%v err=%v", id, done, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st := db.Stats()
+	if st.Complete != workers*perWorker || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats after pipelined run: %+v", st)
+	}
+	statsBalanced(t, db)
+}
+
+// Regression (bugfix): a task that failed with an EMPTY err_msg must be
+// reported as a failure by Result, not as a success with an empty result.
+// Pre-v2 the client keyed failure on Error != "".
+func TestResultReportsEmptyMessageFailure(t *testing.T) {
+	for _, mode := range framingModes {
+		t.Run(mode.name, func(t *testing.T) {
+			db := NewDB()
+			defer db.Close()
+			srv, err := Serve(db, "127.0.0.1:0", mode.serverOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := Dial(srv.Addr(), mode.clientOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			if _, err := c.Submit("m", 0, "x"); err != nil {
+				t.Fatal(err)
+			}
+			task, ok, err := c.Pop("m", time.Second)
+			if err != nil || !ok {
+				t.Fatalf("pop = %v ok=%v", err, ok)
+			}
+			if err := c.Fail(task.ID, task.Epoch, ""); err != nil {
+				t.Fatal(err)
+			}
+			res, done, err := c.Result(task.ID)
+			if !done {
+				t.Fatal("failed task reported as still pending")
+			}
+			var te *TaskError
+			if !errors.As(err, &te) {
+				t.Fatalf("empty-message failure reported as success (res=%q err=%v), want *TaskError", res, err)
+			}
+		})
+	}
+}
+
+// Regression (bugfix): a positive sub-millisecond pop timeout must stay a
+// bounded wait. Pre-v2 it truncated to timeout_ms=0, i.e. an UNBOUNDED
+// server-side wait, hanging the caller on an empty queue.
+func TestPopClampsSubMillisecondTimeout(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	srv, err := Serve(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type popOut struct {
+		ok  bool
+		err error
+	}
+	done := make(chan popOut, 1)
+	go func() {
+		_, ok, err := c.Pop("never-submitted", 500*time.Microsecond)
+		done <- popOut{ok, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil || out.ok {
+			t.Fatalf("sub-ms pop on empty queue = ok=%v err=%v, want clean empty", out.ok, out.err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("500µs pop timeout hung: truncated to an unbounded server-side wait")
+	}
+}
+
+// Regression (bugfix): the reconnect backoff wait must not block Close or
+// run while holding the client mutex. Pre-v2 the sleep sat inside
+// connectLocked under c.mu, so Close (and every concurrent op) stalled
+// for up to the full backoff.
+func TestCloseInterruptsReconnectBackoff(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	srv, err := Serve(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr(), WithBackoff(3*time.Second, 3*time.Second), WithRetries(4), WithOpTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // every reconnect from here fails, arming the 3s backoff
+
+	opDone := make(chan error, 1)
+	go func() {
+		_, err := c.RemoteStats()
+		opDone <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let the op fail once and enter the backoff wait
+
+	start := time.Now()
+	closeDone := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+	case <-time.After(1500 * time.Millisecond):
+		t.Fatal("Close blocked behind the reconnect backoff sleep")
+	}
+	select {
+	case err := <-opDone:
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("op after close = %v, want ErrTransport", err)
+		}
+	case <-time.After(1500 * time.Millisecond):
+		t.Fatal("in-flight op not interrupted by Close")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("close path took %v, backoff wait was not interrupted", elapsed)
+	}
+}
+
+// swallowServer is a fake legacy server that answers the v2 handshake
+// with a JSON error line (as a real pre-v2 server would), then swallows
+// the next request — counting it — and drops the connection without
+// replying, forcing a mid-op transport error with the op's fate unknown.
+func swallowServer(t *testing.T, count *int64) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if line == clientHello {
+						fmt.Fprint(conn, "{\"error\":\"bad request: unknown preamble\"}\n")
+						continue
+					}
+					var req wireRequest
+					if json.Unmarshal([]byte(line), &req) != nil {
+						return
+					}
+					atomic.AddInt64(count, 1)
+					return // swallow: no response, connection dropped
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// Regression (bugfix): an UNFENCED (epoch-0) complete/fail is not
+// idempotent, so the client must not re-send it after an ambiguous
+// transport failure — pre-v2 it was listed retry-safe and could
+// double-resolve across attempts. Fenced resolutions keep retrying.
+func TestUnfencedResolutionNotRetriedOverTransport(t *testing.T) {
+	var sends int64
+	addr, stop := swallowServer(t, &sends)
+	defer stop()
+
+	c, err := Dial(addr, WithRetries(3), WithBackoff(time.Millisecond, 5*time.Millisecond), WithOpTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Complete(7, 0, "r") // unfenced
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("swallowed unfenced complete = %v, want ErrTransport", err)
+	}
+	if !strings.Contains(err.Error(), "may have been applied") {
+		t.Fatalf("ambiguous unfenced complete error %q does not flag possible application", err)
+	}
+	if n := atomic.LoadInt64(&sends); n != 1 {
+		t.Fatalf("unfenced complete sent %d times, want exactly 1 (not idempotent!)", n)
+	}
+
+	atomic.StoreInt64(&sends, 0)
+	err = c.Fail(7, 5, "x") // fenced: idempotent per attempt, so retried
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("swallowed fenced fail = %v, want ErrTransport", err)
+	}
+	if n := atomic.LoadInt64(&sends); n < 2 {
+		t.Fatalf("fenced fail sent %d times, want retries", n)
+	}
+}
+
+// Regression (bugfix): a worker blocked in an unbounded pop during server
+// shutdown must get a clean empty poll, not a "context canceled" error —
+// the close becomes visible as a transport condition on its next op.
+func TestServerCloseYieldsCleanEmptyPop(t *testing.T) {
+	for _, mode := range framingModes {
+		t.Run(mode.name, func(t *testing.T) {
+			db := NewDB()
+			defer db.Close()
+			srv, err := Serve(db, "127.0.0.1:0", mode.serverOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Dial(srv.Addr(), append([]ClientOption{WithRetries(0)}, mode.clientOpts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			type popOut struct {
+				ok  bool
+				err error
+			}
+			done := make(chan popOut, 1)
+			go func() {
+				_, ok, err := c.Pop("m", 0) // unbounded wait
+				done <- popOut{ok, err}
+			}()
+			time.Sleep(100 * time.Millisecond)
+			srv.Close()
+			select {
+			case out := <-done:
+				if out.err != nil || out.ok {
+					t.Fatalf("pop during server shutdown = ok=%v err=%v, want clean empty", out.ok, out.err)
+				}
+			case <-time.After(3 * time.Second):
+				t.Fatal("blocking pop did not return on server close")
+			}
+		})
+	}
+}
+
+// The DB-side batch primitive: PopBatch leases up to max in one call,
+// returns fewer when the queue is shorter, and blocks until work arrives.
+func TestDBPopBatchLeasesUpToMax(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := db.Submit("m", 0, strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	a, err := db.PopBatch(ctx, "m", 4)
+	if err != nil || len(a) != 4 {
+		t.Fatalf("PopBatch = %d claims, err %v", len(a), err)
+	}
+	b, err := db.PopBatch(ctx, "m", 100)
+	if err != nil || len(b) != 6 {
+		t.Fatalf("second PopBatch = %d claims, err %v (want the remaining 6)", len(b), err)
+	}
+	for _, c := range append(a, b...) {
+		if err := c.Complete("r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Empty queue: PopBatch blocks, a submit wakes it.
+	got := make(chan int, 1)
+	go func() {
+		cs, err := db.PopBatch(ctx, "m", 8)
+		if err != nil {
+			got <- -1
+			return
+		}
+		for _, c := range cs {
+			_ = c.Complete("late")
+		}
+		got <- len(cs)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := db.Submit("m", 0, "wake"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n < 1 {
+			t.Fatalf("woken PopBatch returned %d", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("PopBatch did not wake on submit")
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.PopBatch(cctx, "m", 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled PopBatch = %v", err)
+	}
+	statsBalanced(t, db)
+}
+
+// End-to-end churn over the BATCHED path: a batched remote pool works
+// through the chaos proxy while connections are repeatedly killed. Every
+// task must complete exactly once — the claim-requeue and fencing
+// invariants must hold for pop_batch/finish_batch exactly as they do for
+// the single ops.
+func TestBatchedPoolSurvivesConnectionChurn(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	srv, err := Serve(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy := newFaultProxy(t, srv.Addr())
+
+	pool, err := StartRemotePoolBatched(proxy.Addr(), "m", 4, 8, func(ctx context.Context, payload string) (string, error) {
+		time.Sleep(2 * time.Millisecond) // widen the kill window
+		return "ok:" + payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	const tasks = 40
+	var futures []*Future
+	for i := 0; i < tasks; i++ {
+		f, err := db.SubmitRetry("m", 0, strconv.Itoa(i), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; i < 10; i++ {
+			time.Sleep(15 * time.Millisecond)
+			proxy.KillActive()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, f := range futures {
+		res, err := f.Result(ctx)
+		if err != nil {
+			t.Fatalf("task %d lost under batched churn: %v", i, err)
+		}
+		if want := "ok:" + strconv.Itoa(i); res != want {
+			t.Fatalf("task %d = %q, want %q", i, res, want)
+		}
+	}
+	<-churnDone
+
+	st := db.Stats()
+	if st.Complete != tasks {
+		t.Fatalf("Complete = %d, want %d (stats: %+v)", st.Complete, tasks, st)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("tasks leaked under batched churn: %+v", st)
+	}
+	statsBalanced(t, db)
+}

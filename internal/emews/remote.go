@@ -14,6 +14,7 @@ type RemotePool struct {
 	addr     string
 	taskType string
 	handler  Handler
+	batch    int
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -32,14 +33,26 @@ type RemotePool struct {
 // connection drops, and every resolution is fenced with the claim's
 // attempt epoch.
 func StartRemotePool(addr, taskType string, workers int, handler Handler) (*RemotePool, error) {
+	return StartRemotePoolBatched(addr, taskType, workers, 1, handler)
+}
+
+// StartRemotePoolBatched is StartRemotePool with batched wire ops: each
+// worker leases up to batch tasks per round trip (pop_batch) and resolves
+// them together (finish_batch), amortizing the network exchange over the
+// batch. batch <= 1 uses the single-op path, which also works against
+// pre-v2 servers that lack the batch ops.
+func StartRemotePoolBatched(addr, taskType string, workers, batch int, handler Handler) (*RemotePool, error) {
 	if workers <= 0 {
 		return nil, errors.New("emews: remote pool needs at least one worker")
 	}
 	if handler == nil {
 		return nil, errors.New("emews: remote pool needs a handler")
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	p := &RemotePool{addr: addr, taskType: taskType, handler: handler, cancel: cancel, workers: workers}
+	p := &RemotePool{addr: addr, taskType: taskType, handler: handler, batch: batch, cancel: cancel, workers: workers}
 
 	// Verify connectivity before declaring success.
 	probe, err := Dial(addr, WithRetries(0))
@@ -81,7 +94,18 @@ func (p *RemotePool) worker(ctx context.Context) {
 			}
 			client = c
 		}
-		task, ok, err := client.Pop(p.taskType, 200*time.Millisecond)
+		var tasks []RemoteTask
+		var err error
+		if p.batch > 1 {
+			tasks, err = client.PopBatch(p.taskType, p.batch, 200*time.Millisecond)
+		} else {
+			var task RemoteTask
+			var ok bool
+			task, ok, err = client.Pop(p.taskType, 200*time.Millisecond)
+			if err == nil && ok {
+				tasks = []RemoteTask{task}
+			}
+		}
 		if err != nil {
 			// The client already retried over fresh connections; treat a
 			// persistent failure as "server unavailable" and redial from
@@ -95,29 +119,57 @@ func (p *RemotePool) worker(ctx context.Context) {
 			}
 			continue
 		}
-		if !ok {
+		if len(tasks) == 0 {
 			continue // poll timeout; loop to observe ctx
 		}
-		start := time.Now()
-		result, herr := p.handler(ctx, task.Payload)
-		mPoolHandler.ObserveSince(start)
-		var resolveErr error
-		if herr != nil {
-			resolveErr = client.Fail(task.ID, task.Epoch, herr.Error())
+		// Evaluate the whole lease, then resolve it in one exchange.
+		fins := make([]FinishOp, len(tasks))
+		handlerFailed := make([]bool, len(tasks))
+		for i, task := range tasks {
+			start := time.Now()
+			result, herr := p.handler(ctx, task.Payload)
+			mPoolHandler.ObserveSince(start)
+			if herr != nil {
+				fins[i] = FinishOp{TaskID: task.ID, Epoch: task.Epoch, Failed: true, ErrMsg: herr.Error()}
+				handlerFailed[i] = true
+			} else {
+				fins[i] = FinishOp{TaskID: task.ID, Epoch: task.Epoch, Result: result}
+			}
+		}
+		var resolveErrs []error
+		if p.batch > 1 {
+			resolveErrs, err = client.FinishBatch(fins)
+			if err != nil {
+				// The exchange itself failed; every resolution is unknown.
+				// The server's connection cleanup requeues the claims.
+				resolveErrs = make([]error, len(fins))
+				for i := range resolveErrs {
+					resolveErrs[i] = err
+				}
+			}
 		} else {
-			resolveErr = client.Complete(task.ID, task.Epoch, result)
+			resolveErrs = make([]error, len(fins))
+			for i, fin := range fins {
+				if fin.Failed {
+					resolveErrs[i] = client.Fail(fin.TaskID, fin.Epoch, fin.ErrMsg)
+				} else {
+					resolveErrs[i] = client.Complete(fin.TaskID, fin.Epoch, fin.Result)
+				}
+			}
 		}
 		p.mu.Lock()
-		switch {
-		case errors.Is(resolveErr, ErrStaleClaim):
-			p.stale++
-			mPoolStale.Inc()
-		case herr != nil:
-			p.failed++
-			mPoolFailed.Inc()
-		default:
-			p.processed++
-			mPoolProcessed.Inc()
+		for i := range fins {
+			switch {
+			case errors.Is(resolveErrs[i], ErrStaleClaim):
+				p.stale++
+				mPoolStale.Inc()
+			case handlerFailed[i]:
+				p.failed++
+				mPoolFailed.Inc()
+			default:
+				p.processed++
+				mPoolProcessed.Inc()
+			}
 		}
 		p.mu.Unlock()
 	}

@@ -223,6 +223,13 @@ func (db *DB) submitLocked(taskType string, priority int, payload string, maxAtt
 // can see it half-submitted, and waiting workers are woken with a single
 // broadcast instead of one per task.
 func (db *DB) SubmitBatch(taskType string, priority int, payloads []string) ([]*Future, error) {
+	return db.SubmitBatchRetry(taskType, priority, payloads, 1)
+}
+
+// SubmitBatchRetry is SubmitBatch with a per-task retry budget: every
+// task in the batch is requeued on failure until maxAttempts pops have
+// been consumed (DB.SubmitRetry semantics).
+func (db *DB) SubmitBatchRetry(taskType string, priority int, payloads []string, maxAttempts int) ([]*Future, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -233,7 +240,7 @@ func (db *DB) SubmitBatch(taskType string, priority int, payloads []string) ([]*
 	}
 	out := make([]*Future, 0, len(payloads))
 	for _, p := range payloads {
-		f, err := db.submitLocked(taskType, priority, p, 1)
+		f, err := db.submitLocked(taskType, priority, p, maxAttempts)
 		if err != nil {
 			// Fail-stop mid-batch: earlier tasks are committed and stay;
 			// report the persistence fault rather than a partial success.
@@ -295,6 +302,63 @@ func (db *DB) Pop(ctx context.Context, taskType string) (*Claim, error) {
 		if c != nil {
 			mPopWait.ObserveSince(waitStart)
 			return c, nil
+		}
+		db.cond.Wait()
+	}
+}
+
+// PopBatch blocks until at least one task of taskType is available (or
+// ctx cancels / the DB closes), then claims up to max tasks in one lock
+// hold — the server-side half of the batched pop_batch wire op, which
+// amortizes wakeup, locking, and (with a WAL attached) commit ordering
+// over the whole batch. If a mid-batch commit fails after at least one
+// task was claimed, the claimed prefix is returned rather than an error:
+// those claims are real and must reach a worker.
+func (db *DB) PopBatch(ctx context.Context, taskType string, max int) ([]*Claim, error) {
+	if max < 1 {
+		max = 1
+	}
+	// Same locked-broadcast wakeup pattern as Pop; see the comment there.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			db.mu.Lock()
+			db.cond.Broadcast()
+			db.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	waitStart := time.Now()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if db.closed {
+			return nil, ErrClosed
+		}
+		var out []*Claim
+		for len(out) < max {
+			c, err := db.popLocked(taskType)
+			if err != nil {
+				if len(out) > 0 {
+					mPopWait.ObserveSince(waitStart)
+					return out, nil
+				}
+				return nil, err
+			}
+			if c == nil {
+				break
+			}
+			out = append(out, c)
+		}
+		if len(out) > 0 {
+			mPopWait.ObserveSince(waitStart)
+			return out, nil
 		}
 		db.cond.Wait()
 	}

@@ -1,0 +1,477 @@
+// Wire protocol v2: a length-prefixed binary codec for the EMEWS task
+// substrate.
+//
+// Every frame is a fixed 16-byte header followed by a payload:
+//
+//	offset 0   magic      0xF7
+//	offset 1   version    0x02
+//	offset 2   op code    (request: the op; response: echoes the request op)
+//	offset 3   flags      reserved, 0
+//	offset 4   request id uint64 big-endian (pipelining correlation token)
+//	offset 12  length     uint32 big-endian payload byte count
+//
+// Payloads are a compact field encoding (uvarint/varint integers,
+// length-prefixed strings) of the same wireRequest/wireResponse structs the
+// v1 JSON framing serializes, so both framings share one server dispatch.
+// Request ids let a connection carry many ops in flight: the server
+// dispatches frames concurrently and responses may return out of order.
+//
+// Negotiation: a v2 client opens with the clientHello line. A v2 server
+// recognizes it and answers serverHelloAck, after which both sides speak
+// binary frames. A v1 (JSON) server consumes the hello as one malformed
+// request line and answers a JSON error object, which the client detects
+// (first byte '{') and falls back to the v1 framing. A v1 client's first
+// byte is '{', which a v2 server detects and routes to the v1 handler. Both
+// fallbacks cost at most one round trip and no reconnect.
+package emews
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+const (
+	frameMagic      = 0xF7
+	frameVersion    = 0x02
+	frameHeaderLen  = 16
+	maxFramePayload = 16 << 20 // decoder refuses larger claimed payloads
+	maxWireBatch    = 1 << 16  // decoder cap on any list length
+)
+
+// Handshake lines. Both end in '\n' so a v1 server consumes the hello as
+// exactly one (invalid) request line.
+const (
+	clientHello    = "OSPREY-WIRE/2\n"
+	serverHelloAck = "OSPREY-WIRE/2 OK\n"
+)
+
+// Request op codes. Responses echo the request's code.
+const (
+	opcSubmit byte = iota + 1
+	opcPop
+	opcComplete
+	opcFail
+	opcResult
+	opcStats
+	opcSubmitBatch
+	opcPopBatch
+	opcFinishBatch
+)
+
+var opToCode = map[string]byte{
+	"submit":       opcSubmit,
+	"pop":          opcPop,
+	"complete":     opcComplete,
+	"fail":         opcFail,
+	"result":       opcResult,
+	"stats":        opcStats,
+	"submit_batch": opcSubmitBatch,
+	"pop_batch":    opcPopBatch,
+	"finish_batch": opcFinishBatch,
+}
+
+var codeToOp = map[byte]string{}
+
+func init() {
+	for op, code := range opToCode {
+		codeToOp[code] = op
+	}
+}
+
+var errBadFrame = errors.New("emews: bad wire frame")
+
+// wireBufPool recycles encode/decode buffers end-to-end: frame assembly on
+// the send side, payload reads on the receive side.
+var wireBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getWireBuf() []byte {
+	return (*wireBufPool.Get().(*[]byte))[:0]
+}
+
+func putWireBuf(b []byte) {
+	if cap(b) > 1<<20 {
+		return // don't let one huge payload pin memory in the pool
+	}
+	wireBufPool.Put(&b)
+}
+
+// ---- encoding ----
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendRequestPayload encodes every wireRequest field in a fixed order.
+// All ops share the layout; unused fields cost one zero byte each.
+func appendRequestPayload(b []byte, req *wireRequest) []byte {
+	b = appendString(b, req.Type)
+	b = appendString(b, req.Payload)
+	b = appendString(b, req.Result)
+	b = appendString(b, req.ErrMsg)
+	b = binary.AppendVarint(b, int64(req.Priority))
+	b = binary.AppendVarint(b, int64(req.TimeoutMS))
+	b = binary.AppendVarint(b, int64(req.MaxAttempts))
+	b = binary.AppendVarint(b, int64(req.Max))
+	b = binary.AppendUvarint(b, uint64(req.TaskID))
+	b = binary.AppendUvarint(b, uint64(req.Epoch))
+	b = binary.AppendUvarint(b, uint64(len(req.Payloads)))
+	for _, p := range req.Payloads {
+		b = appendString(b, p)
+	}
+	b = binary.AppendUvarint(b, uint64(len(req.Finishes)))
+	for _, f := range req.Finishes {
+		b = binary.AppendUvarint(b, uint64(f.TaskID))
+		b = binary.AppendUvarint(b, uint64(f.Epoch))
+		b = appendBool(b, f.Failed)
+		b = appendString(b, f.Result)
+		b = appendString(b, f.ErrMsg)
+	}
+	return b
+}
+
+// Response flag bits.
+const (
+	respOK       = 1 << 0
+	respStale    = 1 << 1
+	respDone     = 1 << 2
+	respEmpty    = 1 << 3
+	respFailed   = 1 << 4
+	respHasStats = 1 << 5
+)
+
+func appendResponsePayload(b []byte, resp *wireResponse) []byte {
+	var flags byte
+	if resp.OK {
+		flags |= respOK
+	}
+	if resp.Stale {
+		flags |= respStale
+	}
+	if resp.Done {
+		flags |= respDone
+	}
+	if resp.Empty {
+		flags |= respEmpty
+	}
+	if resp.Failed {
+		flags |= respFailed
+	}
+	if resp.Stats != nil {
+		flags |= respHasStats
+	}
+	b = append(b, flags)
+	b = appendString(b, resp.Error)
+	b = appendString(b, resp.Payload)
+	b = appendString(b, resp.Result)
+	b = binary.AppendUvarint(b, uint64(resp.TaskID))
+	b = binary.AppendUvarint(b, uint64(resp.Epoch))
+	b = binary.AppendUvarint(b, uint64(len(resp.Tasks)))
+	for _, t := range resp.Tasks {
+		b = binary.AppendUvarint(b, uint64(t.ID))
+		b = binary.AppendUvarint(b, uint64(t.Epoch))
+		b = appendString(b, t.Payload)
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.TaskIDs)))
+	for _, id := range resp.TaskIDs {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.Results)))
+	for _, r := range resp.Results {
+		var rf byte
+		if r.OK {
+			rf |= respOK
+		}
+		if r.Stale {
+			rf |= respStale
+		}
+		b = append(b, rf)
+		b = appendString(b, r.Error)
+	}
+	if resp.Stats != nil {
+		st := resp.Stats
+		for _, v := range []int{st.Queued, st.Running, st.Complete, st.Failed, st.Canceled, st.Submitted} {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	return b
+}
+
+// appendFrame reserves a header, appends the payload via encode, and
+// back-patches the header with the final length.
+func appendFrame(b []byte, code byte, id uint64, encode func([]byte) []byte) ([]byte, error) {
+	start := len(b)
+	var hdr [frameHeaderLen]byte
+	b = append(b, hdr[:]...)
+	b = encode(b)
+	n := len(b) - start - frameHeaderLen
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds limit", errBadFrame, n)
+	}
+	h := b[start:]
+	h[0] = frameMagic
+	h[1] = frameVersion
+	h[2] = code
+	h[3] = 0
+	binary.BigEndian.PutUint64(h[4:12], id)
+	binary.BigEndian.PutUint32(h[12:16], uint32(n))
+	return b, nil
+}
+
+func appendRequestFrame(b []byte, id uint64, req *wireRequest) ([]byte, error) {
+	code, ok := opToCode[req.Op]
+	if !ok {
+		return nil, fmt.Errorf("emews: unknown op %q", req.Op)
+	}
+	return appendFrame(b, code, id, func(b []byte) []byte { return appendRequestPayload(b, req) })
+}
+
+func appendResponseFrame(b []byte, code byte, id uint64, resp *wireResponse) []byte {
+	out, err := appendFrame(b, code, id, func(b []byte) []byte { return appendResponsePayload(b, resp) })
+	if err != nil {
+		// Oversized response (a task result can exceed the frame limit):
+		// degrade to an error response the peer can still parse.
+		out, _ = appendFrame(b[:0], code, id, func(b []byte) []byte {
+			return appendResponsePayload(b, &wireResponse{Error: err.Error()})
+		})
+	}
+	return out
+}
+
+// readFrame reads one frame header + payload. The returned payload buffer
+// comes from wireBufPool; the caller must putWireBuf it after decoding.
+func readFrame(r io.Reader) (code byte, id uint64, payload []byte, err error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if h[0] != frameMagic || h[1] != frameVersion {
+		return 0, 0, nil, fmt.Errorf("%w: magic=%#x version=%#x", errBadFrame, h[0], h[1])
+	}
+	n := binary.BigEndian.Uint32(h[12:16])
+	if n > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("%w: payload length %d exceeds limit", errBadFrame, n)
+	}
+	id = binary.BigEndian.Uint64(h[4:12])
+	buf := getWireBuf()
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		putWireBuf(buf)
+		return 0, 0, nil, err
+	}
+	return h[2], id, buf, nil
+}
+
+// ---- decoding ----
+
+// wireReader is a bounds-checked cursor over a frame payload. Every
+// accessor is a no-op once an error is recorded, so call sites can decode
+// straight through and check err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", errBadFrame, what, r.off)
+	}
+}
+
+func (r *wireReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) str(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)]) // copies out of the pooled buffer
+	r.off += int(n)
+	return s
+}
+
+func (r *wireReader) boolByte(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail(what)
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v != 0
+}
+
+// count validates a list length against both the batch cap and the bytes
+// actually present (each element needs at least one byte), so a hostile
+// length cannot force a huge allocation.
+func (r *wireReader) count(what string) int {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > maxWireBatch || n > uint64(len(r.b)-r.off) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+func decodeRequestPayload(code byte, payload []byte) (wireRequest, error) {
+	op, ok := codeToOp[code]
+	if !ok {
+		return wireRequest{}, fmt.Errorf("%w: unknown op code %d", errBadFrame, code)
+	}
+	r := &wireReader{b: payload}
+	req := wireRequest{Op: op}
+	req.Type = r.str("type")
+	req.Payload = r.str("payload")
+	req.Result = r.str("result")
+	req.ErrMsg = r.str("err_msg")
+	req.Priority = int(r.varint("priority"))
+	req.TimeoutMS = int(r.varint("timeout_ms"))
+	req.MaxAttempts = int(r.varint("max_attempts"))
+	req.Max = int(r.varint("max"))
+	req.TaskID = int64(r.uvarint("task_id"))
+	req.Epoch = int64(r.uvarint("epoch"))
+	if n := r.count("payloads"); n > 0 {
+		req.Payloads = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			req.Payloads = append(req.Payloads, r.str("payloads"))
+		}
+	}
+	if n := r.count("finishes"); n > 0 {
+		req.Finishes = make([]wireFinish, 0, n)
+		for i := 0; i < n; i++ {
+			var f wireFinish
+			f.TaskID = int64(r.uvarint("finish task_id"))
+			f.Epoch = int64(r.uvarint("finish epoch"))
+			f.Failed = r.boolByte("finish failed")
+			f.Result = r.str("finish result")
+			f.ErrMsg = r.str("finish err_msg")
+			req.Finishes = append(req.Finishes, f)
+		}
+	}
+	if r.err != nil {
+		return wireRequest{}, r.err
+	}
+	return req, nil
+}
+
+func decodeResponsePayload(code byte, payload []byte) (wireResponse, error) {
+	if _, ok := codeToOp[code]; !ok {
+		return wireResponse{}, fmt.Errorf("%w: unknown op code %d", errBadFrame, code)
+	}
+	r := &wireReader{b: payload}
+	var resp wireResponse
+	if len(payload) == 0 {
+		r.fail("flags")
+	} else {
+		flags := payload[0]
+		r.off = 1
+		resp.OK = flags&respOK != 0
+		resp.Stale = flags&respStale != 0
+		resp.Done = flags&respDone != 0
+		resp.Empty = flags&respEmpty != 0
+		resp.Failed = flags&respFailed != 0
+		resp.Error = r.str("error")
+		resp.Payload = r.str("payload")
+		resp.Result = r.str("result")
+		resp.TaskID = int64(r.uvarint("task_id"))
+		resp.Epoch = int64(r.uvarint("epoch"))
+		if n := r.count("tasks"); n > 0 {
+			resp.Tasks = make([]wireTask, 0, n)
+			for i := 0; i < n; i++ {
+				var t wireTask
+				t.ID = int64(r.uvarint("task id"))
+				t.Epoch = int64(r.uvarint("task epoch"))
+				t.Payload = r.str("task payload")
+				resp.Tasks = append(resp.Tasks, t)
+			}
+		}
+		if n := r.count("task_ids"); n > 0 {
+			resp.TaskIDs = make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				resp.TaskIDs = append(resp.TaskIDs, int64(r.uvarint("task_ids")))
+			}
+		}
+		if n := r.count("results"); n > 0 {
+			resp.Results = make([]wireResult, 0, n)
+			for i := 0; i < n; i++ {
+				var res wireResult
+				rf := byte(0)
+				if r.err == nil && r.off < len(r.b) {
+					rf = r.b[r.off]
+					r.off++
+				} else {
+					r.fail("result flags")
+				}
+				res.OK = rf&respOK != 0
+				res.Stale = rf&respStale != 0
+				res.Error = r.str("result error")
+				resp.Results = append(resp.Results, res)
+			}
+		}
+		if flags&respHasStats != 0 {
+			var st Stats
+			st.Queued = int(r.varint("stats queued"))
+			st.Running = int(r.varint("stats running"))
+			st.Complete = int(r.varint("stats complete"))
+			st.Failed = int(r.varint("stats failed"))
+			st.Canceled = int(r.varint("stats canceled"))
+			st.Submitted = int(r.varint("stats submitted"))
+			resp.Stats = &st
+		}
+	}
+	if r.err != nil {
+		return wireResponse{}, r.err
+	}
+	return resp, nil
+}

@@ -38,6 +38,7 @@ type Config struct {
 	TaskTypes []string      // task-type mix; workers are assigned round-robin
 	FailFrac  float64       // fraction of tasks that fail at least once (<0 disables)
 	WorkMean  time.Duration // mean simulated model work per attempt
+	PopBatch  int           // tasks leased per worker round trip; 1 = single-op path
 
 	IngestRate    float64 // AERO data-version ingests per second (<0 disables)
 	IngestStreams int     // data items the ingests round-robin over
@@ -78,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WorkMean <= 0 {
 		c.WorkMean = 2 * time.Millisecond
+	}
+	if c.PopBatch <= 0 {
+		c.PopBatch = 4
 	}
 	if c.IngestRate == 0 {
 		c.IngestRate = 5
@@ -444,7 +448,18 @@ func (p *pool) worker(taskType string) {
 			}
 			cl = c
 		}
-		task, ok, err := cl.Pop(taskType, 200*time.Millisecond)
+		var tasks []emews.RemoteTask
+		var err error
+		if p.h.cfg.PopBatch > 1 {
+			tasks, err = cl.PopBatch(taskType, p.h.cfg.PopBatch, 200*time.Millisecond)
+		} else {
+			var task emews.RemoteTask
+			var ok bool
+			task, ok, err = cl.Pop(taskType, 200*time.Millisecond)
+			if err == nil && ok {
+				tasks = []emews.RemoteTask{task}
+			}
+		}
 		if err != nil {
 			drop()
 			if !pause(10 * time.Millisecond) {
@@ -452,30 +467,70 @@ func (p *pool) worker(taskType string) {
 			}
 			continue
 		}
-		if !ok {
+		if len(tasks) == 0 {
 			continue
 		}
-		p.h.tracker.popped(task.ID, task.Epoch)
-		var spec payloadSpec
-		if err := json.Unmarshal([]byte(task.Payload), &spec); err != nil {
-			// Not a plan task; should never happen. Fail it so it terminates.
-			spec = payloadSpec{Index: -1, FailN: failAlways}
+		// The whole lease is observed up front: later invariants reason
+		// about pop order per task, and a task can appear at most once per
+		// lease, so recording at receipt preserves the epoch ordering the
+		// single-op path had.
+		for _, task := range tasks {
+			p.h.tracker.popped(task.ID, task.Epoch)
 		}
-		// Simulated model work. A pool crash abandons the claim mid-task —
-		// the point of the fault.
-		select {
-		case <-time.After(time.Duration(spec.WorkUS) * time.Microsecond):
-		case <-p.hardStop:
-			return
+		fins := make([]emews.FinishOp, 0, len(tasks))
+		kinds := make([]string, 0, len(tasks))
+		for _, task := range tasks {
+			var spec payloadSpec
+			if err := json.Unmarshal([]byte(task.Payload), &spec); err != nil {
+				// Not a plan task; should never happen. Fail it so it terminates.
+				spec = payloadSpec{Index: -1, FailN: failAlways}
+			}
+			// Simulated model work. A pool crash abandons the claim (and the
+			// rest of the lease) mid-task — the point of the fault.
+			select {
+			case <-time.After(time.Duration(spec.WorkUS) * time.Microsecond):
+			case <-p.hardStop:
+				return
+			}
+			if spec.FailN >= failAlways || task.Epoch <= int64(spec.FailN) {
+				fins = append(fins, emews.FinishOp{TaskID: task.ID, Epoch: task.Epoch, Failed: true,
+					ErrMsg: fmt.Sprintf("injected failure at epoch %d", task.Epoch)})
+				kinds = append(kinds, "fail")
+			} else {
+				fins = append(fins, emews.FinishOp{TaskID: task.ID, Epoch: task.Epoch, Result: submitResult(spec.Index)})
+				kinds = append(kinds, "complete")
+			}
 		}
-		if spec.FailN >= failAlways || task.Epoch <= int64(spec.FailN) {
-			err = cl.Fail(task.ID, task.Epoch, fmt.Sprintf("injected failure at epoch %d", task.Epoch))
-			p.h.tracker.resolved(task.ID, task.Epoch, "fail", err)
+		var dropConn bool
+		if p.h.cfg.PopBatch > 1 {
+			errs, berr := cl.FinishBatch(fins)
+			if berr != nil {
+				// The exchange failed wholesale; every resolution is unknown
+				// and the server's connection cleanup requeues the claims.
+				for i, fin := range fins {
+					p.h.tracker.resolved(fin.TaskID, fin.Epoch, kinds[i], berr)
+				}
+				dropConn = errors.Is(berr, emews.ErrTransport)
+			} else {
+				for i, fin := range fins {
+					p.h.tracker.resolved(fin.TaskID, fin.Epoch, kinds[i], errs[i])
+				}
+			}
 		} else {
-			err = cl.Complete(task.ID, task.Epoch, submitResult(spec.Index))
-			p.h.tracker.resolved(task.ID, task.Epoch, "complete", err)
+			for i, fin := range fins {
+				var rerr error
+				if fin.Failed {
+					rerr = cl.Fail(fin.TaskID, fin.Epoch, fin.ErrMsg)
+				} else {
+					rerr = cl.Complete(fin.TaskID, fin.Epoch, fin.Result)
+				}
+				p.h.tracker.resolved(fin.TaskID, fin.Epoch, kinds[i], rerr)
+				if rerr != nil && errors.Is(rerr, emews.ErrTransport) {
+					dropConn = true
+				}
+			}
 		}
-		if err != nil && errors.Is(err, emews.ErrTransport) {
+		if dropConn {
 			drop()
 		}
 	}
