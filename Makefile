@@ -6,7 +6,7 @@ GO ?= go
 # Coverage floor for cover-check (percent of statements in internal/...).
 COVER_FLOOR ?= 60
 
-.PHONY: all build vet fmt-check ci check-ci-mirror test test-go test-short test-shuffle test-single-core race race-lifecycle race-numerics race-all smoke-ctl soak bench bench-smoke bench-json bench-compare fuzz-smoke figures figures-quick cover cover-check clean
+.PHONY: all build vet fmt-check ci check-ci-mirror test test-go test-short test-shuffle test-single-core race race-lifecycle race-numerics race-all smoke-ctl soak soak-shard staticcheck bench bench-smoke bench-json bench-compare fuzz-smoke figures figures-quick cover cover-check clean
 
 all: build test
 
@@ -18,6 +18,12 @@ all: build test
 # variable and mirror the step list in ci.yml — see DESIGN.md,
 # "Load & chaos testing", for the mirror rule.
 CI_STEPS := check-ci-mirror vet fmt-check build test-go test-shuffle test-single-core race-lifecycle race-numerics smoke-ctl
+
+# CI_JOBS maps each dedicated (non-`test`) ci.yml job to the make target
+# it must run, as job:target pairs. scripts/check_ci_mirror.sh verifies
+# every pair has a matching `run: make <target>` line inside that job, so
+# the dedicated jobs obey the same edit-both-files rule as CI_STEPS.
+CI_JOBS := coverage:cover-check soak:soak soak-shard:soak-shard staticcheck:staticcheck
 
 ci: $(CI_STEPS)
 
@@ -86,6 +92,26 @@ race-all:
 soak:
 	$(GO) run ./cmd/osprey-loadgen -seed 42 -duration 30s -rate 150 -workers 8 -faults default -runs 2 -out SOAK_report.json
 
+# Sharded soak (the CI soak-shard job): two same-seed runs over a 3-shard
+# replicated group through the shard-failover schedule — two primary kills
+# with follower promotion, plus the network and pool faults — asserting
+# the same 11 invariants, the cross-shard WAL audit, and identical
+# workload digests. The JSON run report lands in SOAK_shard_report.json;
+# a digest mismatch or invariant violation exits non-zero.
+soak-shard:
+	$(GO) run ./cmd/osprey-loadgen -seed 73 -duration 30s -rate 150 -workers 8 -shards 3 -faults shard-failover -runs 2 -out SOAK_shard_report.json
+
+# Staticcheck over the whole module (the CI staticcheck job). The binary
+# is not vendored; install the pinned version once with
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+STATICCHECK_VERSION := 2024.1.1
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+		exit 1; }
+	staticcheck ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -133,4 +159,4 @@ cover-check:
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 clean:
-	rm -rf out cover.out cover.html BENCH_fresh.json bench-diff.json SOAK_report.json
+	rm -rf out cover.out cover.html BENCH_fresh.json bench-diff.json SOAK_report.json SOAK_shard_report.json

@@ -670,6 +670,107 @@ func BenchmarkSubstrateThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSubstrateThroughputSharded measures the routed shard-group
+// path end to end over real TCP at batch 16: per shard an in-memory task
+// DB carrying its shard identity behind its own listener, workers driving
+// pop_batch/finish_batch through a ShardedClient (fan-out with the
+// deterministic merge), and ring-keyed batch submits from a routed
+// driver. shards-1 isolates the routing layer's overhead against the
+// direct binary-b16 path; shards-3 adds the fan-out and lets the shards
+// drain in parallel where cores allow. Reported metric: tasks/s.
+func BenchmarkSubstrateThroughputSharded(b *testing.B) {
+	const workers = 4
+	const batch = 16
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			addrs := make([]string, shards)
+			for i := 0; i < shards; i++ {
+				db, err := emews.NewDBShard(i, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				srv, err := emews.Serve(db, "127.0.0.1:0", emews.WithShardIdentity(i, shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
+			}
+
+			var completed atomic.Int64
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cl, err := emews.DialShardGroup(addrs, emews.WithOpTimeout(10*time.Second))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer cl.Close()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						tasks, err := cl.PopBatch("bench", batch, 50*time.Millisecond)
+						if err != nil || len(tasks) == 0 {
+							continue
+						}
+						fins := make([]emews.FinishOp, len(tasks))
+						for i, task := range tasks {
+							fins[i] = emews.FinishOp{TaskID: task.ID, Epoch: task.Epoch, Result: "ok"}
+						}
+						errs, berr := cl.FinishBatch(fins)
+						if berr != nil {
+							continue
+						}
+						for _, e := range errs {
+							if e == nil {
+								completed.Add(1)
+							}
+						}
+					}
+				}()
+			}
+
+			driver, err := emews.DialShardGroup(addrs, emews.WithOpTimeout(10*time.Second))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer driver.Close()
+
+			b.ResetTimer()
+			start := time.Now()
+			for sent := 0; sent < b.N; sent += batch {
+				n := batch
+				if b.N-sent < n {
+					n = b.N - sent
+				}
+				payloads := make([]string, n)
+				for i := range payloads {
+					payloads[i] = fmt.Sprintf("task-%d", sent+i)
+				}
+				if _, err := driver.SubmitBatch("bench", 0, payloads, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for completed.Load() < int64(b.N) {
+				time.Sleep(200 * time.Microsecond)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			close(done)
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tasks/s")
+		})
+	}
+}
+
 // BenchmarkWALAppend measures the write-ahead log's per-mutation cost in
 // both durability modes: fsync-per-append (the daemon's default, bounded
 // by device flush latency) and no-fsync (the OS-crash-only guarantee,

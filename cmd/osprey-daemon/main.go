@@ -9,6 +9,7 @@
 //	osprey-daemon [-addr 127.0.0.1:7524] [-tick 10s] [-fast]
 //	              [-data-dir DIR] [-fsync always|interval|never]
 //	              [-task-retention 1h]
+//	              [-shards N] [-shard-addrs HOST:PORT,...]
 //
 // With -data-dir, the AERO metadata store and the EMEWS task database are
 // backed by write-ahead logs under DIR (DIR/aero, DIR/emews): every
@@ -19,6 +20,14 @@
 // POST /metadata/admin/compact (or `ospreyctl compact`) snapshots both
 // stores and truncates their logs.
 //
+// With -shards N (N >= 2, requires -data-dir) the daemon additionally
+// serves an N-shard EMEWS task-substrate group under DIR/emews-shards:
+// one WAL-backed task database per shard, each on its own wire-v2 TCP
+// listener carrying its shard identity, ready for emews.DialShardGroup
+// clients. Listeners bind ephemeral loopback ports by default;
+// -shard-addrs pins them. GET /shards reports per-shard addresses and
+// occupancy (`ospreyctl shards` renders it).
+//
 // Endpoints:
 //
 //	GET /            status summary (flows, runs, current simulated day)
@@ -26,6 +35,7 @@
 //	GET /plot        latest ensemble ASCII plot
 //	GET /events      AERO event trace
 //	GET /topology    GraphViz DOT of the workflow
+//	GET /shards      task-substrate shard group status (JSON; 404 when disabled)
 //	GET /metrics     observability snapshot (counters/gauges/histograms, JSON)
 //	GET /trace       recent spans (ring buffer, JSON)
 //	GET /metadata/…  the embedded AERO metadata API
@@ -33,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"osprey"
@@ -85,14 +97,22 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("osprey-daemon: ")
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7524", "status/metadata listen address")
-		tick      = flag.Duration("tick", 10*time.Second, "wall-clock duration of one simulated day")
-		fast      = flag.Bool("fast", false, "reduced MCMC settings (quicker cycles)")
-		dataDir   = flag.String("data-dir", "", "enable WAL persistence under this directory")
-		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
-		retention = flag.Duration("task-retention", time.Hour, "prune terminal tasks older than this each tick (0 disables)")
+		addr       = flag.String("addr", "127.0.0.1:7524", "status/metadata listen address")
+		tick       = flag.Duration("tick", 10*time.Second, "wall-clock duration of one simulated day")
+		fast       = flag.Bool("fast", false, "reduced MCMC settings (quicker cycles)")
+		dataDir    = flag.String("data-dir", "", "enable WAL persistence under this directory")
+		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		retention  = flag.Duration("task-retention", time.Hour, "prune terminal tasks older than this each tick (0 disables)")
+		shards     = flag.Int("shards", 0, "serve a sharded task-substrate group of this size (>= 2; requires -data-dir)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated pinned listen addresses for the shard group (default: ephemeral ports)")
 	)
 	flag.Parse()
+	if *shards == 1 || *shards < 0 {
+		log.Fatal("-shards must be 0 (disabled) or >= 2")
+	}
+	if *shards > 1 && *dataDir == "" {
+		log.Fatal("-shards requires -data-dir (the shard group is WAL-backed)")
+	}
 
 	// With -data-dir both stateful cores recover from their write-ahead
 	// logs; without it they are the plain in-memory implementations.
@@ -101,6 +121,7 @@ func main() {
 		taskDB   *emews.DB
 		aeroLog  *wal.Log
 		emewsLog *wal.Log
+		group    *emews.ShardGroup
 	)
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncMode)
@@ -131,6 +152,24 @@ func main() {
 		st := taskDB.Stats()
 		log.Printf("recovered from %s in %s: %d data records, %d flows, %d tasks (%d queued)",
 			*dataDir, time.Since(start).Round(time.Millisecond), len(data), len(flows), st.Submitted, st.Queued)
+		if *shards > 1 {
+			var addrs []string
+			if *shardAddrs != "" {
+				addrs = strings.Split(*shardAddrs, ",")
+			}
+			group, err = emews.OpenShardGroup(filepath.Join(*dataDir, "emews-shards"), *shards, addrs,
+				wal.Options{Name: "wal.shards", Policy: policy, Logf: log.Printf})
+			if err != nil {
+				log.Fatalf("open shard group: %v", err)
+			}
+			defer group.Close()
+			reapCtx, reapStop := context.WithCancel(context.Background())
+			defer reapStop()
+			for i := 0; i < group.Shards(); i++ {
+				group.DB(i).StartReaper(reapCtx, time.Second)
+			}
+			log.Printf("task shard group: %d shards on %v", group.Shards(), group.Addrs())
+		}
 	} else {
 		store = aero.NewStore()
 		taskDB = emews.NewDB()
@@ -287,6 +326,30 @@ func main() {
 			return
 		}
 		fmt.Fprint(w, dot)
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		if group == nil {
+			http.Error(w, "sharding disabled (start the daemon with -shards >= 2)", http.StatusNotFound)
+			return
+		}
+		type member struct {
+			Shard int         `json:"shard"`
+			Addr  string      `json:"addr"`
+			Dir   string      `json:"dir"`
+			Stats emews.Stats `json:"stats"`
+		}
+		st := struct {
+			Shards  int         `json:"shards"`
+			Members []member    `json:"members"`
+			Totals  emews.Stats `json:"totals"`
+		}{Shards: group.Shards(), Totals: group.Stats()}
+		for i := 0; i < group.Shards(); i++ {
+			st.Members = append(st.Members, member{
+				Shard: i, Addr: group.Addrs()[i], Dir: group.Dir(i), Stats: group.DB(i).Stats(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
 	})
 	mux.Handle("/metrics", obs.Default().Handler())
 	mux.Handle("/trace", obs.DefaultTracer().Handler())

@@ -3,8 +3,13 @@
 // stack and writes a JSON run report.
 //
 //	osprey-loadgen -seed 42 -duration 30s -rate 150 -workers 8 -faults default -runs 2 -out report.json
+//	osprey-loadgen -shards 3 -faults shard-failover -runs 2 -out report.json
 //
-// With -runs N > 1 the harness runs N times with the same seed and the
+// With -shards N >= 2 the single task stack is replaced by an N-shard
+// replicated group (one WAL-backed primary plus a warm follower per
+// shard) and the "shard-failover" schedule kills primaries mid-run,
+// promoting their followers. With -runs N > 1 the harness runs N times
+// with the same seed and the
 // workload digests must match across runs — the determinism contract.
 // Exit codes: 0 all runs passed, 1 an invariant failed or determinism
 // broke, 2 usage or infrastructure error.
@@ -34,7 +39,9 @@ func run() int {
 		popBatch = fs.Int("pop-batch", 4, "tasks leased per worker round trip (1 = single-op wire path)")
 		window   = fs.Int("window", 0, "closed-loop in-flight cap (default 2x workers)")
 		ingest   = fs.Float64("ingest-rate", 10, "AERO data-version ingests per second (<0 disables)")
-		faults   = fs.String("faults", "default", `fault schedule: "default", "none", or DSL like "5s:kill;8s:refuse:1s;12s:latency:50ms:2s;15s:pool-crash:500ms;20s:crash;25s:torn-crash"`)
+		shards   = fs.Int("shards", 1, "task-substrate shards (>= 2 runs a replicated shard group with warm followers)")
+		pinned   = fs.Bool("pinned-ports", false, "rebind fixed ports across in-run reboots (default: fresh ephemeral ports)")
+		faults   = fs.String("faults", "default", `fault schedule: "default", "shard-failover", "none", or DSL like "5s:kill;8s:refuse:1s;12s:latency:50ms:2s;15s:pool-crash:500ms;20s:crash;25s:torn-crash;30s:shard-failover:1"`)
 		dataDir  = fs.String("data-dir", "", "WAL root (default: temp dir, removed on pass)")
 		out      = fs.String("out", "", "write the JSON report here (default stdout)")
 		runs     = fs.Int("runs", 1, "repeat the run N times and require identical workload digests")
@@ -51,16 +58,18 @@ func run() int {
 		return 2
 	}
 	cfg := loadgen.Config{
-		Seed:       *seed,
-		Duration:   *duration,
-		Rate:       *rate,
-		Workers:    *workers,
-		Closed:     *closed,
-		Window:     *window,
-		PopBatch:   *popBatch,
-		IngestRate: *ingest,
-		DataDir:    *dataDir,
-		Faults:     schedule,
+		Seed:        *seed,
+		Duration:    *duration,
+		Rate:        *rate,
+		Workers:     *workers,
+		Closed:      *closed,
+		Window:      *window,
+		PopBatch:    *popBatch,
+		IngestRate:  *ingest,
+		Shards:      *shards,
+		PinnedPorts: *pinned,
+		DataDir:     *dataDir,
+		Faults:      schedule,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -76,9 +85,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "osprey-loadgen: run %d/%d: %v\n", i+1, *runs, err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "osprey-loadgen: run %d/%d: pass=%v digest=%s tasks=%d complete=%d failed=%d crashes=%d throughput=%.1f/s\n",
+		topo := fmt.Sprintf("crashes=%d", report.Totals.Crashes)
+		if report.Shards > 1 {
+			topo = fmt.Sprintf("shards=%d failovers=%d", report.Shards, report.Failovers)
+		}
+		fmt.Fprintf(os.Stderr, "osprey-loadgen: run %d/%d: pass=%v digest=%s tasks=%d complete=%d failed=%d %s throughput=%.1f/s\n",
 			i+1, *runs, report.Pass, report.Workload.Digest[:12], report.Totals.Submitted,
-			report.Totals.Complete, report.Totals.Failed, report.Totals.Crashes, report.ThroughputPerSec)
+			report.Totals.Complete, report.Totals.Failed, topo, report.ThroughputPerSec)
 		if !report.Pass {
 			exit = 1
 			for _, f := range report.FailedInvariants() {

@@ -12,6 +12,7 @@
 //	data                  list data identities
 //	versions <uuid>       show a data item's version history
 //	provenance <uuid>     show derivation edges touching a data item
+//	shards                show the daemon's task-substrate shard group
 //	metrics               pretty-print the server's /metrics snapshot
 //	trace                 print the server's recent span timeline
 //	health                check server liveness
@@ -65,6 +66,8 @@ func main() {
 		if err == nil {
 			fmt.Print(dot)
 		}
+	case "shards":
+		err = shardsCmd(*server)
 	case "metrics":
 		err = metricsCmd(*server)
 	case "trace":
@@ -82,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|metrics|trace|health|compact")
+	fmt.Fprintln(os.Stderr, "usage: ospreyctl [-server URL] flows|data|versions <uuid>|provenance <uuid>|topology|shards|metrics|trace|health|compact")
 	fmt.Fprintln(os.Stderr, "       ospreyctl artifacts [-file F] list|search|register|add-env|check ...")
 	os.Exit(2)
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"osprey/internal/emews"
+	"osprey/internal/plot"
+)
+
+// shardsCmd fetches /shards from an osprey-daemon serving a sharded task
+// substrate and prints per-shard listen addresses and occupancy. A daemon
+// started without -shards answers 404, which surfaces here as an error.
+func shardsCmd(server string) error {
+	var st struct {
+		Shards  int `json:"shards"`
+		Members []struct {
+			Shard int         `json:"shard"`
+			Addr  string      `json:"addr"`
+			Dir   string      `json:"dir"`
+			Stats emews.Stats `json:"stats"`
+		} `json:"members"`
+		Totals emews.Stats `json:"totals"`
+	}
+	if err := getJSON(server+"/shards", &st); err != nil {
+		return err
+	}
+	fmt.Printf("task substrate: %d shards\n", st.Shards)
+	var rows [][]string
+	for _, m := range st.Members {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", m.Shard), m.Addr,
+			fmt.Sprintf("%d", m.Stats.Queued), fmt.Sprintf("%d", m.Stats.Running),
+			fmt.Sprintf("%d", m.Stats.Complete), fmt.Sprintf("%d", m.Stats.Failed),
+			fmt.Sprintf("%d", m.Stats.Submitted),
+		})
+	}
+	rows = append(rows, []string{"all", "-",
+		fmt.Sprintf("%d", st.Totals.Queued), fmt.Sprintf("%d", st.Totals.Running),
+		fmt.Sprintf("%d", st.Totals.Complete), fmt.Sprintf("%d", st.Totals.Failed),
+		fmt.Sprintf("%d", st.Totals.Submitted),
+	})
+	return plot.Table(os.Stdout, []string{"Shard", "Addr", "Queued", "Running", "Complete", "Failed", "Submitted"}, rows)
+}

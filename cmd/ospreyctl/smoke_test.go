@@ -41,7 +41,7 @@ func TestOspreyctlSmoke(t *testing.T) {
 	root := "http://" + addr
 	meta := root + "/metadata"
 
-	proc := exec.Command(daemon, "-addr", addr, "-tick", "200ms", "-fast", "-data-dir", dataDir)
+	proc := exec.Command(daemon, "-addr", addr, "-tick", "200ms", "-fast", "-data-dir", dataDir, "-shards", "2")
 	proc.Stderr = os.Stderr
 	if err := proc.Start(); err != nil {
 		t.Fatal(err)
@@ -97,6 +97,13 @@ func TestOspreyctlSmoke(t *testing.T) {
 	}
 	run(meta, 0, "versions", uuid)
 	run(meta, 0, "provenance", uuid)
+
+	// The shard-group status command reads /shards at the server root (the
+	// daemon above was started with -shards 2).
+	shardsOut := run(root, 0, "shards")
+	if !strings.Contains(shardsOut, "2 shards") || !strings.Contains(shardsOut, "127.0.0.1:") {
+		t.Fatalf("shards output: %q", shardsOut)
+	}
 
 	// Observability commands read /metrics and /trace at the server root.
 	metricsOut := run(root, 0, "metrics")

@@ -62,9 +62,16 @@ type auditTask struct {
 // (the log is opened and closed, never appended to) and strictly replays
 // its history. Call it only after the live Log on dir has been closed.
 func AuditWAL(dir string) (*WALAudit, error) {
+	audit, _, err := auditWALTasks(dir)
+	return audit, err
+}
+
+// auditWALTasks is AuditWAL plus the checker's final per-task state,
+// which the multi-shard audit needs for cross-shard ownership checks.
+func auditWALTasks(dir string) (*WALAudit, map[int64]*auditTask, error) {
 	l, err := wal.Open(dir, wal.Options{Name: "wal.audit", Logf: func(string, ...any) {}})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer l.Close()
 
@@ -80,7 +87,7 @@ func AuditWAL(dir string) (*WALAudit, error) {
 	if b, ok := l.Snapshot(); ok {
 		var snap dbSnapshot
 		if err := json.Unmarshal(b, &snap); err != nil {
-			return nil, fmt.Errorf("emews: audit snapshot: %w", err)
+			return nil, nil, fmt.Errorf("emews: audit snapshot: %w", err)
 		}
 		for _, t := range snap.Tasks {
 			tasks[t.ID] = &auditTask{status: t.Status, epoch: t.Epoch}
@@ -186,7 +193,67 @@ func AuditWAL(dir string) (*WALAudit, error) {
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return audit, nil
+	return audit, tasks, nil
+}
+
+// ShardsAudit is the strict audit of a whole shard group's durable
+// history: each shard's WAL audited independently, plus the cross-shard
+// ownership checks — every task ID must live on the shard its stride
+// names, and no ID may appear in two shards' histories — and a combined
+// ledger summing the per-shard ones.
+type ShardsAudit struct {
+	Shards   []*WALAudit `json:"shards"`
+	Combined *WALAudit   `json:"combined"`
+}
+
+// Ok reports whether every shard audit and the cross-shard checks passed.
+func (a *ShardsAudit) Ok() bool { return a.Combined.Ok() }
+
+// AuditShards audits the log directory of every member of a shard group
+// (dirs indexed by shard). Per-shard lifecycle violations are collected
+// into the combined audit prefixed with their shard; cross-shard
+// violations (a task outside its strided home, an ID in two histories)
+// are appended after them. Call only after the live logs are closed.
+func AuditShards(dirs []string) (*ShardsAudit, error) {
+	n := len(dirs)
+	out := &ShardsAudit{Combined: &WALAudit{}}
+	owner := map[int64]int{} // task ID -> first shard whose history holds it
+	for i, dir := range dirs {
+		audit, tasks, err := auditWALTasks(dir)
+		if err != nil {
+			return nil, fmt.Errorf("emews: audit shard %d: %w", i, err)
+		}
+		out.Shards = append(out.Shards, audit)
+		c := out.Combined
+		c.Records += audit.Records
+		c.Submits += audit.Submits
+		c.Pops += audit.Pops
+		c.Finishes += audit.Finishes
+		c.Requeues += audit.Requeues
+		c.Prunes += audit.Prunes
+		c.Closes += audit.Closes
+		for _, v := range audit.Violations {
+			c.Violations = append(c.Violations, fmt.Sprintf("shard %d: %s", i, v))
+		}
+		ids := make([]int64, 0, len(tasks))
+		for id := range tasks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			if want := ShardOfTask(id, n); want != i {
+				c.Violations = append(c.Violations,
+					fmt.Sprintf("task %d found on shard %d but its ID strides to shard %d", id, i, want))
+			}
+			if prev, dup := owner[id]; dup {
+				c.Violations = append(c.Violations,
+					fmt.Sprintf("task %d present in histories of both shard %d and shard %d", id, prev, i))
+				continue
+			}
+			owner[id] = i
+		}
+	}
+	return out, nil
 }

@@ -241,7 +241,17 @@ func (db *DB) loadSnapshot(b []byte) error {
 // to the log. The log must come straight from wal.Open (not yet
 // replayed).
 func OpenDB(l *wal.Log) (*DB, error) {
-	db := NewDB()
+	return OpenDBShard(l, 0, 1)
+}
+
+// OpenDBShard is OpenDB for one member of a shard group: the recovered
+// database allocates the strided ID sequence of shard index of count
+// (see NewDBShard). The WAL must of course belong to that same shard.
+func OpenDBShard(l *wal.Log, index, count int) (*DB, error) {
+	db, err := NewDBShard(index, count)
+	if err != nil {
+		return nil, err
+	}
 	if snap, ok := l.Snapshot(); ok {
 		if err := db.loadSnapshot(snap); err != nil {
 			return nil, err

@@ -55,6 +55,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"osprey/internal/wal"
 )
 
 type wireRequest struct {
@@ -75,6 +77,15 @@ type wireRequest struct {
 	Max      int          `json:"max,omitempty"`
 	Payloads []string     `json:"payloads,omitempty"` // submit_batch
 	Finishes []wireFinish `json:"finishes,omitempty"` // finish_batch
+	// Key is the shard-routing key of a submit. A server with a shard
+	// identity verifies it against its own ring and answers a wrong_shard
+	// redirect when the key belongs elsewhere; an empty key skips the
+	// check (unsharded and legacy clients).
+	Key string `json:"key,omitempty"`
+	// Seg/Off are the WAL shipping cursor of a wal_fetch (replication).
+	// Seg 0 requests the bootstrap state (snapshot + starting cursor).
+	Seg int   `json:"seg,omitempty"`
+	Off int64 `json:"off,omitempty"`
 }
 
 // wireFinish is one resolution inside a finish_batch.
@@ -118,6 +129,18 @@ type wireResponse struct {
 	TaskIDs []int64      `json:"task_ids,omitempty"` // submit_batch
 	Results []wireResult `json:"results,omitempty"`  // finish_batch
 	Stats   *Stats       `json:"stats,omitempty"`
+	// WrongShard marks a redirect: the op was sent to the wrong member of
+	// a shard group and Shard names the owner. The op was NOT applied.
+	WrongShard bool `json:"wrong_shard,omitempty"`
+	Shard      int  `json:"shard,omitempty"`
+	// wal_fetch: the next shipping cursor, the shipped framed records,
+	// and whether Data is a bootstrap snapshot instead. Seg 0 in a
+	// wal_fetch response means the requested cursor was compacted away
+	// and the follower must re-bootstrap.
+	Seg      int    `json:"seg,omitempty"`
+	Off      int64  `json:"off,omitempty"`
+	Snapshot bool   `json:"snapshot,omitempty"`
+	Data     []byte `json:"data,omitempty"`
 }
 
 // connClaims tracks task attempts popped on one connection and not yet
@@ -168,6 +191,26 @@ func WithLegacyOnlyFraming() ServerOption {
 	return func(s *Server) { s.legacyOnly = true }
 }
 
+// WithShardIdentity declares the server shard index of a count-wide
+// shard group. Keyed submits whose ring owner is another shard, and
+// task-addressed ops whose strided ID belongs to another shard, are
+// answered with a wrong_shard redirect instead of being applied.
+func WithShardIdentity(index, count int) ServerOption {
+	return func(s *Server) {
+		s.shardIndex, s.shardCount = index, count
+		if count > 1 {
+			s.ring = NewRing(count)
+		}
+	}
+}
+
+// WithReplicationSource exposes the given WAL over the wal_fetch op so
+// followers can bootstrap from its snapshot and tail its segments. The
+// log must be the one backing this server's DB.
+func WithReplicationSource(l *wal.Log) ServerOption {
+	return func(s *Server) { s.replWAL = l }
+}
+
 // Server exposes a DB over TCP.
 type Server struct {
 	db         *DB
@@ -177,6 +220,10 @@ type Server struct {
 	ctx        context.Context
 	cancel     context.CancelFunc
 	legacyOnly bool
+	shardIndex int
+	shardCount int
+	ring       *Ring
+	replWAL    *wal.Log
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -342,9 +389,43 @@ func (s *Server) handleLegacy(conn net.Conn, r *bufio.Reader, claims *connClaims
 // (including the batch ops) works over either framing. ctx bounds
 // blocking pops: it is the server context, additionally canceled when the
 // requesting connection dies (binary path).
+// wrongShardTask answers a redirect when a task-addressed op reached a
+// shard that does not own the task's strided ID; nil means the op may
+// proceed (including always on an unsharded server).
+func (s *Server) wrongShardTask(id int64) *wireResponse {
+	if s.shardCount <= 1 || id < 1 {
+		return nil
+	}
+	if want := ShardOfTask(id, s.shardCount); want != s.shardIndex {
+		return &wireResponse{
+			Error:      fmt.Sprintf("emews: task %d belongs to shard %d, not %d", id, want, s.shardIndex),
+			WrongShard: true, Shard: want,
+		}
+	}
+	return nil
+}
+
+// wrongShardKey answers a redirect when a keyed submit's ring owner is
+// another shard. An empty key skips the check.
+func (s *Server) wrongShardKey(key string) *wireResponse {
+	if s.shardCount <= 1 || key == "" || s.ring == nil {
+		return nil
+	}
+	if want := s.ring.Lookup(key); want != s.shardIndex {
+		return &wireResponse{
+			Error:      fmt.Sprintf("emews: key routes to shard %d, not %d", want, s.shardIndex),
+			WrongShard: true, Shard: want,
+		}
+	}
+	return nil
+}
+
 func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClaims) wireResponse {
 	switch req.Op {
 	case "submit":
+		if r := s.wrongShardKey(req.Key); r != nil {
+			return *r
+		}
 		var f *Future
 		var err error
 		if req.MaxAttempts > 0 {
@@ -357,6 +438,9 @@ func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClai
 		}
 		return wireResponse{OK: true, TaskID: f.TaskID}
 	case "submit_batch":
+		if r := s.wrongShardKey(req.Key); r != nil {
+			return *r
+		}
 		maxAttempts := req.MaxAttempts
 		if maxAttempts < 1 {
 			maxAttempts = 1
@@ -399,12 +483,18 @@ func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClai
 		}
 		return wireResponse{OK: true, Tasks: tasks}
 	case "complete":
+		if r := s.wrongShardTask(req.TaskID); r != nil {
+			return *r
+		}
 		claims.release(req.TaskID)
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusComplete, req.Result, ""); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
 		}
 		return wireResponse{OK: true}
 	case "fail":
+		if r := s.wrongShardTask(req.TaskID); r != nil {
+			return *r
+		}
 		claims.release(req.TaskID)
 		if _, err := s.db.finish(req.TaskID, req.Epoch, StatusFailed, "", req.ErrMsg); err != nil {
 			return wireResponse{Error: err.Error(), Stale: errors.Is(err, ErrStaleClaim)}
@@ -413,6 +503,12 @@ func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClai
 	case "finish_batch":
 		results := make([]wireResult, len(req.Finishes))
 		for i, fin := range req.Finishes {
+			if r := s.wrongShardTask(fin.TaskID); r != nil {
+				// Per-op redirect: the routing client groups finishes by
+				// shard, so this is defensive, not a hot path.
+				results[i] = wireResult{Error: r.Error}
+				continue
+			}
 			claims.release(fin.TaskID)
 			status, result, errMsg := StatusComplete, fin.Result, ""
 			if fin.Failed {
@@ -426,6 +522,9 @@ func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClai
 		}
 		return wireResponse{OK: true, Results: results}
 	case "result":
+		if r := s.wrongShardTask(req.TaskID); r != nil {
+			return *r
+		}
 		t, err := s.db.Get(req.TaskID)
 		if err != nil {
 			return wireResponse{Error: err.Error()}
@@ -443,6 +542,27 @@ func (s *Server) dispatch(ctx context.Context, req wireRequest, claims *connClai
 	case "stats":
 		st := s.db.Stats()
 		return wireResponse{OK: true, Stats: &st}
+	case "wal_fetch":
+		if s.replWAL == nil {
+			return wireResponse{Error: "emews: replication not enabled on this server"}
+		}
+		if req.Seg == 0 {
+			// Bootstrap: newest snapshot (if any) plus the starting cursor.
+			snap, seg, off, err := s.replWAL.ShipBootstrap()
+			if err != nil {
+				return wireResponse{Error: err.Error()}
+			}
+			return wireResponse{OK: true, Seg: seg, Off: off, Data: snap, Snapshot: snap != nil}
+		}
+		data, seg, off, err := s.replWAL.ReadAt(req.Seg, req.Off, 0)
+		if err != nil {
+			if errors.Is(err, wal.ErrCompacted) {
+				// Seg 0 in a wal_fetch response is the re-bootstrap signal.
+				return wireResponse{OK: true, Seg: 0}
+			}
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Seg: seg, Off: off, Data: data}
 	default:
 		return wireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -805,7 +925,7 @@ func (c *Client) drop(conn net.Conn) {
 // different attempt than the one the caller observed.
 func retrySafe(req *wireRequest) bool {
 	switch req.Op {
-	case "pop", "pop_batch", "result", "stats":
+	case "pop", "pop_batch", "result", "stats", "wal_fetch":
 		return true
 	case "complete", "fail":
 		return req.Epoch > 0
@@ -872,9 +992,23 @@ func (c *Client) legacyExchange(h connHandle, req *wireRequest) (wireResponse, e
 	return resp, nil
 }
 
+// WrongShardError is a redirect from a shard-group member: the op was
+// sent to the wrong shard, was not applied, and should be re-sent to
+// Shard. The routing ShardedClient follows these transparently; a raw
+// Client surfaces them.
+type WrongShardError struct {
+	Shard int
+	Msg   string
+}
+
+func (e *WrongShardError) Error() string { return e.Msg }
+
 // respError converts a server-side rejection into an error.
 func respError(resp *wireResponse) error {
 	if resp.Error != "" && !resp.OK {
+		if resp.WrongShard {
+			return &WrongShardError{Shard: resp.Shard, Msg: resp.Error}
+		}
 		if resp.Stale {
 			return &staleRemoteError{msg: resp.Error}
 		}
@@ -950,16 +1084,32 @@ func (c *Client) SubmitRetry(taskType string, priority int, payload string, maxA
 	return resp.TaskID, nil
 }
 
+// SubmitKeyedRetry is SubmitRetry with an explicit shard-routing key: a
+// server that is part of a shard group verifies the key against its hash
+// ring and answers *WrongShardError when it routes elsewhere (the op is
+// not applied). Unsharded servers ignore the key.
+func (c *Client) SubmitKeyedRetry(taskType string, priority int, payload, key string, maxAttempts int) (int64, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "submit", Type: taskType, Priority: priority, Payload: payload, Key: key, MaxAttempts: maxAttempts})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TaskID, nil
+}
+
 // SubmitBatch inserts several tasks of one type at one priority in a
 // single round trip (atomic on the server; see DB.SubmitBatch) and
 // returns their IDs in payload order. maxAttempts > 1 gives every task in
 // the batch that retry budget. Like Submit, the batch is not
 // transport-retried once it may have been applied.
 func (c *Client) SubmitBatch(taskType string, priority int, payloads []string, maxAttempts int) ([]int64, error) {
+	return c.submitBatchKeyed(taskType, priority, payloads, "", maxAttempts)
+}
+
+func (c *Client) submitBatchKeyed(taskType string, priority int, payloads []string, key string, maxAttempts int) ([]int64, error) {
 	if len(payloads) == 0 {
 		return nil, nil
 	}
-	resp, err := c.roundTrip(wireRequest{Op: "submit_batch", Type: taskType, Priority: priority, Payloads: payloads, MaxAttempts: maxAttempts})
+	resp, err := c.roundTrip(wireRequest{Op: "submit_batch", Type: taskType, Priority: priority, Payloads: payloads, Key: key, MaxAttempts: maxAttempts})
 	if err != nil {
 		return nil, err
 	}
@@ -1123,4 +1273,27 @@ func (c *Client) RemoteStats() (Stats, error) {
 		return Stats{}, errors.New("emews: missing stats in response")
 	}
 	return *resp.Stats, nil
+}
+
+// WALChunk is one wal_fetch reply: either a bootstrap snapshot
+// (Snapshot=true, Data = snapshot payload) or a run of framed WAL
+// records (Data), plus the next shipping cursor. Seg == 0 means the
+// requested cursor was compacted away: re-bootstrap with WALFetch(0, 0).
+type WALChunk struct {
+	Data     []byte
+	Seg      int
+	Off      int64
+	Snapshot bool
+}
+
+// WALFetch reads the primary's WAL over the wire (replication): seg 0
+// requests the bootstrap state, any other cursor requests the framed
+// records after it (empty Data with Seg != 0 = caught up with the tail).
+// Read-only and idempotent, so it is transport-retried like pops.
+func (c *Client) WALFetch(seg int, off int64) (WALChunk, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "wal_fetch", Seg: seg, Off: off})
+	if err != nil {
+		return WALChunk{}, err
+	}
+	return WALChunk{Data: resp.Data, Seg: resp.Seg, Off: resp.Off, Snapshot: resp.Snapshot}, nil
 }

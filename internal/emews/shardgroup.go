@@ -1,0 +1,121 @@
+// ShardGroup: the server-side bundle of a sharded task substrate — one
+// WAL-backed task database per shard, each served with its shard identity
+// (for wrong_shard redirects) and its WAL exposed for replication. The
+// daemon and the benchmarks use it to stand up a whole group in one call;
+// the load harness wires the same pieces by hand because it interposes
+// chaos proxies and followers between them.
+package emews
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"osprey/internal/wal"
+)
+
+// ShardGroup is a set of co-hosted shard primaries.
+type ShardGroup struct {
+	dirs []string
+	logs []*wal.Log
+	dbs  []*DB
+	srvs []*Server
+}
+
+// shardDir names shard i's WAL directory under a group base directory.
+func shardDir(baseDir string, i int) string {
+	return filepath.Join(baseDir, fmt.Sprintf("shard-%02d", i))
+}
+
+// OpenShardGroup opens (creating or recovering) count shard databases
+// under baseDir/shard-NN and serves each one. addrs pins per-shard listen
+// addresses; nil (or fewer entries than shards) assigns ephemeral
+// loopback ports, the default — pinned ports are an explicit opt-in.
+// On error, everything already opened is torn down.
+func OpenShardGroup(baseDir string, count int, addrs []string, walOpts wal.Options) (*ShardGroup, error) {
+	if count < 1 {
+		count = 1
+	}
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		return nil, err
+	}
+	g := &ShardGroup{}
+	for i := 0; i < count; i++ {
+		dir := shardDir(baseDir, i)
+		l, err := wal.Open(dir, walOpts)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		db, err := OpenDBShard(l, i, count)
+		if err != nil {
+			l.Close()
+			g.Close()
+			return nil, fmt.Errorf("emews: open shard %d: %w", i, err)
+		}
+		addr := "127.0.0.1:0"
+		if i < len(addrs) && addrs[i] != "" {
+			addr = addrs[i]
+		}
+		srv, err := Serve(db, addr, WithShardIdentity(i, count), WithReplicationSource(l))
+		if err != nil {
+			db.Close()
+			l.Close()
+			g.Close()
+			return nil, fmt.Errorf("emews: serve shard %d: %w", i, err)
+		}
+		g.dirs = append(g.dirs, dir)
+		g.logs = append(g.logs, l)
+		g.dbs = append(g.dbs, db)
+		g.srvs = append(g.srvs, srv)
+	}
+	return g, nil
+}
+
+// Shards returns the group size.
+func (g *ShardGroup) Shards() int { return len(g.dbs) }
+
+// Addrs returns the bound listen address of every shard, indexed by shard.
+func (g *ShardGroup) Addrs() []string {
+	out := make([]string, len(g.srvs))
+	for i, s := range g.srvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// DB returns shard i's database (e.g. to attach a lease reaper).
+func (g *ShardGroup) DB(i int) *DB { return g.dbs[i] }
+
+// Dir returns shard i's WAL directory.
+func (g *ShardGroup) Dir(i int) string { return g.dirs[i] }
+
+// Stats sums occupancy across the group.
+func (g *ShardGroup) Stats() Stats {
+	var sum Stats
+	for _, db := range g.dbs {
+		st := db.Stats()
+		sum.Queued += st.Queued
+		sum.Running += st.Running
+		sum.Complete += st.Complete
+		sum.Failed += st.Failed
+		sum.Canceled += st.Canceled
+		sum.Submitted += st.Submitted
+	}
+	return sum
+}
+
+// Close stops the servers, closes the databases (logging the close
+// mutation, canceling queued tasks — DB.Close semantics per shard), and
+// closes the logs.
+func (g *ShardGroup) Close() {
+	for _, s := range g.srvs {
+		s.Close()
+	}
+	for _, db := range g.dbs {
+		db.Close()
+	}
+	for _, l := range g.logs {
+		l.Close()
+	}
+}

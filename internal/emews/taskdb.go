@@ -154,6 +154,11 @@ type DB struct {
 	leaseTimeout time.Duration
 	backend      wal.Backend // nil = in-memory only (the default)
 	wal          *wal.Log    // set by OpenDB; enables Compact
+	// shardIndex/shardCount stride the ID sequence so a shard group's
+	// databases allocate disjoint IDs (see ring.go). 0/1 (or 0/0) is the
+	// unsharded default: IDs 1, 2, 3, …
+	shardIndex int
+	shardCount int
 }
 
 // NewDB creates an empty task database.
@@ -165,6 +170,44 @@ func NewDB() *DB {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	return db
+}
+
+// NewDBShard creates an empty task database that is shard index of a
+// count-wide shard group: it assigns the strided ID sequence index+1,
+// index+1+count, index+1+2·count, … so every ID maps back to its owner
+// via ShardOfTask. NewDBShard(0, 1) is NewDB.
+func NewDBShard(index, count int) (*DB, error) {
+	if count < 1 {
+		count = 1
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("emews: shard index %d out of range for %d shards", index, count)
+	}
+	db := NewDB()
+	db.shardIndex, db.shardCount = index, count
+	// First assigned ID is nextID + stride = index + 1.
+	db.nextID = int64(index+1) - db.stride()
+	return db, nil
+}
+
+// ShardIdentity reports which shard of how many this database is
+// (0 of 1 when unsharded).
+func (db *DB) ShardIdentity() (index, count int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.shardCount < 1 {
+		return 0, 1
+	}
+	return db.shardIndex, db.shardCount
+}
+
+// stride is the ID-allocation step. The caller holds db.mu (or the DB is
+// not yet shared).
+func (db *DB) stride() int64 {
+	if db.shardCount > 1 {
+		return int64(db.shardCount)
+	}
+	return 1
 }
 
 // ErrClosed is returned by operations on a closed database.
@@ -206,7 +249,7 @@ func (db *DB) submitLocked(taskType string, priority int, payload string, maxAtt
 		maxAttempts = 1
 	}
 	t := Task{
-		ID: db.nextID + 1, Type: taskType, Priority: priority, Payload: payload,
+		ID: db.nextID + db.stride(), Type: taskType, Priority: priority, Payload: payload,
 		MaxAttempts: maxAttempts,
 		Status:      StatusQueued, Submitted: time.Now(),
 	}

@@ -59,6 +59,7 @@ const (
 	opcSubmitBatch
 	opcPopBatch
 	opcFinishBatch
+	opcWALFetch
 )
 
 var opToCode = map[string]byte{
@@ -71,6 +72,7 @@ var opToCode = map[string]byte{
 	"submit_batch": opcSubmitBatch,
 	"pop_batch":    opcPopBatch,
 	"finish_batch": opcFinishBatch,
+	"wal_fetch":    opcWALFetch,
 }
 
 var codeToOp = map[byte]string{}
@@ -115,6 +117,11 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+func appendBytes(b, data []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
 // appendRequestPayload encodes every wireRequest field in a fixed order.
 // All ops share the layout; unused fields cost one zero byte each.
 func appendRequestPayload(b []byte, req *wireRequest) []byte {
@@ -122,10 +129,13 @@ func appendRequestPayload(b []byte, req *wireRequest) []byte {
 	b = appendString(b, req.Payload)
 	b = appendString(b, req.Result)
 	b = appendString(b, req.ErrMsg)
+	b = appendString(b, req.Key)
 	b = binary.AppendVarint(b, int64(req.Priority))
 	b = binary.AppendVarint(b, int64(req.TimeoutMS))
 	b = binary.AppendVarint(b, int64(req.MaxAttempts))
 	b = binary.AppendVarint(b, int64(req.Max))
+	b = binary.AppendVarint(b, int64(req.Seg))
+	b = binary.AppendVarint(b, req.Off)
 	b = binary.AppendUvarint(b, uint64(req.TaskID))
 	b = binary.AppendUvarint(b, uint64(req.Epoch))
 	b = binary.AppendUvarint(b, uint64(len(req.Payloads)))
@@ -145,12 +155,14 @@ func appendRequestPayload(b []byte, req *wireRequest) []byte {
 
 // Response flag bits.
 const (
-	respOK       = 1 << 0
-	respStale    = 1 << 1
-	respDone     = 1 << 2
-	respEmpty    = 1 << 3
-	respFailed   = 1 << 4
-	respHasStats = 1 << 5
+	respOK         = 1 << 0
+	respStale      = 1 << 1
+	respDone       = 1 << 2
+	respEmpty      = 1 << 3
+	respFailed     = 1 << 4
+	respHasStats   = 1 << 5
+	respWrongShard = 1 << 6
+	respSnapshot   = 1 << 7
 )
 
 func appendResponsePayload(b []byte, resp *wireResponse) []byte {
@@ -173,12 +185,22 @@ func appendResponsePayload(b []byte, resp *wireResponse) []byte {
 	if resp.Stats != nil {
 		flags |= respHasStats
 	}
+	if resp.WrongShard {
+		flags |= respWrongShard
+	}
+	if resp.Snapshot {
+		flags |= respSnapshot
+	}
 	b = append(b, flags)
 	b = appendString(b, resp.Error)
 	b = appendString(b, resp.Payload)
 	b = appendString(b, resp.Result)
 	b = binary.AppendUvarint(b, uint64(resp.TaskID))
 	b = binary.AppendUvarint(b, uint64(resp.Epoch))
+	b = binary.AppendVarint(b, int64(resp.Shard))
+	b = binary.AppendVarint(b, int64(resp.Seg))
+	b = binary.AppendVarint(b, resp.Off)
+	b = appendBytes(b, resp.Data)
 	b = binary.AppendUvarint(b, uint64(len(resp.Tasks)))
 	for _, t := range resp.Tasks {
 		b = binary.AppendUvarint(b, uint64(t.ID))
@@ -336,6 +358,26 @@ func (r *wireReader) str(what string) string {
 	return s
 }
 
+// bytes reads a length-prefixed byte run, copying out of the pooled
+// buffer. A zero length decodes as nil.
+func (r *wireReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
 func (r *wireReader) boolByte(what string) bool {
 	if r.err != nil {
 		return false
@@ -375,10 +417,13 @@ func decodeRequestPayload(code byte, payload []byte) (wireRequest, error) {
 	req.Payload = r.str("payload")
 	req.Result = r.str("result")
 	req.ErrMsg = r.str("err_msg")
+	req.Key = r.str("key")
 	req.Priority = int(r.varint("priority"))
 	req.TimeoutMS = int(r.varint("timeout_ms"))
 	req.MaxAttempts = int(r.varint("max_attempts"))
 	req.Max = int(r.varint("max"))
+	req.Seg = int(r.varint("seg"))
+	req.Off = r.varint("off")
 	req.TaskID = int64(r.uvarint("task_id"))
 	req.Epoch = int64(r.uvarint("epoch"))
 	if n := r.count("payloads"); n > 0 {
@@ -421,11 +466,17 @@ func decodeResponsePayload(code byte, payload []byte) (wireResponse, error) {
 		resp.Done = flags&respDone != 0
 		resp.Empty = flags&respEmpty != 0
 		resp.Failed = flags&respFailed != 0
+		resp.WrongShard = flags&respWrongShard != 0
+		resp.Snapshot = flags&respSnapshot != 0
 		resp.Error = r.str("error")
 		resp.Payload = r.str("payload")
 		resp.Result = r.str("result")
 		resp.TaskID = int64(r.uvarint("task_id"))
 		resp.Epoch = int64(r.uvarint("epoch"))
+		resp.Shard = int(r.varint("shard"))
+		resp.Seg = int(r.varint("seg"))
+		resp.Off = r.varint("off")
+		resp.Data = r.bytes("data")
 		if n := r.count("tasks"); n > 0 {
 			resp.Tasks = make([]wireTask, 0, n)
 			for i := 0; i < n; i++ {

@@ -20,6 +20,9 @@ func fullRequest() wireRequest {
 		TimeoutMS:   250,
 		MaxAttempts: 5,
 		Max:         64,
+		Key:         "route-key ✓",
+		Seg:         12,
+		Off:         1 << 33,
 		Payloads:    []string{"", "a", "bb"},
 		Finishes: []wireFinish{
 			{TaskID: 1, Epoch: 2, Failed: true, Result: "", ErrMsg: "e"},
@@ -50,7 +53,13 @@ func fullResponse() wireResponse {
 			{OK: false, Stale: true, Error: "stale claim"},
 			{OK: false, Error: "nope"},
 		},
-		Stats: &Stats{Queued: 1, Running: 2, Complete: 3, Failed: -4, Canceled: 5, Submitted: 7},
+		Stats:      &Stats{Queued: 1, Running: 2, Complete: 3, Failed: -4, Canceled: 5, Submitted: 7},
+		WrongShard: true,
+		Shard:      2,
+		Seg:        4,
+		Off:        513,
+		Snapshot:   true,
+		Data:       []byte{0x00, 0xff, 0x7f, 0x01},
 	}
 }
 

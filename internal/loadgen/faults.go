@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -35,6 +36,14 @@ const (
 	// record, so a task can legally be re-executed after this fault (the
 	// per-(task,epoch) fencing invariants still hold).
 	FaultTornCrash FaultKind = "torn-crash"
+	// FaultShardFailover kills shard Shard's primary mid-run — WAL handle
+	// dropped first, then the listener, the same death model as FaultCrash
+	// — and promotes its warm follower: catch-up from the dead primary's
+	// log directory, epoch-bumping requeue of orphaned claims, a fresh
+	// server, and a proxy repoint. Requires a sharded run (Config.Shards
+	// >= 2); each shard has one standby, so at most one failover per
+	// shard per run.
+	FaultShardFailover FaultKind = "shard-failover"
 )
 
 // FaultEvent is one scheduled chaos action. At is the offset from run
@@ -45,6 +54,7 @@ type FaultEvent struct {
 	Kind  FaultKind     `json:"kind"`
 	Value time.Duration `json:"value,omitempty"`
 	Dur   time.Duration `json:"dur,omitempty"`
+	Shard int           `json:"shard,omitempty"` // target of a shard-scoped fault
 }
 
 func (f FaultEvent) String() string {
@@ -53,6 +63,8 @@ func (f FaultEvent) String() string {
 		return fmt.Sprintf("%v:%s:%v", f.At, f.Kind, f.Value)
 	case FaultLatency:
 		return fmt.Sprintf("%v:%s:%v:%v", f.At, f.Kind, f.Value, f.Dur)
+	case FaultShardFailover:
+		return fmt.Sprintf("%v:%s:%d", f.At, f.Kind, f.Shard)
 	default:
 		return fmt.Sprintf("%v:%s", f.At, f.Kind)
 	}
@@ -76,9 +88,11 @@ const (
 //	15s:pool-crash:500ms     crash the worker pool at t=15s, restart after 500ms
 //	20s:crash                daemon crash + recovery at t=20s
 //	25s:torn-crash           daemon crash with a torn WAL tail at t=25s
+//	30s:shard-failover:1     kill shard 1's primary at t=30s, promote its follower
 //
-// The keywords "default" and "none" expand to DefaultFaults(d)/no faults
-// when given to ParseFaultsFor; events are returned sorted by At.
+// The keywords "default", "shard-failover", and "none" expand to
+// DefaultFaults(d)/ShardFailoverFaults(d)/no faults when given to
+// ParseFaultsFor; events are returned sorted by At.
 func ParseFaults(s string) ([]FaultEvent, error) {
 	s = strings.TrimSpace(s)
 	if s == "" || s == "none" {
@@ -125,6 +139,17 @@ func ParseFaults(s string) ([]FaultEvent, error) {
 			if ev.Value, err = arg(2, defaultPoolRestart); err != nil {
 				return nil, fmt.Errorf("loadgen: fault %q: bad restart delay: %v", entry, err)
 			}
+		case FaultShardFailover:
+			if len(parts) > 3 {
+				return nil, fmt.Errorf("loadgen: fault %q: want AT:shard-failover[:SHARD]", entry)
+			}
+			if len(parts) == 3 {
+				n, cerr := strconv.Atoi(parts[2])
+				if cerr != nil || n < 0 {
+					return nil, fmt.Errorf("loadgen: fault %q: bad shard index %q", entry, parts[2])
+				}
+				ev.Shard = n
+			}
 		default:
 			return nil, fmt.Errorf("loadgen: fault %q: unknown kind %q", entry, parts[1])
 		}
@@ -134,39 +159,93 @@ func ParseFaults(s string) ([]FaultEvent, error) {
 	return events, nil
 }
 
-// DefaultFaults builds the full fault schedule for a run of length d:
-// every fault kind, spread across the middle of the run so the tail
-// leaves room to drain. Windows scale with d but are clamped to the
-// DSL defaults' order of magnitude.
-func DefaultFaults(d time.Duration) []FaultEvent {
-	frac := func(f float64) time.Duration { return time.Duration(f * float64(d)) }
-	win := func(f float64, min, max time.Duration) time.Duration {
-		w := frac(f)
-		if w < min {
-			w = min
-		}
-		if w > max {
-			w = max
-		}
-		return w
+// fracOf places a fault at fraction f of a run of length d; winOf sizes a
+// fault window the same way, clamped to the DSL defaults' order of
+// magnitude.
+func fracOf(d time.Duration, f float64) time.Duration { return time.Duration(f * float64(d)) }
+
+func winOf(d time.Duration, f float64, min, max time.Duration) time.Duration {
+	w := fracOf(d, f)
+	if w < min {
+		w = min
 	}
+	if w > max {
+		w = max
+	}
+	return w
+}
+
+// DefaultFaults builds the full fault schedule for a run of length d:
+// every single-stack fault kind, spread across the middle of the run so
+// the tail leaves room to drain. Windows scale with d but are clamped to
+// the DSL defaults' order of magnitude.
+func DefaultFaults(d time.Duration) []FaultEvent {
 	return []FaultEvent{
-		{At: frac(0.15), Kind: FaultKill},
-		{At: frac(0.25), Kind: FaultRefuse, Value: win(0.04, 100*time.Millisecond, time.Second)},
-		{At: frac(0.40), Kind: FaultLatency, Value: defaultLatency, Dur: win(0.08, 200*time.Millisecond, 2*time.Second)},
-		{At: frac(0.55), Kind: FaultPoolCrash, Value: defaultPoolRestart},
-		{At: frac(0.68), Kind: FaultCrash},
-		{At: frac(0.82), Kind: FaultTornCrash},
-		{At: frac(0.90), Kind: FaultKill},
+		{At: fracOf(d, 0.15), Kind: FaultKill},
+		{At: fracOf(d, 0.25), Kind: FaultRefuse, Value: winOf(d, 0.04, 100*time.Millisecond, time.Second)},
+		{At: fracOf(d, 0.40), Kind: FaultLatency, Value: defaultLatency, Dur: winOf(d, 0.08, 200*time.Millisecond, 2*time.Second)},
+		{At: fracOf(d, 0.55), Kind: FaultPoolCrash, Value: defaultPoolRestart},
+		{At: fracOf(d, 0.68), Kind: FaultCrash},
+		{At: fracOf(d, 0.82), Kind: FaultTornCrash},
+		{At: fracOf(d, 0.90), Kind: FaultKill},
+	}
+}
+
+// ShardFailoverFaults builds the sharded-run chaos schedule for a run of
+// length d: the network and pool faults from DefaultFaults interleaved
+// with two primary kills — shard 0 mid-ramp, shard 1 late, each promoting
+// its follower. The crash faults stay out: they exercise the single-stack
+// reboot-in-place recovery path, which a shard group replaces with
+// failover.
+func ShardFailoverFaults(d time.Duration) []FaultEvent {
+	return []FaultEvent{
+		{At: fracOf(d, 0.12), Kind: FaultKill},
+		{At: fracOf(d, 0.25), Kind: FaultShardFailover, Shard: 0},
+		{At: fracOf(d, 0.38), Kind: FaultLatency, Value: defaultLatency, Dur: winOf(d, 0.08, 200*time.Millisecond, 2*time.Second)},
+		{At: fracOf(d, 0.52), Kind: FaultRefuse, Value: winOf(d, 0.04, 100*time.Millisecond, time.Second)},
+		{At: fracOf(d, 0.62), Kind: FaultPoolCrash, Value: defaultPoolRestart},
+		{At: fracOf(d, 0.75), Kind: FaultShardFailover, Shard: 1},
+		{At: fracOf(d, 0.88), Kind: FaultKill},
 	}
 }
 
 // ParseFaultsFor resolves a -faults flag value: "default" expands to
-// DefaultFaults(d), "none"/"" to an empty schedule, anything else is
-// parsed as the DSL.
+// DefaultFaults(d), "shard-failover" to ShardFailoverFaults(d), "none"/""
+// to an empty schedule, anything else is parsed as the DSL.
 func ParseFaultsFor(s string, d time.Duration) ([]FaultEvent, error) {
-	if strings.TrimSpace(s) == "default" {
+	switch strings.TrimSpace(s) {
+	case "default":
 		return DefaultFaults(d), nil
+	case "shard-failover":
+		return ShardFailoverFaults(d), nil
 	}
 	return ParseFaults(s)
+}
+
+// validateFaults rejects schedule/topology mismatches up front: the crash
+// faults reboot the single stack in place and have no meaning for a shard
+// group, shard-failover needs a group, a real target, and an unspent
+// standby (each shard has exactly one).
+func validateFaults(faults []FaultEvent, shards int) error {
+	failedOver := map[int]bool{}
+	for _, f := range faults {
+		switch f.Kind {
+		case FaultCrash, FaultTornCrash:
+			if shards > 1 {
+				return fmt.Errorf("loadgen: fault %s targets the single-stack recovery path; not supported with %d shards", f, shards)
+			}
+		case FaultShardFailover:
+			if shards <= 1 {
+				return fmt.Errorf("loadgen: fault %s requires a sharded run (Shards >= 2)", f)
+			}
+			if f.Shard >= shards {
+				return fmt.Errorf("loadgen: fault %s targets shard %d of a %d-shard group", f, f.Shard, shards)
+			}
+			if failedOver[f.Shard] {
+				return fmt.Errorf("loadgen: fault %s: shard %d already failed over (one standby per shard)", f, f.Shard)
+			}
+			failedOver[f.Shard] = true
+		}
+	}
+	return nil
 }

@@ -35,6 +35,20 @@ type Config struct {
 	Closed   bool          // closed-loop: pace submits by in-flight cap, not wall clock
 	Window   int           // closed-loop in-flight cap; default 2×Workers
 
+	// Shards selects the task-substrate topology: <=1 runs the single
+	// stack, >=2 runs a shard group (consistent-hash routed submits,
+	// strided IDs, one warm follower per shard) behind per-shard chaos
+	// proxies. Crash faults need the single stack; shard-failover needs a
+	// group — Run rejects mismatched schedules.
+	Shards int
+
+	// PinnedPorts makes crash reboots rebind the listen ports of the first
+	// boot instead of taking fresh ephemeral ones. The harness re-resolves
+	// addresses after every reboot, so pinning is never required; it only
+	// recreates a fixed-address deployment, and on a busy host the rebind
+	// can race another process claiming the freed port.
+	PinnedPorts bool
+
 	TaskTypes []string      // task-type mix; workers are assigned round-robin
 	FailFrac  float64       // fraction of tasks that fail at least once (<0 disables)
 	WorkMean  time.Duration // mean simulated model work per attempt
@@ -70,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers < len(c.TaskTypes) {
 		c.Workers = len(c.TaskTypes) // every type needs a worker or the drain hangs
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	if c.Window <= 0 {
 		c.Window = 2 * c.Workers
@@ -141,13 +158,15 @@ func (tr *tracker) resolved(id, epoch int64, kind string, err error) {
 
 // harness owns the full service stack for one run. The mutable service
 // handles (db, store, servers, logs) are swapped atomically under mu by
-// crash/boot; everything else is fixed for the run.
+// crash/boot (single stack) or failover (shard group); everything else is
+// fixed for the run.
 type harness struct {
 	cfg     Config
 	plan    []PlanEvent
 	start   time.Time
 	tracker *tracker
-	proxy   *chaos.Proxy
+	proxy   *chaos.Proxy  // single-stack chaos proxy; nil in sharded runs
+	shards  []*shardState // shard group; nil in single-stack runs
 
 	dirTasks, dirAero string
 
@@ -160,7 +179,7 @@ type harness struct {
 	httpSrv  *http.Server
 	reapStop context.CancelFunc
 	pool     *pool
-	taskAddr string // pinned after first boot; reboots bind the same ports
+	taskAddr string // re-resolved after every boot (fixed only with PinnedPorts)
 	httpAddr string
 
 	streams map[string]string // stream name -> data UUID (durable across crashes)
@@ -169,6 +188,7 @@ type harness struct {
 	faultCounts map[string]int
 	crashes     int
 	tornCrashes int
+	failovers   int
 
 	submitRetries int64
 	ingestRetries int64
@@ -218,12 +238,29 @@ func (h *harness) currentTaskAddr() string {
 	return h.taskAddr
 }
 
-// boot (re)starts the daemon side of the stack from the data directories:
-// WAL-recovered task DB with lease reaper, WAL-recovered metadata store,
-// TCP task server and HTTP metadata/metrics server. After the first boot
-// the listen addresses are pinned so crash recovery comes back on the
-// same ports the clients are retrying.
+// boot (re)starts the single-stack daemon side from the data directories:
+// WAL-recovered task DB with lease reaper plus TCP server, WAL-recovered
+// metadata store plus HTTP metadata/metrics server. Listen ports are
+// ephemeral on every boot — clients re-resolve through the proxy and the
+// current*Addr accessors — unless PinnedPorts asks crash reboots to
+// rebind the first boot's ports.
 func (h *harness) boot() error {
+	if err := h.bootTasks(); err != nil {
+		return err
+	}
+	if err := h.bootAero(); err != nil {
+		h.mu.Lock()
+		taskSrv, logTasks, reapStop := h.taskSrv, h.logTasks, h.reapStop
+		h.mu.Unlock()
+		reapStop()
+		taskSrv.Close()
+		logTasks.Close()
+		return err
+	}
+	return nil
+}
+
+func (h *harness) bootTasks() error {
 	logTasks, err := wal.Open(h.dirTasks, wal.Options{Name: "wal.loadgen.tasks", Logf: h.cfg.Logf})
 	if err != nil {
 		return fmt.Errorf("loadgen: open task WAL: %w", err)
@@ -234,55 +271,24 @@ func (h *harness) boot() error {
 		return fmt.Errorf("loadgen: recover task DB: %w", err)
 	}
 	db.SetLeaseTimeout(5 * time.Second)
-	logAero, err := wal.Open(h.dirAero, wal.Options{Name: "wal.loadgen.aero", Logf: h.cfg.Logf})
-	if err != nil {
-		logTasks.Close()
-		return fmt.Errorf("loadgen: open aero WAL: %w", err)
-	}
-	store, err := aero.OpenStore(logAero)
-	if err != nil {
-		logTasks.Close()
-		logAero.Close()
-		return fmt.Errorf("loadgen: recover metadata store: %w", err)
-	}
-
 	taskSrv, err := listenRetry(func() (*emews.Server, error) {
-		addr := h.taskAddr
-		if addr == "" {
-			addr = "127.0.0.1:0"
+		addr := "127.0.0.1:0"
+		if h.cfg.PinnedPorts && h.taskAddr != "" {
+			addr = h.taskAddr
 		}
 		return emews.Serve(db, addr)
 	})
 	if err != nil {
 		logTasks.Close()
-		logAero.Close()
 		return fmt.Errorf("loadgen: task server: %w", err)
 	}
-	ln, err := listenRetry(func() (net.Listener, error) {
-		addr := h.httpAddr
-		if addr == "" {
-			addr = "127.0.0.1:0"
-		}
-		return net.Listen("tcp", addr)
-	})
-	if err != nil {
-		taskSrv.Close()
-		logTasks.Close()
-		logAero.Close()
-		return fmt.Errorf("loadgen: http listener: %w", err)
-	}
-	as := aero.NewServer(store)
-	as.SetCompact(store.Compact)
-	httpSrv := &http.Server{Handler: as}
-	go httpSrv.Serve(ln)
 	reapCtx, reapStop := context.WithCancel(context.Background())
 	db.StartReaper(reapCtx, 500*time.Millisecond)
 
 	h.mu.Lock()
-	h.db, h.store = db, store
-	h.logTasks, h.logAero = logTasks, logAero
-	h.taskSrv, h.httpSrv, h.reapStop = taskSrv, httpSrv, reapStop
-	h.taskAddr, h.httpAddr = taskSrv.Addr(), ln.Addr().String()
+	h.db, h.logTasks = db, logTasks
+	h.taskSrv, h.reapStop = taskSrv, reapStop
+	h.taskAddr = taskSrv.Addr()
 	h.mu.Unlock()
 	if h.proxy != nil {
 		h.proxy.SetBackend(taskSrv.Addr())
@@ -290,8 +296,42 @@ func (h *harness) boot() error {
 	return nil
 }
 
-// listenRetry retries a bind briefly: a rebooted daemon can race the
-// previous listener's socket teardown on the pinned port.
+func (h *harness) bootAero() error {
+	logAero, err := wal.Open(h.dirAero, wal.Options{Name: "wal.loadgen.aero", Logf: h.cfg.Logf})
+	if err != nil {
+		return fmt.Errorf("loadgen: open aero WAL: %w", err)
+	}
+	store, err := aero.OpenStore(logAero)
+	if err != nil {
+		logAero.Close()
+		return fmt.Errorf("loadgen: recover metadata store: %w", err)
+	}
+	ln, err := listenRetry(func() (net.Listener, error) {
+		addr := "127.0.0.1:0"
+		if h.cfg.PinnedPorts && h.httpAddr != "" {
+			addr = h.httpAddr
+		}
+		return net.Listen("tcp", addr)
+	})
+	if err != nil {
+		logAero.Close()
+		return fmt.Errorf("loadgen: http listener: %w", err)
+	}
+	as := aero.NewServer(store)
+	as.SetCompact(store.Compact)
+	httpSrv := &http.Server{Handler: as}
+	go httpSrv.Serve(ln)
+
+	h.mu.Lock()
+	h.store, h.logAero = store, logAero
+	h.httpSrv, h.httpAddr = httpSrv, ln.Addr().String()
+	h.mu.Unlock()
+	return nil
+}
+
+// listenRetry retries a bind briefly: with PinnedPorts a rebooted daemon
+// can race the previous listener's socket teardown on the pinned port
+// (ephemeral binds succeed on the first try).
 func listenRetry[T any](bind func() (T, error)) (T, error) {
 	var last error
 	for attempt := 0; attempt < 40; attempt++ {
@@ -310,9 +350,9 @@ func listenRetry[T any](bind func() (T, error)) (T, error) {
 // so, as in a real kill, nothing that happens during teardown (like the
 // task server failing unresolved claims of dying connections) reaches the
 // durable log — then the listeners are torn down, optionally the task
-// WAL's tail is chopped, and the whole stack is rebooted from disk on the
-// same ports. db.Close and Compact are never run: recovery starts from
-// raw log replay.
+// WAL's tail is chopped, and the whole stack is rebooted from disk (on
+// fresh ephemeral ports, or the same ports with PinnedPorts). db.Close
+// and Compact are never run: recovery starts from raw log replay.
 func (h *harness) crash(torn bool) error {
 	h.mu.Lock()
 	taskSrv, httpSrv := h.taskSrv, h.httpSrv
@@ -361,6 +401,49 @@ func tearTail(dir string, n int64) error {
 		size = 0
 	}
 	return os.Truncate(last, size)
+}
+
+// taskConn is the client surface the harness drives tasks through. Both
+// *emews.Client (single stack) and *emews.ShardedClient (routing layer
+// over a shard group) satisfy it, so the workers and drivers are
+// topology-blind.
+type taskConn interface {
+	SubmitRetry(taskType string, priority int, payload string, maxAttempts int) (int64, error)
+	Pop(taskType string, timeout time.Duration) (emews.RemoteTask, bool, error)
+	PopBatch(taskType string, max int, timeout time.Duration) ([]emews.RemoteTask, error)
+	FinishBatch(ops []emews.FinishOp) ([]error, error)
+	Complete(taskID, epoch int64, result string) error
+	Fail(taskID, epoch int64, errMsg string) error
+	Close() error
+}
+
+// dialOpts is the retry/backoff profile every harness client uses.
+func dialOpts() []emews.ClientOption {
+	return []emews.ClientOption{
+		emews.WithOpTimeout(3 * time.Second),
+		emews.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
+		emews.WithRetries(2),
+	}
+}
+
+// dialWorker connects a pool worker: through the chaos proxy on the
+// single stack, through the per-shard proxies on a group.
+func (h *harness) dialWorker() (taskConn, error) {
+	if h.sharded() {
+		return emews.DialShardGroup(h.proxyAddrs(), dialOpts()...)
+	}
+	return emews.Dial(h.proxy.Addr(), dialOpts()...)
+}
+
+// dialDriver connects the ME-side submit driver: straight at the task
+// server on the single stack (the ME process and the daemon share a
+// node), through the per-shard proxies on a group — the stable names that
+// survive failover.
+func (h *harness) dialDriver() (taskConn, error) {
+	if h.sharded() {
+		return emews.DialShardGroup(h.proxyAddrs(), dialOpts()...)
+	}
+	return emews.Dial(h.currentTaskAddr(), dialOpts()...)
 }
 
 // pool is a crash-restartable set of worker goroutines popping tasks
@@ -414,7 +497,7 @@ func (p *pool) crash() {
 
 func (p *pool) worker(taskType string) {
 	defer p.wg.Done()
-	var cl *emews.Client
+	var cl taskConn
 	defer func() {
 		if cl != nil {
 			cl.Close()
@@ -436,10 +519,7 @@ func (p *pool) worker(taskType string) {
 	}
 	for p.ctx.Err() == nil {
 		if cl == nil {
-			c, err := emews.Dial(p.h.proxy.Addr(),
-				emews.WithOpTimeout(3*time.Second),
-				emews.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
-				emews.WithRetries(2))
+			c, err := p.h.dialWorker()
 			if err != nil {
 				if !pause(25 * time.Millisecond) {
 					return
@@ -543,7 +623,7 @@ func (p *pool) worker(taskType string) {
 // event lands exactly once (at-least-once send + presence check on the
 // ambiguous error paths).
 func (h *harness) submitDriver() {
-	var cl *emews.Client
+	var cl taskConn
 	defer func() {
 		if cl != nil {
 			cl.Close()
@@ -559,7 +639,7 @@ func (h *harness) submitDriver() {
 		}
 		if h.cfg.Closed {
 			for {
-				st := h.currentDB().Stats()
+				st := h.statsAll()
 				if st.Queued+st.Running < h.cfg.Window {
 					break
 				}
@@ -576,7 +656,7 @@ func (h *harness) submitDriver() {
 // the task may or may not have been applied, so the driver checks the
 // live ledger for the event's plan index before re-sending. The returned
 // client replaces the caller's (it may have been redialed or dropped).
-func (h *harness) ensureSubmitted(cl *emews.Client, ev *PlanEvent) *emews.Client {
+func (h *harness) ensureSubmitted(cl taskConn, ev *PlanEvent) taskConn {
 	for attempt := 0; ; attempt++ {
 		if h.fatalErr() != nil {
 			return cl
@@ -589,10 +669,7 @@ func (h *harness) ensureSubmitted(cl *emews.Client, ev *PlanEvent) *emews.Client
 			time.Sleep(20 * time.Millisecond)
 		}
 		if cl == nil {
-			c, err := emews.Dial(h.currentTaskAddr(),
-				emews.WithOpTimeout(3*time.Second),
-				emews.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
-				emews.WithRetries(2))
+			c, err := h.dialDriver()
 			if err != nil {
 				continue
 			}
@@ -607,10 +684,11 @@ func (h *harness) ensureSubmitted(cl *emews.Client, ev *PlanEvent) *emews.Client
 	}
 }
 
-// tasksByPlanIndex scans the live ledger and maps plan index -> task IDs.
+// tasksByPlanIndex scans the live ledger (all shards) and maps plan
+// index -> task IDs.
 func (h *harness) tasksByPlanIndex() map[int][]int64 {
 	out := map[int][]int64{}
-	for _, t := range h.currentDB().Dump() {
+	for _, t := range h.dumpAll() {
 		var spec payloadSpec
 		if err := json.Unmarshal([]byte(t.Payload), &spec); err == nil {
 			out[spec.Index] = append(out[spec.Index], t.ID)
@@ -735,15 +813,25 @@ func (h *harness) faultRunner() {
 		h.cfg.Logf("loadgen: fault %s", f)
 		switch f.Kind {
 		case FaultKill:
-			h.proxy.KillActive()
+			for _, p := range h.proxies() {
+				p.KillActive()
+			}
 		case FaultRefuse:
-			h.proxy.SetRefuse(true)
+			for _, p := range h.proxies() {
+				p.SetRefuse(true)
+			}
 			time.Sleep(f.Value)
-			h.proxy.SetRefuse(false)
+			for _, p := range h.proxies() {
+				p.SetRefuse(false)
+			}
 		case FaultLatency:
-			h.proxy.SetLatency(f.Value)
+			for _, p := range h.proxies() {
+				p.SetLatency(f.Value)
+			}
 			time.Sleep(f.Dur)
-			h.proxy.SetLatency(0)
+			for _, p := range h.proxies() {
+				p.SetLatency(0)
+			}
 		case FaultPoolCrash:
 			h.currentPool().crash()
 			time.Sleep(f.Value)
@@ -752,6 +840,8 @@ func (h *harness) faultRunner() {
 			h.fail(h.crash(false))
 		case FaultTornCrash:
 			h.fail(h.crash(true))
+		case FaultShardFailover:
+			h.fail(h.failover(f.Shard))
 		}
 	}
 }
@@ -762,7 +852,7 @@ func (h *harness) faultRunner() {
 // reconciliation.
 func (h *harness) sweepSubmits() {
 	present := h.tasksByPlanIndex()
-	var cl *emews.Client
+	var cl taskConn
 	for i := range h.plan {
 		ev := &h.plan[i]
 		if ev.Kind != EventSubmit {
@@ -796,7 +886,7 @@ func (h *harness) sweepIngests() {
 func (h *harness) drain(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		st := h.currentDB().Stats()
+		st := h.statsAll()
 		if st.Queued == 0 && st.Running == 0 {
 			return
 		}
@@ -819,6 +909,9 @@ func sleepUntil(t time.Time) {
 // violations make Report.Pass false.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if err := validateFaults(cfg.Faults, cfg.Shards); err != nil {
+		return nil, err
+	}
 	plan := BuildPlan(cfg)
 
 	dataDir := cfg.DataDir
@@ -847,15 +940,31 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	preObs := obs.Default().Snapshot()
-	if err := h.boot(); err != nil {
-		return nil, err
+	if cfg.Shards > 1 {
+		if err := h.bootAero(); err != nil {
+			return nil, err
+		}
+		if err := h.bootShards(); err != nil {
+			h.httpSrv.Close()
+			h.logAero.Close()
+			return nil, err
+		}
+		defer func() {
+			for _, p := range h.proxies() {
+				p.Close()
+			}
+		}()
+	} else {
+		if err := h.boot(); err != nil {
+			return nil, err
+		}
+		proxy, err := chaos.NewProxy(h.taskAddr)
+		if err != nil {
+			return nil, err
+		}
+		h.proxy = proxy
+		defer proxy.Close()
 	}
-	proxy, err := chaos.NewProxy(h.taskAddr)
-	if err != nil {
-		return nil, err
-	}
-	h.proxy = proxy
-	defer proxy.Close()
 	for i := 0; i < cfg.IngestStreams; i++ {
 		name := StreamName(i)
 		rec, err := h.currentStore().CreateData(name, "loadgen://"+name)
@@ -887,9 +996,11 @@ func Run(cfg Config) (*Report, error) {
 	// Post-plan reconciliation, then heal the network and drain.
 	h.sweepSubmits()
 	h.sweepIngests()
-	proxy.SetRefuse(false)
-	proxy.SetLatency(0)
-	proxy.SetAcceptDelay(0)
+	for _, p := range h.proxies() {
+		p.SetRefuse(false)
+		p.SetLatency(0)
+		p.SetAcceptDelay(0)
+	}
 	h.drain(cfg.DrainTimeout)
 	elapsed := time.Since(h.start)
 	stopScrape()
@@ -897,8 +1008,8 @@ func Run(cfg Config) (*Report, error) {
 
 	// Graceful teardown: capture final state, then close the stack and
 	// audit the durable history.
-	dump := h.currentDB().Dump()
-	stats := h.currentDB().Stats()
+	dump := h.dumpAll()
+	stats := h.statsAll()
 	streams := map[string]*aero.DataRecord{}
 	for name, uuid := range h.streams {
 		rec, err := h.currentStore().GetData(uuid)
@@ -909,21 +1020,39 @@ func Run(cfg Config) (*Report, error) {
 	}
 	postObs := obs.Default().Snapshot()
 
-	h.reapStop()
-	h.taskSrv.Close()
-	h.httpSrv.Close()
-	if err := h.logTasks.Close(); err != nil {
-		return nil, err
-	}
-	if err := h.logAero.Close(); err != nil {
-		return nil, err
-	}
-	audit, err := emews.AuditWAL(h.dirTasks)
-	if err != nil {
-		return nil, err
+	var audit *emews.WALAudit
+	var shAudit *emews.ShardsAudit
+	if h.sharded() {
+		if err := h.closeShards(); err != nil {
+			return nil, err
+		}
+		h.httpSrv.Close()
+		if err := h.logAero.Close(); err != nil {
+			return nil, err
+		}
+		sa, err := emews.AuditShards(h.auditDirs())
+		if err != nil {
+			return nil, err
+		}
+		shAudit, audit = sa, sa.Combined
+	} else {
+		h.reapStop()
+		h.taskSrv.Close()
+		h.httpSrv.Close()
+		if err := h.logTasks.Close(); err != nil {
+			return nil, err
+		}
+		if err := h.logAero.Close(); err != nil {
+			return nil, err
+		}
+		a, err := emews.AuditWAL(h.dirTasks)
+		if err != nil {
+			return nil, err
+		}
+		audit = a
 	}
 
-	report := h.buildReport(plan, dump, stats, streams, audit, postObs.Delta(preObs), elapsed)
+	report := h.buildReport(plan, dump, stats, streams, audit, shAudit, postObs.Delta(preObs), elapsed)
 	if ownDir {
 		if report.Pass {
 			os.RemoveAll(dataDir)

@@ -37,7 +37,7 @@ func TestPlanDeterministic(t *testing.T) {
 }
 
 func TestParseFaults(t *testing.T) {
-	evs, err := ParseFaults("5s:kill; 8s:refuse:1s;12s:latency:50ms:2s; 15s:pool-crash:500ms;20s:crash;25s:torn-crash")
+	evs, err := ParseFaults("5s:kill; 8s:refuse:1s;12s:latency:50ms:2s; 15s:pool-crash:500ms;20s:crash;25s:torn-crash;30s:shard-failover:1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,9 +48,14 @@ func TestParseFaults(t *testing.T) {
 		{At: 15 * time.Second, Kind: FaultPoolCrash, Value: 500 * time.Millisecond},
 		{At: 20 * time.Second, Kind: FaultCrash},
 		{At: 25 * time.Second, Kind: FaultTornCrash},
+		{At: 30 * time.Second, Kind: FaultShardFailover, Shard: 1},
 	}
 	if !reflect.DeepEqual(evs, want) {
 		t.Fatalf("ParseFaults = %+v, want %+v", evs, want)
+	}
+	// An omitted shard index defaults to shard 0.
+	if evs, err := ParseFaults("1s:shard-failover"); err != nil || evs[0].Shard != 0 {
+		t.Fatalf("bare shard-failover: %+v %v", evs, err)
 	}
 	// Defaults fill in omitted windows.
 	evs, err = ParseFaults("1s:refuse;2s:latency")
@@ -60,7 +65,8 @@ func TestParseFaults(t *testing.T) {
 	if evs[0].Value != defaultRefuseWindow || evs[1].Value != defaultLatency || evs[1].Dur != defaultLatencyWindow {
 		t.Fatalf("defaults not applied: %+v", evs)
 	}
-	for _, bad := range []string{"kill", "5s:explode", "x:kill", "5s:refuse:x", "5s:kill:1s"} {
+	for _, bad := range []string{"kill", "5s:explode", "x:kill", "5s:refuse:x", "5s:kill:1s",
+		"5s:shard-failover:x", "5s:shard-failover:-1", "5s:shard-failover:1:2"} {
 		if _, err := ParseFaults(bad); err == nil {
 			t.Fatalf("ParseFaults(%q) did not fail", bad)
 		}
@@ -70,6 +76,41 @@ func TestParseFaults(t *testing.T) {
 	}
 	if evs, err := ParseFaultsFor("default", 10*time.Second); err != nil || len(evs) == 0 {
 		t.Fatalf("default schedule: %v %v", evs, err)
+	}
+	if evs, err := ParseFaultsFor("shard-failover", 10*time.Second); err != nil || len(evs) == 0 {
+		t.Fatalf("shard-failover schedule: %v %v", evs, err)
+	}
+}
+
+// Fault schedules and topologies must agree before any stack is booted.
+func TestValidateShardFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards int
+		faults string
+	}{
+		{"crash-with-shards", 3, "1s:crash"},
+		{"torn-crash-with-shards", 3, "1s:torn-crash"},
+		{"failover-without-shards", 1, "1s:shard-failover"},
+		{"failover-out-of-range", 2, "1s:shard-failover:2"},
+		{"failover-same-shard-twice", 3, "1s:shard-failover:0;2s:shard-failover:0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faults, err := ParseFaults(tc.faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(Config{Shards: tc.shards, Faults: faults}); err == nil {
+				t.Fatalf("Run accepted %q with %d shards", tc.faults, tc.shards)
+			}
+		})
+	}
+	if err := validateFaults(ShardFailoverFaults(time.Second), 3); err != nil {
+		t.Fatalf("named schedule rejected for 3 shards: %v", err)
+	}
+	if err := validateFaults(DefaultFaults(time.Second), 1); err != nil {
+		t.Fatalf("default schedule rejected for the single stack: %v", err)
 	}
 }
 
@@ -132,6 +173,64 @@ func TestShortSoakDeterminism(t *testing.T) {
 	}
 	if back.Workload.Digest != reports[0].Workload.Digest || !back.Pass {
 		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+// The sharded soak: two same-seed runs over a 3-shard group through the
+// shard-failover schedule, which kills two shard primaries mid-run and
+// promotes their followers. Every invariant must hold in both runs —
+// including the cross-shard audit — and the workload digests must match:
+// failover must not cost determinism, coverage, or fencing.
+func TestShardedSoakFailoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak harness in -short mode")
+	}
+	d := 1500 * time.Millisecond
+	cfg := Config{
+		Seed:         11,
+		Duration:     d,
+		Rate:         120,
+		Workers:      6,
+		Shards:       3,
+		IngestRate:   10,
+		ScrapeEvery:  200 * time.Millisecond,
+		Faults:       ShardFailoverFaults(d),
+		DrainTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	}
+	var reports [2]*Report
+	for i := range reports {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !r.Pass {
+			t.Fatalf("run %d failed invariants: %v", i, r.FailedInvariants())
+		}
+		if r.Shards != 3 || r.Failovers != 2 {
+			t.Fatalf("run %d: shards=%d failovers=%d, want 3/2 from the schedule", i, r.Shards, r.Failovers)
+		}
+		if r.ShardsAudit == nil || !r.ShardsAudit.Ok() {
+			t.Fatalf("run %d: shard audit missing or dirty: %+v", i, r.ShardsAudit)
+		}
+		for s, a := range r.ShardsAudit.Shards {
+			if a.Submits == 0 {
+				t.Fatalf("run %d: shard %d saw no submits — ring routing is not spreading the workload", i, s)
+			}
+		}
+		if r.Totals.Complete == 0 || r.Totals.Failed == 0 {
+			t.Fatalf("run %d: degenerate mix complete=%d failed=%d", i, r.Totals.Complete, r.Totals.Failed)
+		}
+		reports[i] = r
+	}
+	if reports[0].Workload.Digest != reports[1].Workload.Digest {
+		t.Fatalf("same-seed sharded runs produced different workload digests: %s != %s",
+			reports[0].Workload.Digest, reports[1].Workload.Digest)
+	}
+	a, _ := json.Marshal(reports[0].Workload.Events)
+	b, _ := json.Marshal(reports[1].Workload.Events)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed sharded runs produced different event sequences")
 	}
 }
 

@@ -63,6 +63,8 @@ type Report struct {
 	ElapsedSeconds  float64 `json:"elapsed_seconds"` // includes drain
 	Rate            float64 `json:"rate"`
 	Workers         int     `json:"workers"`
+	Shards          int     `json:"shards"`              // task-substrate shard count (1 = single stack)
+	Failovers       int     `json:"failovers,omitempty"` // shard primaries killed and replaced by promoted followers
 
 	Faults      []string       `json:"faults"`
 	FaultCounts map[string]int `json:"fault_counts"`
@@ -80,6 +82,11 @@ type Report struct {
 	Obs obs.Snapshot `json:"obs"`
 
 	WALAudit *emews.WALAudit `json:"wal_audit"`
+
+	// ShardsAudit is the per-shard + cross-shard durable-history audit of
+	// a sharded run; WALAudit then aliases its Combined view so the
+	// invariants and tooling read one ledger either way.
+	ShardsAudit *emews.ShardsAudit `json:"shards_audit,omitempty"`
 
 	Invariants []Invariant `json:"invariants"`
 	Pass       bool        `json:"pass"`
@@ -107,8 +114,8 @@ func (r *Report) FailedInvariants() []string {
 }
 
 func (h *harness) buildReport(plan []PlanEvent, dump []emews.Task, stats emews.Stats,
-	streams map[string]*aero.DataRecord, audit *emews.WALAudit, delta obs.Snapshot,
-	elapsed time.Duration) *Report {
+	streams map[string]*aero.DataRecord, audit *emews.WALAudit, shAudit *emews.ShardsAudit,
+	delta obs.Snapshot, elapsed time.Duration) *Report {
 
 	r := &Report{
 		Seed:            h.cfg.Seed,
@@ -117,11 +124,14 @@ func (h *harness) buildReport(plan []PlanEvent, dump []emews.Task, stats emews.S
 		ElapsedSeconds:  elapsed.Seconds(),
 		Rate:            h.cfg.Rate,
 		Workers:         h.cfg.Workers,
+		Shards:          h.cfg.Shards,
+		Failovers:       h.failovers,
 		FaultCounts:     h.faultCounts,
 		Workload:        Workload{Digest: PlanDigest(plan), Events: plan},
-		Proxy:           h.proxy.Stats(),
+		Proxy:           h.proxyStats(),
 		Obs:             delta,
 		WALAudit:        audit,
+		ShardsAudit:     shAudit,
 	}
 	if h.cfg.Closed {
 		r.Mode = "closed"

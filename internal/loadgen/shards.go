@@ -1,0 +1,288 @@
+package loadgen
+
+// Sharded-topology support for the harness. A run with Config.Shards >= 2
+// replaces the single task stack with a shard group: per shard a
+// WAL-backed task DB carrying its shard identity, a TCP server, a chaos
+// proxy in front of it (the stable name clients dial across failover),
+// and a warm follower replicating the primary's WAL into a standby
+// directory. The shard-failover fault kills a primary mid-run and
+// promotes its follower; everything else — drivers, workers, invariants —
+// sees the group through the same taskConn surface as the single stack.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"osprey/internal/chaos"
+	"osprey/internal/emews"
+	"osprey/internal/wal"
+)
+
+// shardState is one member of the sharded task substrate. The proxy and
+// the directories are fixed for the run; the member behind the proxy (db,
+// log, server, follower) is swapped under harness.mu by failover.
+type shardState struct {
+	idx         int
+	dirPrimary  string
+	dirFollower string
+	proxy       *chaos.Proxy
+
+	// Mutable under harness.mu.
+	dir        string // current authoritative log directory (audited at teardown)
+	db         *emews.DB
+	log        *wal.Log
+	srv        *emews.Server
+	follower   *emews.Follower
+	reapStop   context.CancelFunc
+	failedOver bool
+}
+
+func (h *harness) sharded() bool { return len(h.shards) > 0 }
+
+// bootShards starts the whole shard group. Unlike the single stack,
+// sharded runs boot exactly once: the crash faults (reboot in place) are
+// rejected up front, and recovery from a primary loss is failover, not a
+// reboot.
+func (h *harness) bootShards() error {
+	n := h.cfg.Shards
+	for i := 0; i < n; i++ {
+		s := &shardState{
+			idx:         i,
+			dirPrimary:  shardDir(h.dirTasks, i),
+			dirFollower: shardDir(h.dirTasks, i) + "-replica",
+		}
+		s.dir = s.dirPrimary
+		l, err := wal.Open(s.dirPrimary, wal.Options{Name: fmt.Sprintf("wal.loadgen.shard%d", i), Logf: h.cfg.Logf})
+		if err != nil {
+			h.closeShards()
+			return fmt.Errorf("loadgen: open shard %d WAL: %w", i, err)
+		}
+		db, err := emews.OpenDBShard(l, i, n)
+		if err != nil {
+			l.Close()
+			h.closeShards()
+			return fmt.Errorf("loadgen: recover shard %d: %w", i, err)
+		}
+		db.SetLeaseTimeout(5 * time.Second)
+		srv, err := emews.Serve(db, "127.0.0.1:0",
+			emews.WithShardIdentity(i, n), emews.WithReplicationSource(l))
+		if err != nil {
+			l.Close()
+			h.closeShards()
+			return fmt.Errorf("loadgen: shard %d server: %w", i, err)
+		}
+		proxy, err := chaos.NewProxy(srv.Addr())
+		if err != nil {
+			srv.Close()
+			l.Close()
+			h.closeShards()
+			return fmt.Errorf("loadgen: shard %d proxy: %w", i, err)
+		}
+		// The follower tails the primary server directly, not through the
+		// proxy: replication is daemon-to-daemon traffic on the cluster
+		// fabric, while the chaos faults model the worker-facing network.
+		follower, err := emews.StartFollower(srv.Addr(), s.dirFollower, emews.FollowerOptions{
+			ShardIndex: i,
+			ShardCount: n,
+			WAL:        wal.Options{Name: fmt.Sprintf("wal.loadgen.shard%d.replica", i), Logf: h.cfg.Logf},
+		})
+		if err != nil {
+			proxy.Close()
+			srv.Close()
+			l.Close()
+			h.closeShards()
+			return fmt.Errorf("loadgen: shard %d follower: %w", i, err)
+		}
+		reapCtx, reapStop := context.WithCancel(context.Background())
+		db.StartReaper(reapCtx, 500*time.Millisecond)
+		s.db, s.log, s.srv, s.proxy = db, l, srv, proxy
+		s.follower, s.reapStop = follower, reapStop
+		h.shards = append(h.shards, s)
+	}
+	return nil
+}
+
+// shardDir names shard i's primary log directory under the tasks root.
+func shardDir(base string, i int) string {
+	return fmt.Sprintf("%s/shard-%02d", base, i)
+}
+
+// failover kills shard i's primary mid-run and promotes its follower. The
+// death model matches the crash fault: the WAL handle drops first — so
+// nothing that happens during teardown reaches the durable log — then the
+// listener. The promotion sequence is the one replica.go documents: stop
+// the tail, catch up from the dead primary's log directory (zero
+// acknowledged-record loss on a shared filesystem), promote (the
+// epoch-bumping requeue that fences straggler claims), serve the promoted
+// DB on a fresh port, and repoint the shard's proxy at it. Clients notice
+// only killed connections and redial through the proxy's stable address.
+func (h *harness) failover(i int) error {
+	if i < 0 || i >= len(h.shards) {
+		return fmt.Errorf("loadgen: shard-failover: shard %d out of range for %d shards", i, len(h.shards))
+	}
+	s := h.shards[i]
+	h.mu.Lock()
+	if s.failedOver {
+		h.mu.Unlock()
+		return fmt.Errorf("loadgen: shard-failover: shard %d already failed over", i)
+	}
+	log, srv, fol, reapStop := s.log, s.srv, s.follower, s.reapStop
+	h.mu.Unlock()
+
+	reapStop()
+	log.Close()
+	srv.Close()
+	fol.Stop()
+	if err := fol.CatchUp(s.dirPrimary); err != nil {
+		return err
+	}
+	db, nlog, err := fol.Promote()
+	if err != nil {
+		return err
+	}
+	db.SetLeaseTimeout(5 * time.Second)
+	nsrv, err := emews.Serve(db, "127.0.0.1:0",
+		emews.WithShardIdentity(i, h.cfg.Shards), emews.WithReplicationSource(nlog))
+	if err != nil {
+		return fmt.Errorf("loadgen: serve promoted shard %d: %w", i, err)
+	}
+	reapCtx, stop := context.WithCancel(context.Background())
+	db.StartReaper(reapCtx, 500*time.Millisecond)
+
+	h.mu.Lock()
+	s.db, s.log, s.srv, s.reapStop = db, nlog, nsrv, stop
+	s.follower = nil
+	s.dir = s.dirFollower
+	s.failedOver = true
+	h.mu.Unlock()
+
+	s.proxy.SetBackend(nsrv.Addr())
+	s.proxy.KillActive()
+
+	h.faultMu.Lock()
+	h.failovers++
+	h.faultMu.Unlock()
+	h.cfg.Logf("loadgen: shard %d failed over to its promoted follower", i)
+	return nil
+}
+
+// closeShards tears the group down in dependency order — reapers, then
+// servers, then unpromoted followers, then logs — returning the first
+// log-close error (the same fail-stop close contract the single stack
+// has). Safe on a partially booted group.
+func (h *harness) closeShards() error {
+	var firstErr error
+	for _, s := range h.shards {
+		if s.reapStop != nil {
+			s.reapStop()
+		}
+		if s.srv != nil {
+			s.srv.Close()
+		}
+		if s.follower != nil {
+			s.follower.Close()
+		}
+		if s.log != nil {
+			if err := s.log.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// auditDirs returns each shard's current authoritative log directory —
+// the promoted follower's for a failed-over shard — indexed by shard, as
+// emews.AuditShards expects.
+func (h *harness) auditDirs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.shards))
+	for i, s := range h.shards {
+		out[i] = s.dir
+	}
+	return out
+}
+
+// proxies returns every chaos proxy in the topology — one for the single
+// stack, one per shard for a group — so the network faults (kill, refuse,
+// latency) hit the whole fabric.
+func (h *harness) proxies() []*chaos.Proxy {
+	if !h.sharded() {
+		return []*chaos.Proxy{h.proxy}
+	}
+	out := make([]*chaos.Proxy, len(h.shards))
+	for i, s := range h.shards {
+		out[i] = s.proxy
+	}
+	return out
+}
+
+// proxyAddrs returns the stable client-facing address of every shard,
+// indexed by shard — the address list a ShardedClient routes over.
+func (h *harness) proxyAddrs() []string {
+	addrs := make([]string, len(h.shards))
+	for i, s := range h.shards {
+		addrs[i] = s.proxy.Addr()
+	}
+	return addrs
+}
+
+// proxyStats sums fault counters across the topology's proxies.
+func (h *harness) proxyStats() chaos.ProxyStats {
+	var sum chaos.ProxyStats
+	for _, p := range h.proxies() {
+		st := p.Stats()
+		sum.Accepted += st.Accepted
+		sum.Refused += st.Refused
+		sum.Killed += st.Killed
+	}
+	return sum
+}
+
+// dumpAll merges every member's task dump, sorted by ID. Strided ID
+// allocation keeps the ID space disjoint across shards, so the merge is
+// the same per-task ledger a single stack would hold.
+func (h *harness) dumpAll() []emews.Task {
+	if !h.sharded() {
+		return h.currentDB().Dump()
+	}
+	h.mu.Lock()
+	dbs := make([]*emews.DB, len(h.shards))
+	for i, s := range h.shards {
+		dbs[i] = s.db
+	}
+	h.mu.Unlock()
+	var out []emews.Task
+	for _, db := range dbs {
+		out = append(out, db.Dump()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// statsAll sums occupancy counters across the topology.
+func (h *harness) statsAll() emews.Stats {
+	if !h.sharded() {
+		return h.currentDB().Stats()
+	}
+	h.mu.Lock()
+	dbs := make([]*emews.DB, len(h.shards))
+	for i, s := range h.shards {
+		dbs[i] = s.db
+	}
+	h.mu.Unlock()
+	var sum emews.Stats
+	for _, db := range dbs {
+		st := db.Stats()
+		sum.Queued += st.Queued
+		sum.Running += st.Running
+		sum.Complete += st.Complete
+		sum.Failed += st.Failed
+		sum.Canceled += st.Canceled
+		sum.Submitted += st.Submitted
+	}
+	return sum
+}

@@ -36,4 +36,31 @@ if [ "$make_steps" != "$yml_steps" ]; then
     exit 1
 fi
 
-echo "ci mirror ok: $(echo "$make_steps" | wc -l | tr -d ' ') steps match"
+# The dedicated jobs (coverage, soak, soak-shard, staticcheck, ...) are
+# mirrored through the CI_JOBS variable: job:target pairs, where the named
+# ci.yml job must contain a `run: make <target>` line. A dedicated job
+# added to only one of the files fails here, same as a test-job step.
+ci_jobs=$(sed -n 's/^CI_JOBS := //p' Makefile | tr ' ' '\n' | sed '/^$/d')
+if [ -z "$ci_jobs" ]; then
+    echo "check_ci_mirror: no CI_JOBS variable found in Makefile" >&2
+    exit 1
+fi
+for pair in $ci_jobs; do
+    job=${pair%%:*}
+    target=${pair#*:}
+    job_targets=$(awk -v job="$job" '
+        /^  [a-zA-Z_-]+:[ ]*$/ { in_job = ($1 == job ":") }
+        in_job && $1 == "run:" && $2 == "make" { print $3 }
+    ' .github/workflows/ci.yml)
+    found=no
+    for t in $job_targets; do
+        [ "$t" = "$target" ] && found=yes
+    done
+    if [ "$found" != "yes" ]; then
+        echo "check_ci_mirror: CI_JOBS entry '$pair': ci.yml job '$job' does not run 'make $target'" >&2
+        echo "Edit both files together; see DESIGN.md for the mirror rule." >&2
+        exit 1
+    fi
+done
+
+echo "ci mirror ok: $(echo "$make_steps" | wc -l | tr -d ' ') steps + $(echo "$ci_jobs" | wc -l | tr -d ' ') dedicated jobs match"
