@@ -54,7 +54,7 @@ test-shuffle:
 	$(GO) test -shuffle=on ./...
 
 test-single-core:
-	GOMAXPROCS=1 $(GO) test ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/parallel/
+	GOMAXPROCS=1 $(GO) test ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/parallel/ ./internal/linalg/
 
 # Race detector over the distributed task lifecycle (emews), the
 # scheduler, the durability layer (WAL + store recovery), and the load
@@ -63,7 +63,7 @@ race-lifecycle:
 	$(GO) test -race ./internal/emews/... ./internal/scheduler/... ./internal/wal/... ./internal/aero/... ./internal/parallel/... ./internal/chaos/... ./internal/loadgen/...
 
 race-numerics:
-	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/
+	$(GO) test -race -run 'SerialParallel|Parallel|Incremental|MeanCache|Predictor|Concurrent' ./internal/gp/ ./internal/music/ ./internal/sobolidx/ ./internal/rt/ ./internal/core/ ./internal/linalg/
 
 # End-to-end CLI smoke: a daemon on a temp -data-dir driven through real
 # ospreyctl subcommands (exit codes + JSON shapes), plus the daemon's own

@@ -9,6 +9,7 @@ package osprey_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -20,9 +21,11 @@ import (
 	"osprey/internal/abm"
 	"osprey/internal/aero"
 	"osprey/internal/calibrate"
+	"osprey/internal/design"
 	"osprey/internal/emews"
 	"osprey/internal/epi"
 	"osprey/internal/gp"
+	"osprey/internal/linalg"
 	"osprey/internal/mcmc"
 	"osprey/internal/metarvm"
 	"osprey/internal/music"
@@ -539,6 +542,80 @@ func BenchmarkExpensiveModelTimeToSolution(b *testing.B) {
 			b.ReportMetric(float64(runs), "model-runs")
 		}
 	})
+}
+
+// BenchmarkCholeskyBlocked measures the cache-tiled blocked factorization
+// behind linalg.NewCholesky at sizes above the crossover, on an SPD matrix
+// with GP-covariance structure (squared-exponential kernel plus nugget) —
+// the matrix shape every surrogate fit factors.
+func BenchmarkCholeskyBlocked(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		a := linalg.NewDense(n, n)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = math.Mod(float64(i)*0.6180339887498949, 1.0)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				d := (pts[i] - pts[j]) / 0.3
+				v := math.Exp(-0.5 * d * d)
+				if i == j {
+					v += 1e-6
+				}
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.NewCholesky(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSurrogateCrossover charts the dense-vs-sparse fit-time crossover
+// on a smooth 5-dimensional response: the dense GP at the design sizes it
+// can reach, the sparse inducing-point surrogate (m=256) through the 10k
+// designs the dense path cannot. The sparse/n=10000 time landing under
+// dense/n=1000 is the scalability acceptance criterion of the surrogate
+// layer (see DESIGN.md "Scalable surrogates").
+func BenchmarkSurrogateCrossover(b *testing.B) {
+	const dim = 5
+	opts := gp.Options{MaxIter: 60, Restarts: 0}
+	data := func(n int) ([][]float64, []float64) {
+		x := design.LatinHypercube(rng.New(uint64(n)), n, dim)
+		y := make([]float64, n)
+		for i, u := range x {
+			y[i] = math.Sin(3*u[0]) + 2*u[1]*u[1] - u[2] + 0.5*u[3]*u[4]
+		}
+		return x, y
+	}
+	for _, n := range []int{200, 1000} {
+		x, y := data(n)
+		b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(x, y, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, n := range []int{200, 1000, 5000, 10000} {
+		x, y := data(n)
+		b.Run(fmt.Sprintf("sparse/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.FitSparse(x, y, 256, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSubstrateThroughput measures the EMEWS wire substrate end to

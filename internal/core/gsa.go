@@ -10,6 +10,7 @@ import (
 	"osprey/internal/abm"
 	"osprey/internal/design"
 	"osprey/internal/emews"
+	"osprey/internal/gp"
 	"osprey/internal/metarvm"
 	"osprey/internal/music"
 	"osprey/internal/parallel"
@@ -40,6 +41,13 @@ type GSAConfig struct {
 	// "abm", the agent-based model whose higher cost (~40 ms/run) is the
 	// regime where the paper says MUSIC's sample efficiency pays off most.
 	Model string
+	// Surrogate selects the GP implementation backing each MUSIC instance:
+	// "dense" (default, exact) or "sparse" (inducing-point approximation,
+	// the sub-cubic path that makes 10k-point budgets tractable).
+	Surrogate string
+	// Inducing caps the sparse surrogate's inducing-point count (default
+	// gp.DefaultInducing; ignored for dense).
+	Inducing int
 	// MeanReplicates, when > 0, switches to the conventional design the
 	// paper contrasts with its per-replicate approach: each task returns
 	// the QoI averaged over this many stochastic model runs, and every
@@ -51,7 +59,7 @@ type GSAConfig struct {
 	Seed uint64
 }
 
-func (c *GSAConfig) defaults() {
+func (c *GSAConfig) defaults() error {
 	if c.Replicates <= 0 {
 		c.Replicates = 10
 	}
@@ -70,6 +78,18 @@ func (c *GSAConfig) defaults() {
 	if c.TaskType == "" {
 		c.TaskType = c.Model
 	}
+	switch c.Surrogate {
+	case "", "dense":
+		c.Music.Surrogate = gp.DenseSurrogate
+	case "sparse":
+		c.Music.Surrogate = gp.SparseSurrogate
+		if c.Inducing > 0 {
+			c.Music.Inducing = c.Inducing
+		}
+	default:
+		return fmt.Errorf("core: unknown surrogate kind %q (want dense or sparse)", c.Surrogate)
+	}
+	return nil
 }
 
 // gsaTask is the EMEWS task payload: a Table 1 point plus the replicate's
@@ -163,7 +183,9 @@ func modelHandler(evaluate func([]float64, uint64) (float64, error), delay time.
 // each instance runs to completion before the next starts (the ablation
 // whose poor utilization motivates interleaving).
 func RunGSA(p *Platform, cfg GSAConfig, interleaved bool) (*GSAResult, error) {
-	cfg.defaults()
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
 	if p == nil {
 		return nil, errors.New("core: nil platform")
 	}

@@ -141,18 +141,7 @@ func Fit(x [][]float64, y []float64, opts Options) (*GP, error) {
 	}
 
 	// Standardize targets for stable hyperparameter scales.
-	mean, sd := 0.0, 0.0
-	for _, v := range y {
-		mean += v
-	}
-	mean /= float64(n)
-	for _, v := range y {
-		sd += (v - mean) * (v - mean)
-	}
-	sd = math.Sqrt(sd / float64(n))
-	if sd < 1e-12 {
-		sd = 1 // constant targets: keep raw scale
-	}
+	mean, sd := standardizeTargets(y)
 	g.yMean, g.yStd = mean, sd
 	g.y = make([]float64, n)
 	for i, v := range y {
@@ -224,33 +213,12 @@ func (g *GP) factor() (float64, error) {
 }
 
 func (g *GP) optimize() error {
-	nt := g.nTheta()
 	// Pack every pairwise per-dimension squared difference once; each of the
 	// hundreds of Nelder–Mead likelihood evaluations then assembles K as a
 	// fused multiply-add over the cached diffs instead of rebuilding scaled
 	// distances from raw coordinates (see lml.go).
 	sq := packSquaredDiffs(g.x, g.dim)
-
-	starts := make([][]float64, 0, g.opts.Restarts+1)
-	base := make([]float64, nt)
-	for i := 0; i < g.dim; i++ {
-		base[i] = math.Log(0.3) // moderate lengthscale on unit-cube inputs
-	}
-	base[g.dim] = 0 // sf2 = 1 on standardized targets
-	if g.opts.FixedNugget <= 0 {
-		base[g.dim+1] = math.Log(1e-4)
-	}
-	starts = append(starts, base)
-	for r := 1; r <= g.opts.Restarts; r++ {
-		s := append([]float64(nil), base...)
-		for i := 0; i < g.dim; i++ {
-			s[i] = math.Log(0.1 * math.Pow(3, float64(r)))
-		}
-		if g.opts.FixedNugget <= 0 {
-			s[g.dim+1] = math.Log(math.Pow(10, float64(-2-r)))
-		}
-		starts = append(starts, s)
-	}
+	starts := hyperStarts(g.dim, g.opts.Restarts, g.opts.FixedNugget)
 
 	// Each restart gets its own evaluator (the evaluator carries the K and
 	// solve scratch that the serial objective used to keep on g), so the
@@ -386,8 +354,17 @@ func (g *GP) Lengthscales() []float64 { return append([]float64(nil), g.ls...) }
 // Nugget returns the fitted (or fixed) nugget variance on the raw-y scale.
 func (g *GP) Nugget() float64 { return g.nugget * g.yStd * g.yStd }
 
-// TrainingInputs returns the training inputs (borrowed; do not mutate).
-func (g *GP) TrainingInputs() [][]float64 { return g.x }
+// TrainingInputs returns a deep copy of the training inputs. (It used to
+// return the internal slice, which let callers mutate training data under a
+// fitted factorization — predictions would silently diverge from the
+// factor.)
+func (g *GP) TrainingInputs() [][]float64 {
+	out := make([][]float64, len(g.x))
+	for i, xi := range g.x {
+		out[i] = append([]float64(nil), xi...)
+	}
+	return out
+}
 
 // TrainingTargets returns the raw-scale training targets.
 func (g *GP) TrainingTargets() []float64 {
@@ -408,6 +385,17 @@ type Hyperparams struct {
 	NuggetVar    float64    `json:"nugget_var"`
 	YMean        float64    `json:"y_mean"`
 	YStd         float64    `json:"y_std"`
+	// Surrogate records which implementation produced these hyperparameters.
+	// Checkpoints written before the sparse path existed decode to the zero
+	// value, DenseSurrogate, which is what they were.
+	Surrogate SurrogateKind `json:"surrogate,omitempty"`
+	// Inducing is the sparse surrogate's inducing-point budget (sparse only).
+	Inducing int `json:"inducing,omitempty"`
+	// InducingIdx are the training-set indices of the selected inducing
+	// points (sparse only). Recording them — rather than re-selecting at
+	// restore time over a possibly grown training set — is what keeps a
+	// checkpoint resume bit-identical to an uninterrupted run.
+	InducingIdx []int `json:"inducing_idx,omitempty"`
 }
 
 // Hyperparams exports the fitted hyperparameters.

@@ -62,18 +62,59 @@ type lmlEvaluator struct {
 }
 
 func newLMLEvaluator(g *GP, sq []float64) *lmlEvaluator {
-	n := len(g.x)
+	return newLMLEvaluatorRaw(g.kind, g.dim, g.opts.FixedNugget, sq, g.y)
+}
+
+// newLMLEvaluatorRaw builds an evaluator from raw pieces — kernel family,
+// dimension, the packed squared-diff tensor, and standardized targets — so
+// the sparse surrogate's inducing-subset fit can reuse the exact dense
+// likelihood machinery without a fitted GP in hand.
+func newLMLEvaluatorRaw(kind KernelKind, d int, fixedNugget float64, sq, y []float64) *lmlEvaluator {
+	n := len(y)
 	return &lmlEvaluator{
-		kind:        g.kind,
+		kind:        kind,
 		n:           n,
-		d:           g.dim,
-		fixedNugget: g.opts.FixedNugget,
+		d:           d,
+		fixedNugget: fixedNugget,
 		sq:          sq,
-		y:           g.y,
-		invls2:      make([]float64, g.dim),
+		y:           y,
+		invls2:      make([]float64, d),
 		k:           linalg.NewDense(n, n),
 		w:           make([]float64, n),
 	}
+}
+
+// hyperStarts builds the deterministic multi-start grid shared by the dense
+// fit and the sparse subset fit: a moderate-lengthscale base point (unit
+// signal variance on standardized targets) plus `restarts` progressively
+// rougher, lower-noise perturbations. theta layout:
+// [log ls_1..log ls_d, log sf2, (log nugget)].
+func hyperStarts(dim, restarts int, fixedNugget float64) [][]float64 {
+	nt := dim + 2
+	if fixedNugget > 0 {
+		nt = dim + 1
+	}
+	starts := make([][]float64, 0, restarts+1)
+	base := make([]float64, nt)
+	for i := 0; i < dim; i++ {
+		base[i] = math.Log(0.3) // moderate lengthscale on unit-cube inputs
+	}
+	base[dim] = 0 // sf2 = 1 on standardized targets
+	if fixedNugget <= 0 {
+		base[dim+1] = math.Log(1e-4)
+	}
+	starts = append(starts, base)
+	for r := 1; r <= restarts; r++ {
+		s := append([]float64(nil), base...)
+		for i := 0; i < dim; i++ {
+			s[i] = math.Log(0.1 * math.Pow(3, float64(r)))
+		}
+		if fixedNugget <= 0 {
+			s[dim+1] = math.Log(math.Pow(10, float64(-2-r)))
+		}
+		starts = append(starts, s)
+	}
+	return starts
 }
 
 // negLML evaluates -log p(y | θ). Only the Cholesky factor and a forward

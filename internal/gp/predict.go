@@ -5,51 +5,61 @@ import (
 )
 
 // Predictor carries reusable prediction scratch for repeated queries against
-// one GP. It is cheaper than Predict in tight loops because the scratch
-// never goes back through the pool, and it keeps working (resizing lazily)
-// as training points are appended. A Predictor is not safe for concurrent
-// use; give each worker its own.
-type Predictor struct {
+// one surrogate. It is cheaper than Predict in tight loops because the
+// scratch never goes back through the pool, and it keeps working (resizing
+// lazily) as training points are appended. A Predictor is not safe for
+// concurrent use; give each worker its own. Obtain one from a Surrogate's
+// NewPredictor; each implementation's Predictor is bit-identical to its
+// Predict.
+type Predictor interface {
+	Predict(x []float64) (mean, variance float64)
+	PredictMean(x []float64) float64
+}
+
+// densePredictor is the exact GP's Predictor.
+type densePredictor struct {
 	g *GP
 	s predictScratch
 }
 
 // NewPredictor returns a Predictor bound to g.
-func (g *GP) NewPredictor() *Predictor {
-	return &Predictor{g: g}
+func (g *GP) NewPredictor() Predictor {
+	return &densePredictor{g: g}
 }
 
 // Predict is equivalent to g.Predict(x) — same kernel, bit-identical
 // results — without any steady-state allocation.
-func (p *Predictor) Predict(x []float64) (mean, variance float64) {
+func (p *densePredictor) Predict(x []float64) (mean, variance float64) {
 	return p.g.predictWith(x, &p.s)
 }
 
 // PredictMean is equivalent to g.PredictMean(x).
-func (p *Predictor) PredictMean(x []float64) float64 {
+func (p *densePredictor) PredictMean(x []float64) float64 {
 	return p.g.PredictMean(x)
 }
 
 // MeanCache caches the kernel cross-covariance columns between a fixed set
-// of query points and a GP's training set, for workloads that re-predict the
-// same design over and over (MUSIC evaluates one QMC Sobol design against
-// the surrogate after every refit). The expensive part of PredictMean is the
-// n·q transcendental kernel evaluations; those depend only on (query points,
-// training inputs, hyperparameters), so:
+// of query points and a surrogate's mean basis, for workloads that
+// re-predict the same design over and over (MUSIC evaluates one QMC Sobol
+// design against the surrogate after every refit). The expensive part of
+// PredictMean is the transcendental kernel evaluations; those depend only on
+// (query points, basis points, hyperparameters), so:
 //
-//   - while the hyperparameters are unchanged (GP generation stable, e.g.
-//     cheap Add calls between refit intervals), only the columns for newly
-//     appended training points are computed;
-//   - when the GP is refit (generation bump), all columns are rebuilt.
+//   - while the hyperparameters are unchanged (surrogate generation stable,
+//     e.g. cheap Add calls between refit intervals), only the columns for
+//     newly appended basis points are computed — for the dense GP the basis
+//     is the training set and grows with each Add, for the SparseGP it is
+//     the inducing set and stays fixed, so cheap Adds recompute nothing;
+//   - when the surrogate is refit (generation bump), all columns rebuild.
 //
-// Means then reduces each cached column against alpha in index order,
-// reproducing g.PredictMean bit-for-bit.
+// Means then reduces each cached column against the surrogate's weights in
+// index order, reproducing PredictMean bit-for-bit for either kind.
 type MeanCache struct {
 	pts  [][]float64 // fixed query points (borrowed; do not mutate)
-	g    *GP
+	s    Surrogate
 	gen  uint64
-	n    int         // training-set size the columns cover
-	cols [][]float64 // cols[q][i] = corr(pts[q], x[i]) at the cached gen
+	n    int         // basis size the columns cover
+	cols [][]float64 // cols[q][i] = corr(pts[q], basis[i]) at the cached gen
 }
 
 // NewMeanCache creates a cache over the given fixed query points. The slice
@@ -58,23 +68,27 @@ func NewMeanCache(pts [][]float64) *MeanCache {
 	return &MeanCache{pts: pts, cols: make([][]float64, len(pts))}
 }
 
-// Means writes g.PredictMean(pts[q]) for every query point into out, reusing
-// cached kernel columns where the GP's hyperparameters allow. len(out) must
-// equal the number of query points.
-func (c *MeanCache) Means(g *GP, out []float64) {
+// Means writes s.PredictMean(pts[q]) for every query point into out, reusing
+// cached kernel columns where the surrogate's hyperparameters allow.
+// len(out) must equal the number of query points.
+func (c *MeanCache) Means(s Surrogate, out []float64) {
 	if len(out) != len(c.pts) {
 		panic("gp: MeanCache output length mismatch")
 	}
-	n := len(g.x)
-	fresh := c.g != g || c.gen != g.gen
+	basis := s.meanBasis()
+	weights := s.meanWeights()
+	kind, ls := s.corrParams()
+	offset, scale := s.meanScale()
+	n := len(basis)
+	fresh := c.s != s || c.gen != s.generation()
 	if fresh {
-		c.g, c.gen = g, g.gen
+		c.s, c.gen = s, s.generation()
 		c.n = 0
 	}
 	lo := c.n
 	if n < lo {
-		// Training set shrank without a generation bump — cannot happen via
-		// the public API, but recompute defensively.
+		// Basis shrank without a generation bump — cannot happen via the
+		// public API, but recompute defensively.
 		lo = 0
 	}
 	parallel.ForChunk(len(c.pts), func(qlo, qhi int) {
@@ -91,15 +105,15 @@ func (c *MeanCache) Means(g *GP, out []float64) {
 			}
 			pt := c.pts[q]
 			for i := lo; i < n; i++ {
-				col[i] = corr(g.kind, pt, g.x[i], g.ls)
+				col[i] = corr(kind, pt, basis[i], ls)
 			}
 			c.cols[q] = col
 			// Ordered reduction, matching PredictMean's loop exactly.
-			s := 0.0
+			sum := 0.0
 			for i := 0; i < n; i++ {
-				s += g.alpha[i] * col[i]
+				sum += weights[i] * col[i]
 			}
-			out[q] = g.yMean + g.yStd*g.sf2*s
+			out[q] = offset + scale*sum
 		}
 	})
 	c.n = n

@@ -1,0 +1,540 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"osprey/internal/linalg"
+	"osprey/internal/optim"
+	"osprey/internal/parallel"
+)
+
+// SparseGP is the subset-of-regressors (SoR) inducing-point approximation
+// with the projected-process variance correction: m inducing points u are
+// chosen from the training inputs by a deterministic greedy farthest-point
+// traversal, hyperparameters are fitted by maximizing the dense log marginal
+// likelihood on the inducing subset, and the predictive equations use only
+// the m×m Gram matrices
+//
+//	A = σ²·Kmm + Kmn·Knm        (σ² = nugget, standardized-y scale)
+//	α = A⁻¹ · Kmn·y
+//	mean(x)  = yMean + yStd · k_m(x)ᵀ α
+//	var(x)   = yStd² · max(0, sf2 − k_mᵀKmm⁻¹k_m + σ²·k_mᵀA⁻¹k_m)
+//
+// so fitting is O(n·m²) and a mean prediction O(m·d) — sub-cubic in n,
+// which is what lets a 10k-point MUSIC campaign refit continuously where
+// the dense GP caps out at a few hundred points.
+//
+// Determinism: inducing selection, Gram assembly, and prediction all write
+// disjoint slots under internal/parallel's ForChunk contract, so every
+// result is bit-identical at any worker count. A and Kmn·y are accumulated
+// per entry in ascending training-point order starting from the σ²·Kmm
+// base, which is exactly the sequence the cheap Add path appends to — so an
+// interrupted-and-restored surrogate (RestoreSparse rebuilds from scratch)
+// matches an uninterrupted one bit for bit.
+//
+// Construct with FitSparse or RestoreSparse; the zero value is not usable.
+type SparseGP struct {
+	kind KernelKind
+	x    [][]float64
+	y    []float64 // standardized observations
+	dim  int
+
+	inducing int   // effective inducing-point budget
+	idx      []int // training-set indices of the inducing points
+	u        [][]float64
+
+	// Hyperparameters (standardized-y scale), fitted on the inducing subset.
+	ls     []float64
+	sf2    float64
+	nugget float64
+
+	yMean, yStd float64
+
+	kmm    *linalg.Cholesky // factor of Kmm (jittered) for the variance term
+	amat   *linalg.Dense    // A, accumulated in training-point order
+	achol  *linalg.Cholesky
+	bvec   []float64 // Kmn·y, accumulated alongside A
+	alpha  []float64 // A⁻¹ · Kmn·y
+	lml    float64   // subset log marginal likelihood at the fitted params
+	jitter float64   // diagonal jitter applied when factoring A
+	opts   Options
+
+	gen uint64
+}
+
+// FitSparse trains a sparse GP on inputs x and targets y with at most
+// `inducing` inducing points (<= 0 means DefaultInducing; more points than
+// observations is clamped to n).
+func FitSparse(x [][]float64, y []float64, inducing int, opts Options) (*SparseGP, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	for _, xi := range x {
+		if len(xi) != d {
+			return nil, errors.New("gp: ragged input points")
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Restarts < 0 {
+		opts.Restarts = 0
+	}
+	if inducing <= 0 {
+		inducing = DefaultInducing
+	}
+
+	g := &SparseGP{kind: opts.Kernel, dim: d, inducing: inducing, opts: opts}
+	g.x = make([][]float64, n)
+	for i := range x {
+		g.x[i] = append([]float64(nil), x[i]...)
+	}
+	g.yMean, g.yStd = standardizeTargets(y)
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - g.yMean) / g.yStd
+	}
+
+	m := inducing
+	if m > n {
+		m = n
+	}
+	g.idx = greedyInducing(g.x, m)
+	g.u = make([][]float64, len(g.idx))
+	for i, id := range g.idx {
+		g.u[i] = g.x[id]
+	}
+
+	if err := g.fitSubsetHypers(); err != nil {
+		return nil, err
+	}
+	g.gen = genCounter.Add(1)
+	if err := g.refactor(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RestoreSparse rebuilds a SparseGP from training data and previously fitted
+// hyperparameters, skipping both inducing-point selection (the recorded
+// indices are reused — re-selecting over a grown training set could pick
+// different points) and hyperparameter optimization. The result predicts
+// bit-identically to the surrogate the hyperparameters came from.
+func RestoreSparse(x [][]float64, y []float64, hp Hyperparams, opts Options) (*SparseGP, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	if len(hp.Lengthscales) != d {
+		return nil, errors.New("gp: hyperparameter dimension mismatch")
+	}
+	if hp.YStd <= 0 || hp.SignalVar <= 0 {
+		return nil, errors.New("gp: invalid hyperparameters")
+	}
+	if len(hp.InducingIdx) == 0 {
+		return nil, errors.New("gp: sparse hyperparameters carry no inducing indices")
+	}
+	g := &SparseGP{
+		kind: hp.Kernel, dim: d, opts: opts,
+		ls:  append([]float64(nil), hp.Lengthscales...),
+		sf2: hp.SignalVar, nugget: hp.NuggetVar,
+		yMean: hp.YMean, yStd: hp.YStd,
+		inducing: hp.Inducing,
+	}
+	if g.inducing <= 0 {
+		g.inducing = len(hp.InducingIdx)
+	}
+	g.x = make([][]float64, n)
+	for i := range x {
+		if len(x[i]) != d {
+			return nil, errors.New("gp: ragged input points")
+		}
+		g.x[i] = append([]float64(nil), x[i]...)
+	}
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - hp.YMean) / hp.YStd
+	}
+	g.idx = append([]int(nil), hp.InducingIdx...)
+	g.u = make([][]float64, len(g.idx))
+	for i, id := range g.idx {
+		if id < 0 || id >= n {
+			return nil, errors.New("gp: inducing index out of range")
+		}
+		g.u[i] = g.x[id]
+	}
+	g.gen = genCounter.Add(1)
+	if err := g.refactor(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// greedyInducing picks m indices by farthest-point traversal: start at index
+// 0, then repeatedly take the point with the largest squared distance to the
+// set selected so far (ties break to the lowest index). Distance updates are
+// slot-parallel, the argmax is a serial ordered scan, so the selection is a
+// pure function of the inputs at any worker count. Exact duplicates of
+// already-selected points are never picked; the result may therefore be
+// shorter than m.
+func greedyInducing(x [][]float64, m int) []int {
+	n := len(x)
+	if m > n {
+		m = n
+	}
+	idx := make([]int, 0, m)
+	idx = append(idx, 0)
+	dists := make([]float64, n)
+	for i := range dists {
+		dists[i] = math.Inf(1)
+	}
+	for len(idx) < m {
+		newest := x[idx[len(idx)-1]]
+		parallel.ForChunk(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xi := x[i]
+				d := 0.0
+				for t := range newest {
+					df := xi[t] - newest[t]
+					d += df * df
+				}
+				if d < dists[i] {
+					dists[i] = d
+				}
+			}
+		})
+		best, bestD := -1, 0.0
+		for i, d := range dists {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break // every remaining point duplicates a selected one
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// fitSubsetHypers maximizes the dense log marginal likelihood on the
+// inducing subset, reusing the packed squared-diff tensor and the evaluator
+// behind the dense fit. The subset is standardized with the full-data scale,
+// so the fitted (ls, sf2, nugget) transfer directly to the SoR equations.
+// Fitting on m points instead of n keeps each likelihood evaluation O(m³)
+// — the full SoR likelihood would cost O(n·m²) per evaluation, hundreds of
+// times over.
+func (g *SparseGP) fitSubsetHypers() error {
+	m, d := len(g.idx), g.dim
+	xu := make([][]float64, m)
+	yu := make([]float64, m)
+	for i, id := range g.idx {
+		xu[i] = g.x[id]
+		yu[i] = g.y[id]
+	}
+	sq := packSquaredDiffs(xu, d)
+	starts := hyperStarts(d, g.opts.Restarts, g.opts.FixedNugget)
+	objFor := func(int) func([]float64) float64 {
+		return newLMLEvaluatorRaw(g.kind, d, g.opts.FixedNugget, sq, yu).negLML
+	}
+	res := optim.MultiStartParallel(objFor, starts, optim.NelderMeadOptions{MaxIter: g.opts.MaxIter})
+	if math.IsInf(res.F, 1) {
+		return errors.New("gp: sparse hyperparameter optimization failed to find a feasible point")
+	}
+	g.ls = make([]float64, d)
+	for i := 0; i < d; i++ {
+		g.ls[i] = math.Exp(res.X[i])
+	}
+	g.sf2 = math.Exp(res.X[d])
+	if g.opts.FixedNugget > 0 {
+		g.nugget = g.opts.FixedNugget
+	} else {
+		g.nugget = math.Exp(res.X[d+1])
+	}
+	g.lml = -res.F
+	return nil
+}
+
+// refactor rebuilds Kmm, A, Kmn·y, and α from scratch with the current
+// hyperparameters. The accumulation order (σ²·Kmm base first, then training
+// points in ascending order, one rounding per step) is the contract the
+// cheap Add path extends — see SparseGP's doc comment.
+func (g *SparseGP) refactor() error {
+	m, n := len(g.u), len(g.x)
+
+	kmmRaw := linalg.NewDense(m, m)
+	parallel.ForChunk(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kmmRaw.Set(i, i, g.sf2)
+			for j := i + 1; j < m; j++ {
+				v := g.sf2 * corr(g.kind, g.u[i], g.u[j], g.ls)
+				kmmRaw.Set(i, j, v)
+				kmmRaw.Set(j, i, v)
+			}
+		}
+	})
+	ch, _, err := linalg.NewCholeskyJittered(kmmRaw, 1e-10, 12)
+	if err != nil {
+		return err
+	}
+	g.kmm = ch
+
+	// Kmn, row-major m×n: row i is inducing point i's kernel against every
+	// training point. Rows are disjoint slots.
+	kmn := make([]float64, m*n)
+	parallel.ForChunk(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := kmn[i*n : (i+1)*n]
+			for t := 0; t < n; t++ {
+				row[t] = g.sf2 * corr(g.kind, g.u[i], g.x[t], g.ls)
+			}
+		}
+	})
+
+	// A = σ²·Kmm + Kmn·Knm and b = Kmn·y. Each (i,j) pair owns its entry and
+	// its mirror; the t-loop uses a single accumulator in ascending order so
+	// the series matches what Add appends.
+	g.amat = linalg.NewDense(m, m)
+	g.bvec = make([]float64, m)
+	pairs := make([][2]int, 0, m*(m+1)/2)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	parallel.ForChunk(len(pairs), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i, j := pairs[p][0], pairs[p][1]
+			ri := kmn[i*n : (i+1)*n]
+			rj := kmn[j*n : (j+1)*n]
+			v := g.nugget * kmmRaw.At(i, j)
+			for t := 0; t < n; t++ {
+				v += ri[t] * rj[t]
+			}
+			g.amat.Set(i, j, v)
+			if i != j {
+				g.amat.Set(j, i, v)
+			}
+		}
+	})
+	parallel.ForChunk(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := kmn[i*n : (i+1)*n]
+			v := 0.0
+			for t := 0; t < n; t++ {
+				v += ri[t] * g.y[t]
+			}
+			g.bvec[i] = v
+		}
+	})
+	return g.solve()
+}
+
+// solve refreshes the factorization of A and α after A or b changed.
+func (g *SparseGP) solve() error {
+	ch, jit, err := linalg.NewCholeskyJittered(g.amat, 1e-10, 12)
+	if err != nil {
+		return err
+	}
+	g.achol, g.jitter = ch, jit
+	g.alpha = ch.SolveVec(g.bvec)
+	return nil
+}
+
+// Add appends a training observation. When reoptimize is true, inducing
+// points and hyperparameters are refit from scratch on the grown set;
+// otherwise the new point's inducing-kernel column is folded into A and
+// Kmn·y — extending exactly the accumulation series refactor builds, so the
+// incremental state is bit-identical to a from-scratch rebuild — and only
+// the m×m factorization is refreshed (the cheap path used between MUSIC
+// refit intervals).
+func (g *SparseGP) Add(x []float64, y float64, reoptimize bool) error {
+	if len(x) != g.dim {
+		return errors.New("gp: Add dimension mismatch")
+	}
+	g.x = append(g.x, append([]float64(nil), x...))
+	g.y = append(g.y, (y-g.yMean)/g.yStd)
+	if reoptimize {
+		raw := make([]float64, len(g.y))
+		for i, v := range g.y {
+			raw[i] = g.yMean + g.yStd*v
+		}
+		ng, err := FitSparse(g.x, raw, g.inducing, g.opts)
+		if err != nil {
+			return err
+		}
+		*g = *ng
+		return nil
+	}
+	m := len(g.u)
+	xt := g.x[len(g.x)-1]
+	yt := g.y[len(g.y)-1]
+	k := make([]float64, m)
+	for i := 0; i < m; i++ {
+		k[i] = g.sf2 * corr(g.kind, g.u[i], xt, g.ls)
+	}
+	for i := 0; i < m; i++ {
+		ai := g.amat.Row(i)
+		ki := k[i]
+		for j := 0; j < m; j++ {
+			ai[j] += ki * k[j]
+		}
+		g.bvec[i] += ki * yt
+	}
+	return g.solve()
+}
+
+// sparseScratch is the reusable working set of one sparse prediction: the
+// inducing-kernel vector and the two forward-solve outputs.
+type sparseScratch struct{ k, v, w []float64 }
+
+var sparseScratchPool = sync.Pool{New: func() any { return new(sparseScratch) }}
+
+// predictWith computes the posterior mean and variance at x using
+// caller-owned scratch; the single kernel behind Predict, PredictBatch, and
+// the sparse Predictor.
+func (g *SparseGP) predictWith(x []float64, s *sparseScratch) (mean, variance float64) {
+	if len(x) != g.dim {
+		panic("gp: Predict dimension mismatch")
+	}
+	m := len(g.u)
+	s.k = grow(s.k, m)
+	s.v = grow(s.v, m)
+	s.w = grow(s.w, m)
+	for i := 0; i < m; i++ {
+		s.k[i] = g.sf2 * corr(g.kind, x, g.u[i], g.ls)
+	}
+	mu := linalg.Dot(s.k, g.alpha)
+	g.kmm.ForwardSolveTo(s.v, s.k)
+	g.achol.ForwardSolveTo(s.w, s.k)
+	variance = g.sf2 - linalg.Dot(s.v, s.v) + g.nugget*linalg.Dot(s.w, s.w)
+	if variance < 0 {
+		variance = 0
+	}
+	mean = g.yMean + g.yStd*mu
+	variance *= g.yStd * g.yStd
+	return mean, variance
+}
+
+// Predict returns the posterior mean and variance at x (raw scale).
+func (g *SparseGP) Predict(x []float64) (mean, variance float64) {
+	s := sparseScratchPool.Get().(*sparseScratch)
+	mean, variance = g.predictWith(x, s)
+	sparseScratchPool.Put(s)
+	return mean, variance
+}
+
+// PredictBatch evaluates Predict over many points across the worker pool,
+// each point into its own slot — bit-identical to the serial loop at any
+// worker count.
+func (g *SparseGP) PredictBatch(xs [][]float64) (means, variances []float64) {
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	parallel.ForChunk(len(xs), func(lo, hi int) {
+		s := sparseScratchPool.Get().(*sparseScratch)
+		for i := lo; i < hi; i++ {
+			means[i], variances[i] = g.predictWith(xs[i], s)
+		}
+		sparseScratchPool.Put(s)
+	})
+	return means, variances
+}
+
+// PredictMean returns only the posterior mean at x: O(m·d), no solves.
+func (g *SparseGP) PredictMean(x []float64) float64 {
+	if len(x) != g.dim {
+		panic("gp: PredictMean dimension mismatch")
+	}
+	s := 0.0
+	for i := range g.u {
+		s += g.alpha[i] * corr(g.kind, x, g.u[i], g.ls)
+	}
+	return g.yMean + g.yStd*g.sf2*s
+}
+
+// N returns the number of training points.
+func (g *SparseGP) N() int { return len(g.x) }
+
+// Dim returns the input dimension.
+func (g *SparseGP) Dim() int { return g.dim }
+
+// M returns the number of inducing points actually in use.
+func (g *SparseGP) M() int { return len(g.u) }
+
+// InducingIndices returns a copy of the selected training-set indices.
+func (g *SparseGP) InducingIndices() []int { return append([]int(nil), g.idx...) }
+
+// LogMarginalLikelihood returns the inducing-subset LML at the fitted
+// hyperparameters (a diagnostic, not the full SoR likelihood).
+func (g *SparseGP) LogMarginalLikelihood() float64 { return g.lml }
+
+// Lengthscales returns a copy of the fitted per-dimension lengthscales.
+func (g *SparseGP) Lengthscales() []float64 { return append([]float64(nil), g.ls...) }
+
+// Nugget returns the fitted (or fixed) nugget variance on the raw-y scale.
+func (g *SparseGP) Nugget() float64 { return g.nugget * g.yStd * g.yStd }
+
+// TrainingInputs returns a deep copy of the training inputs.
+func (g *SparseGP) TrainingInputs() [][]float64 {
+	out := make([][]float64, len(g.x))
+	for i, xi := range g.x {
+		out[i] = append([]float64(nil), xi...)
+	}
+	return out
+}
+
+// TrainingTargets returns the raw-scale training targets.
+func (g *SparseGP) TrainingTargets() []float64 {
+	out := make([]float64, len(g.y))
+	for i, v := range g.y {
+		out[i] = g.yMean + g.yStd*v
+	}
+	return out
+}
+
+// Hyperparams exports the fitted state, including the inducing indices a
+// RestoreSparse needs to rebuild bit-identically.
+func (g *SparseGP) Hyperparams() Hyperparams {
+	return Hyperparams{
+		Kernel:       g.kind,
+		Lengthscales: append([]float64(nil), g.ls...),
+		SignalVar:    g.sf2,
+		NuggetVar:    g.nugget,
+		YMean:        g.yMean,
+		YStd:         g.yStd,
+		Surrogate:    SparseSurrogate,
+		Inducing:     g.inducing,
+		InducingIdx:  append([]int(nil), g.idx...),
+	}
+}
+
+// sparsePredictor carries reusable scratch for repeated queries against one
+// SparseGP. Not safe for concurrent use; give each worker its own.
+type sparsePredictor struct {
+	g *SparseGP
+	s sparseScratch
+}
+
+// NewPredictor returns a Predictor bound to g.
+func (g *SparseGP) NewPredictor() Predictor { return &sparsePredictor{g: g} }
+
+func (p *sparsePredictor) Predict(x []float64) (mean, variance float64) {
+	return p.g.predictWith(x, &p.s)
+}
+
+func (p *sparsePredictor) PredictMean(x []float64) float64 {
+	return p.g.PredictMean(x)
+}
+
+// MeanCache hooks.
+
+func (g *SparseGP) meanBasis() [][]float64              { return g.u }
+func (g *SparseGP) meanWeights() []float64              { return g.alpha }
+func (g *SparseGP) corrParams() (KernelKind, []float64) { return g.kind, g.ls }
+func (g *SparseGP) meanScale() (offset, scale float64)  { return g.yMean, g.yStd * g.sf2 }
+func (g *SparseGP) generation() uint64                  { return g.gen }

@@ -1,0 +1,242 @@
+package gp
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"osprey/internal/design"
+	"osprey/internal/parallel"
+	"osprey/internal/rng"
+)
+
+// sparseTestOpts keeps optimizer cost low without changing the contract
+// under test.
+var sparseTestOpts = Options{Kernel: SquaredExponential, MaxIter: 60, Restarts: 1}
+
+func TestFitSparseEmpty(t *testing.T) {
+	if _, err := FitSparse(nil, nil, 32, Options{}); err == nil {
+		t.Fatal("FitSparse accepted empty data")
+	}
+}
+
+// TestSparseMatchesDenseAccuracy checks the approximation quality the DESIGN
+// doc promises: on a smooth response, sparse predictions with m << n stay
+// close to the dense GP's on held-out points.
+func TestSparseMatchesDenseAccuracy(t *testing.T) {
+	x, y := fitTestData(300, 11)
+	dense, err := Fit(x, y, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := FitSparse(x, y, 64, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.M() != 64 {
+		t.Fatalf("expected 64 inducing points, got %d", sparse.M())
+	}
+	test := design.LatinHypercube(rng.New(99), 200, 3)
+	var sd, ss float64
+	for _, p := range test {
+		truth := math.Sin(3*p[0]) + 2*p[1]*p[1] - p[2] + 0.1*p[0]*p[2]
+		md, _ := dense.Predict(p)
+		ms, _ := sparse.Predict(p)
+		sd += (md - truth) * (md - truth)
+		ss += (ms - truth) * (ms - truth)
+	}
+	rmseDense := math.Sqrt(sd / float64(len(test)))
+	rmseSparse := math.Sqrt(ss / float64(len(test)))
+	// The documented tolerance: sparse RMSE within 0.05 absolute of dense on
+	// a unit-scale response (dense itself sits well under 0.01 here).
+	if rmseSparse > rmseDense+0.05 {
+		t.Fatalf("sparse rmse %v too far above dense rmse %v", rmseSparse, rmseDense)
+	}
+	// Variances must be finite and non-negative.
+	for _, p := range test[:20] {
+		_, v := sparse.Predict(p)
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bad sparse variance %v", v)
+		}
+	}
+}
+
+// TestSparseSerialParallelEquality extends the repository determinism
+// contract to the sparse surrogate: inducing selection, subset fit, Gram
+// assembly, and batched prediction are bit-identical at workers
+// ∈ {1, 4, GOMAXPROCS}.
+func TestSparseSerialParallelEquality(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	x, y := fitTestData(250, 7)
+	queries := design.LatinHypercube(rng.New(5), 64, 3)
+	type result struct {
+		g      *SparseGP
+		mu, va []float64
+	}
+	run := func(workers int) result {
+		parallel.SetWorkers(workers)
+		g, err := FitSparse(x, y, 48, sparseTestOpts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		mu, va := g.PredictBatch(queries)
+		return result{g, mu, va}
+	}
+	ref := run(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		r := run(w)
+		for i, id := range ref.g.idx {
+			if r.g.idx[i] != id {
+				t.Fatalf("workers=%d: inducing index %d differs", w, i)
+			}
+		}
+		for d := range ref.g.ls {
+			if r.g.ls[d] != ref.g.ls[d] {
+				t.Fatalf("workers=%d: lengthscale %d differs", w, d)
+			}
+		}
+		if r.g.sf2 != ref.g.sf2 || r.g.nugget != ref.g.nugget {
+			t.Fatalf("workers=%d: variance hyperparameters differ", w)
+		}
+		for i := range ref.g.alpha {
+			if r.g.alpha[i] != ref.g.alpha[i] {
+				t.Fatalf("workers=%d: alpha[%d] differs", w, i)
+			}
+		}
+		for i := range ref.mu {
+			if r.mu[i] != ref.mu[i] || r.va[i] != ref.va[i] {
+				t.Fatalf("workers=%d: prediction %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestSparseAddMatchesRestore pins the resume contract: cheap Adds extend
+// the Gram accumulation in exactly the order a from-scratch RestoreSparse
+// rebuild produces, so an interrupted campaign continues bit-identically.
+func TestSparseAddMatchesRestore(t *testing.T) {
+	x, y := fitTestData(220, 3)
+	g, err := FitSparse(x[:200], y[:200], 40, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 220; i++ {
+		if err := g.Add(x[i], y[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := RestoreSparse(x, y, g.Hyperparams(), sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.amat.MaxAbsDiff(restored.amat); d != 0 {
+		t.Fatalf("restored Gram matrix differs by %g", d)
+	}
+	for i := range g.alpha {
+		if g.alpha[i] != restored.alpha[i] {
+			t.Fatalf("alpha[%d] differs after restore", i)
+		}
+	}
+	queries := design.LatinHypercube(rng.New(17), 32, 3)
+	for _, q := range queries {
+		m1, v1 := g.Predict(q)
+		m2, v2 := restored.Predict(q)
+		if m1 != m2 || v1 != v2 {
+			t.Fatal("restored sparse surrogate predicts differently")
+		}
+	}
+}
+
+// TestSurrogateRoundTrip exercises the kind-dispatching constructors both
+// ways: fit via FitSurrogate, export Hyperparams, rebuild via
+// RestoreSurrogate, and require bit-identical predictions.
+func TestSurrogateRoundTrip(t *testing.T) {
+	x, y := fitTestData(120, 21)
+	queries := design.LatinHypercube(rng.New(8), 16, 3)
+	for _, kind := range []SurrogateKind{DenseSurrogate, SparseSurrogate} {
+		s, err := FitSurrogate(x, y, kind, 32, sparseTestOpts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		hp := s.Hyperparams()
+		if hp.Surrogate != kind {
+			t.Fatalf("%v: hyperparams record kind %v", kind, hp.Surrogate)
+		}
+		r, err := RestoreSurrogate(x, y, hp, sparseTestOpts)
+		if err != nil {
+			t.Fatalf("%v: restore: %v", kind, err)
+		}
+		for _, q := range queries {
+			m1, v1 := s.Predict(q)
+			m2, v2 := r.Predict(q)
+			if m1 != m2 || v1 != v2 {
+				t.Fatalf("%v: restored surrogate predicts differently", kind)
+			}
+			if pm := s.NewPredictor().PredictMean(q); pm != s.PredictMean(q) {
+				t.Fatalf("%v: Predictor.PredictMean diverges", kind)
+			}
+		}
+	}
+}
+
+// TestMeanCacheSparse checks the kernel-column cache against the sparse
+// surrogate, including the fixed-basis fast path: cheap Adds change the
+// weights but not the inducing set, so the cache recomputes no columns and
+// must still match PredictMean bit for bit.
+func TestMeanCacheSparse(t *testing.T) {
+	x, y := fitTestData(160, 13)
+	g, err := FitSparse(x[:150], y[:150], 32, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := design.LatinHypercube(rng.New(2), 40, 3)
+	cache := NewMeanCache(queries)
+	out := make([]float64, len(queries))
+	check := func(stage string) {
+		cache.Means(g, out)
+		for q, p := range queries {
+			if want := g.PredictMean(p); out[q] != want {
+				t.Fatalf("%s: cached mean %d = %v, want %v", stage, q, out[q], want)
+			}
+		}
+	}
+	check("initial")
+	for i := 150; i < 160; i++ {
+		if err := g.Add(x[i], y[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after cheap adds")
+	if err := g.Add([]float64{0.5, 0.5, 0.5}, 1.0, true); err != nil {
+		t.Fatal(err)
+	}
+	check("after reoptimize")
+}
+
+// TestTrainingInputsCopied is the regression test for the aliasing bug:
+// TrainingInputs must return a deep copy, so mutating it cannot corrupt
+// training data under a fitted factorization.
+func TestTrainingInputsCopied(t *testing.T) {
+	x, y := fitTestData(40, 31)
+	dense, err := Fit(x, y, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := FitSparse(x, y, 16, sparseTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.6, 0.2}
+	for _, s := range []Surrogate{dense, sparse} {
+		before := s.PredictMean(probe)
+		got := s.TrainingInputs()
+		for i := range got {
+			for j := range got[i] {
+				got[i][j] = math.NaN()
+			}
+		}
+		if after := s.PredictMean(probe); after != before || math.IsNaN(after) {
+			t.Fatalf("%T: mutating TrainingInputs changed predictions", s)
+		}
+	}
+}

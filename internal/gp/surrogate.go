@@ -1,0 +1,134 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SurrogateKind selects the surrogate implementation behind the Surrogate
+// interface.
+type SurrogateKind int
+
+const (
+	// DenseSurrogate is the exact GP: O(n³) fit, O(n) mean / O(n²) variance
+	// per prediction. The right choice up to a few hundred training points.
+	DenseSurrogate SurrogateKind = iota
+	// SparseSurrogate is the subset-of-regressors inducing-point
+	// approximation (SparseGP): O(n·m²) fit and O(m) mean for m inducing
+	// points, opening 10k-point designs the dense path cannot reach.
+	SparseSurrogate
+)
+
+func (k SurrogateKind) String() string {
+	switch k {
+	case DenseSurrogate:
+		return "dense"
+	case SparseSurrogate:
+		return "sparse"
+	default:
+		return fmt.Sprintf("SurrogateKind(%d)", int(k))
+	}
+}
+
+// DefaultInducing is the inducing-point budget used when a sparse surrogate
+// is requested without an explicit count.
+const DefaultInducing = 256
+
+// Surrogate is the regression-model contract MUSIC and the other consumers
+// program against: anything that can be fitted on (x, y), appended to, and
+// queried for posterior means and variances. Both the exact GP and the
+// SparseGP implement it; the unexported hooks let MeanCache reuse kernel
+// columns across either implementation, which also seals the interface to
+// this package.
+type Surrogate interface {
+	// Predict returns the posterior mean and variance at x (raw scale).
+	Predict(x []float64) (mean, variance float64)
+	// PredictMean returns only the posterior mean, skipping the triangular
+	// solve the variance needs.
+	PredictMean(x []float64) float64
+	// PredictBatch evaluates Predict over many points across the worker
+	// pool, bit-identical to the serial loop at any worker count.
+	PredictBatch(xs [][]float64) (means, variances []float64)
+	// Add appends one training observation; reoptimize=true refits the
+	// hyperparameters, false refreshes only the factorization.
+	Add(x []float64, y float64, reoptimize bool) error
+	// N and Dim report training-set size and input dimension.
+	N() int
+	Dim() int
+	// TrainingInputs returns a deep copy of the training inputs.
+	TrainingInputs() [][]float64
+	// TrainingTargets returns the raw-scale training targets.
+	TrainingTargets() []float64
+	// Hyperparams exports the fitted state for checkpointing; feed it back
+	// through RestoreSurrogate to rebuild without reoptimizing.
+	Hyperparams() Hyperparams
+	// NewPredictor returns reusable per-worker prediction scratch.
+	NewPredictor() Predictor
+
+	// MeanCache hooks: every implementation's posterior mean has the form
+	//   offset + scale · Σ_i weights[i] · corr(x, basis[i], ls)
+	// (dense: basis = training inputs, weights = K⁻¹y; sparse: basis =
+	// inducing points, weights = A⁻¹Kmn·y), so cached kernel columns
+	// against basis reproduce PredictMean for either kind.
+	meanBasis() [][]float64
+	meanWeights() []float64
+	corrParams() (KernelKind, []float64)
+	meanScale() (offset, scale float64)
+	generation() uint64
+}
+
+// FitSurrogate trains a surrogate of the requested kind. inducing caps the
+// sparse surrogate's inducing-point count (<= 0 means DefaultInducing) and
+// is ignored for the dense kind.
+func FitSurrogate(x [][]float64, y []float64, kind SurrogateKind, inducing int, opts Options) (Surrogate, error) {
+	switch kind {
+	case DenseSurrogate:
+		return Fit(x, y, opts)
+	case SparseSurrogate:
+		return FitSparse(x, y, inducing, opts)
+	default:
+		return nil, fmt.Errorf("gp: unknown surrogate kind %d", int(kind))
+	}
+}
+
+// RestoreSurrogate rebuilds a surrogate of the kind recorded in hp from
+// training data and previously fitted hyperparameters, skipping
+// optimization. The result predicts bit-identically to the surrogate the
+// hyperparameters came from (given the same data).
+func RestoreSurrogate(x [][]float64, y []float64, hp Hyperparams, opts Options) (Surrogate, error) {
+	switch hp.Surrogate {
+	case DenseSurrogate:
+		return Restore(x, y, hp, opts)
+	case SparseSurrogate:
+		return RestoreSparse(x, y, hp, opts)
+	default:
+		return nil, fmt.Errorf("gp: unknown surrogate kind %d in hyperparameters", int(hp.Surrogate))
+	}
+}
+
+// MeanCache hooks for the dense GP.
+
+func (g *GP) meanBasis() [][]float64              { return g.x }
+func (g *GP) meanWeights() []float64              { return g.alpha }
+func (g *GP) corrParams() (KernelKind, []float64) { return g.kind, g.ls }
+func (g *GP) meanScale() (offset, scale float64)  { return g.yMean, g.yStd * g.sf2 }
+func (g *GP) generation() uint64                  { return g.gen }
+
+// standardizeTargets returns the mean and standard deviation used to put raw
+// targets on the unit scale both surrogate kinds fit on. Constant targets
+// keep the raw scale (sd = 1).
+func standardizeTargets(y []float64) (mean, sd float64) {
+	n := float64(len(y))
+	for _, v := range y {
+		mean += v
+	}
+	mean /= n
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / n)
+	if sd < 1e-12 {
+		sd = 1
+	}
+	return mean, sd
+}

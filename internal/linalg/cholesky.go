@@ -3,10 +3,17 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"osprey/internal/obs"
 )
 
 // ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
 var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// mCholJitterRetries counts NewCholeskyJittered retry attempts (one per
+// jitter rung actually tried), surfacing surrogate-fit instability in
+// /metrics.
+var mCholJitterRetries = obs.GetCounter("linalg.chol.jitter_retries")
 
 // Cholesky holds the lower-triangular factor L of a symmetric
 // positive-definite matrix A = L Lᵀ.
@@ -17,40 +24,31 @@ type Cholesky struct {
 // NewCholesky factors the symmetric positive-definite matrix a. Only the
 // lower triangle of a is read. It returns ErrNotPositiveDefinite when a
 // pivot is non-positive (within a small tolerance for numerical noise).
+//
+// Matrices of cholBlockedMin rows or more go through the cache-tiled
+// blocked factorization (see cholesky_blocked.go), which is bit-identical
+// at any worker count; smaller matrices use the scalar loop directly. The
+// two paths fix different (both deterministic) summation orders, so they
+// agree to rounding error, not bitwise; the crossover depends only on n.
 func NewCholesky(a *Dense) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		panic("linalg: Cholesky of non-square matrix")
 	}
-	n := a.Rows
-	l := NewDense(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		lj := l.Row(j)
-		for k := 0; k < j; k++ {
-			d -= lj[k] * lj[k]
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		dj := math.Sqrt(d)
-		lj[j] = dj
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			li := l.Row(i)
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
-			}
-			li[j] = s / dj
-		}
+	if a.Rows >= cholBlockedMin {
+		return newCholeskyBlocked(a)
 	}
-	return &Cholesky{L: l}, nil
+	return newCholeskyScalar(a)
 }
 
-// NewCholeskyJittered retries the factorization with exponentially growing
-// diagonal jitter until it succeeds or maxTries is exhausted. It returns the
-// factor along with the jitter that was finally applied. This is the
-// standard guard for Gaussian-process covariance matrices that are
-// numerically semi-definite.
+// NewCholeskyJittered retries the factorization with a deterministic
+// exponential jitter ladder (jitter0, 10·jitter0, 100·jitter0, …) until it
+// succeeds or maxTries is exhausted. Each rung sets the working copy's
+// diagonal to exactly original+jitter, so the attempt sequence depends only
+// on (a, jitter0, maxTries). Every retry increments the
+// linalg.chol.jitter_retries counter, making surrogate-fit instability
+// visible in /metrics. It returns the factor along with the jitter that was
+// finally applied. This is the standard guard for Gaussian-process
+// covariance matrices that are numerically semi-definite.
 func NewCholeskyJittered(a *Dense, jitter0 float64, maxTries int) (*Cholesky, float64, error) {
 	if jitter0 <= 0 {
 		jitter0 = 1e-10
@@ -58,9 +56,18 @@ func NewCholeskyJittered(a *Dense, jitter0 float64, maxTries int) (*Cholesky, fl
 	if ch, err := NewCholesky(a); err == nil {
 		return ch, 0, nil
 	}
+	n := a.Rows
+	b := a.Clone()
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a.At(i, i)
+	}
 	j := jitter0
 	for try := 0; try < maxTries; try++ {
-		b := a.Clone().AddDiag(j)
+		mCholJitterRetries.Inc()
+		for i := 0; i < n; i++ {
+			b.Set(i, i, diag[i]+j)
+		}
 		if ch, err := NewCholesky(b); err == nil {
 			return ch, j, nil
 		}
@@ -85,36 +92,106 @@ func (c *Cholesky) ForwardSolve(b []float64) []float64 {
 // ForwardSolveTo solves L y = b into the caller-supplied slice dst, which
 // may alias b. It allocates nothing, which is what makes batched GP
 // prediction allocation-free in steady state.
+//
+// Large factors use a tiled traversal that keeps each cholTile-wide slice
+// of the solution hot while every row of a block consumes it. The
+// subtraction sequence per element is exactly the scalar one (ascending k),
+// so the result is bit-identical to the scalar loop for every n.
 func (c *Cholesky) ForwardSolveTo(dst, b []float64) {
 	n := c.L.Rows
 	if len(b) != n || len(dst) != n {
 		panic("linalg: ForwardSolveTo dimension mismatch")
 	}
-	for i := 0; i < n; i++ {
-		s := b[i]
-		li := c.L.Row(i)
-		for k := 0; k < i; k++ {
-			s -= li[k] * dst[k]
+	if n < cholBlockedMin {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			li := c.L.Row(i)
+			for k := 0; k < i; k++ {
+				s -= li[k] * dst[k]
+			}
+			dst[i] = s / li[i]
 		}
-		dst[i] = s / li[i]
+		return
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	for ib := 0; ib < n; ib += cholTile {
+		ie := min(ib+cholTile, n)
+		for kb := 0; kb < ib; kb += cholTile {
+			ke := kb + cholTile // kb < ib implies a full tile
+			for i := ib; i < ie; i++ {
+				li := c.L.Row(i)
+				s := dst[i]
+				for k := kb; k < ke; k++ {
+					s -= li[k] * dst[k]
+				}
+				dst[i] = s
+			}
+		}
+		for i := ib; i < ie; i++ {
+			li := c.L.Row(i)
+			s := dst[i]
+			for k := ib; k < i; k++ {
+				s -= li[k] * dst[k]
+			}
+			dst[i] = s / li[i]
+		}
 	}
 }
 
 // BackSolve solves Lᵀ x = y.
 func (c *Cholesky) BackSolve(y []float64) []float64 {
-	n := c.L.Rows
-	if len(y) != n {
-		panic("linalg: BackSolve dimension mismatch")
-	}
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.L.At(k, i) * x[k]
-		}
-		x[i] = s / c.L.At(i, i)
-	}
+	x := make([]float64, c.L.Rows)
+	c.BackSolveTo(x, y)
 	return x
+}
+
+// BackSolveTo solves Lᵀ x = y into the caller-supplied slice dst, which may
+// alias y. It allocates nothing.
+//
+// The scalar back substitution walks a column of the row-major factor — a
+// stride-n access per element — so factors of cholBlockedMin rows or more
+// use a blocked traversal instead: each cholTile-row block first absorbs
+// the already-solved trailing blocks' contributions row-contiguously
+// (ascending k), then back-substitutes its diagonal tile. Trailing
+// contributions land before in-tile ones, so the blocked result can differ
+// from the scalar path in the last ulp; both paths are serial and
+// deterministic, and the crossover depends only on n.
+func (c *Cholesky) BackSolveTo(dst, y []float64) {
+	n := c.L.Rows
+	if len(y) != n || len(dst) != n {
+		panic("linalg: BackSolveTo dimension mismatch")
+	}
+	if n < cholBlockedMin {
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for k := i + 1; k < n; k++ {
+				s -= c.L.At(k, i) * dst[k]
+			}
+			dst[i] = s / c.L.At(i, i)
+		}
+		return
+	}
+	copy(dst, y)
+	first := ((n - 1) / cholTile) * cholTile
+	for ib := first; ib >= 0; ib -= cholTile {
+		ie := min(ib+cholTile, n)
+		for k := ie; k < n; k++ {
+			lk := c.L.Row(k)
+			xk := dst[k]
+			for i := ib; i < ie; i++ {
+				dst[i] -= lk[i] * xk
+			}
+		}
+		for i := ie - 1; i >= ib; i-- {
+			s := dst[i]
+			for k := i + 1; k < ie; k++ {
+				s -= c.L.At(k, i) * dst[k]
+			}
+			dst[i] = s / c.L.At(i, i)
+		}
+	}
 }
 
 // SolveMat solves A X = B column by column.

@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"math"
+
+	"osprey/internal/parallel"
+)
+
+// Blocked Cholesky: the right-looking, cache-tiled factorization behind
+// NewCholesky for matrices at or above cholBlockedMin. The matrix is
+// processed in cholTile-wide column panels; each step factors the diagonal
+// tile, forward-substitutes the panel rows below it, and then subtracts the
+// panel's outer product from the trailing submatrix tile by tile across the
+// worker pool.
+//
+// Determinism: the blocked path fixes its own summation order — panel
+// contributions in ascending column-panel order, and within each panel a
+// 4-lane strided partial-sum dot (see dot4) whose lanes combine in one
+// fixed tree — and tiles are disjoint index ranges written by exactly one
+// ForChunk iteration (slot-write contract). The factor is therefore
+// bit-identical at any worker count. It is NOT bit-identical to the scalar
+// path (the lanes reassociate the sums to break the one-accumulator
+// dependency chain that latency-binds the scalar loop); the crossover in
+// NewCholesky depends only on n, so any given problem size always takes
+// one path.
+const (
+	// cholTile is the panel/tile width. 64 columns of float64 is 512 bytes
+	// per row strip — two tiles of interacting rows fit comfortably in L1
+	// while the panel strip stays resident across the trailing update.
+	cholTile = 64
+	// cholBlockedMin is the size-based crossover: below it the scalar
+	// factorization wins (no pair-list or goroutine overhead), above it the
+	// tiled traversal's locality and lane-parallel dots dominate. The
+	// crossover is a pure function of n, so a given problem size always
+	// takes the same path and stays reproducible.
+	cholBlockedMin = 128
+)
+
+// newCholeskyScalar is the reference factorization for small matrices,
+// kept as the sub-crossover fast path and as the oracle the blocked-path
+// tests compare against.
+func newCholeskyScalar(a *Dense) (*Cholesky, error) {
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		lj[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s / dj
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// dot4 returns Σ a[k]·b[k] over [0, n) with four independent accumulator
+// lanes (k ≡ 0..3 mod 4) combined as (s0+s1)+(s2+s3). The lanes break the
+// single-accumulator add-latency chain that bounds a sequential dot; the
+// order is a pure function of n, so results are reproducible everywhere.
+func dot4(a, b []float64, n int) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	for ; k < n; k++ {
+		s0 += a[k] * b[k]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// factorDiagTile factors columns [kb, ke) of the diagonal tile in place,
+// assuming all contributions from columns < kb have already been subtracted
+// by earlier trailing updates.
+func factorDiagTile(l *Dense, kb, ke int) error {
+	for j := kb; j < ke; j++ {
+		lj := l.Row(j)
+		ljp := lj[kb:j]
+		d := lj[j] - dot4(ljp, ljp, j-kb)
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		lj[j] = dj
+		for i := j + 1; i < ke; i++ {
+			li := l.Row(i)
+			li[j] = (li[j] - dot4(li[kb:j], ljp, j-kb)) / dj
+		}
+	}
+	return nil
+}
+
+// newCholeskyBlocked factors a with the tiled right-looking algorithm.
+func newCholeskyBlocked(a *Dense) (*Cholesky, error) {
+	n := a.Rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(l.Row(i)[:i+1], a.Row(i)[:i+1])
+	}
+	// Reused trailing-tile pair list: {rowTileStart, colTileStart}.
+	var pairs [][2]int
+	for kb := 0; kb < n; kb += cholTile {
+		ke := min(kb+cholTile, n)
+		if err := factorDiagTile(l, kb, ke); err != nil {
+			return nil, err
+		}
+		// Panel: forward-substitute every row below the diagonal tile
+		// against it. Each row is owned by one iteration.
+		parallel.ForChunk(n-ke, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				i := ke + r
+				li := l.Row(i)
+				for j := kb; j < ke; j++ {
+					lj := l.Row(j)
+					li[j] = (li[j] - dot4(li[kb:j], lj[kb:j], j-kb)) / lj[j]
+				}
+			}
+		})
+		// Trailing update: subtract the panel's outer product from every
+		// remaining lower-triangle tile. Tiles are disjoint slots.
+		pairs = pairs[:0]
+		for jb := ke; jb < n; jb += cholTile {
+			for ib := jb; ib < n; ib += cholTile {
+				pairs = append(pairs, [2]int{ib, jb})
+			}
+		}
+		parallel.ForChunk(len(pairs), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				ib, jb := pairs[p][0], pairs[p][1]
+				ie := min(ib+cholTile, n)
+				je := min(jb+cholTile, n)
+				w := ke - kb
+				for i := ib; i < ie; i++ {
+					li := l.Row(i)
+					lip := li[kb:ke]
+					jmax := je
+					if i+1 < jmax {
+						jmax = i + 1 // diagonal tile: lower triangle only
+					}
+					for j := jb; j < jmax; j++ {
+						li[j] -= dot4(lip, l.Row(j)[kb:ke], w)
+					}
+				}
+			}
+		})
+	}
+	return &Cholesky{L: l}, nil
+}

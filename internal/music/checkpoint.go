@@ -27,7 +27,10 @@ type checkpoint struct {
 	RNGState      []byte      `json:"rng_state"`
 	// Surrogate hyperparameters (nil if no surrogate was fitted yet).
 	// Restoring them — rather than refitting — is what makes resume
-	// bit-identical even mid-way between refit intervals.
+	// bit-identical even mid-way between refit intervals. For the sparse
+	// kind they carry the surrogate kind, inducing budget, and the selected
+	// inducing indices (re-selection over the grown training set could pick
+	// different points and break bit-identical resume).
 	GP *gp.Hyperparams `json:"gp,omitempty"`
 }
 
@@ -98,9 +101,15 @@ func Load(r io.Reader, opts Options) (*Algorithm, error) {
 	a.history = cp.History
 	a.lastIndices = cp.LastIndices
 	if cp.GP != nil {
+		if cp.GP.Surrogate != opts.Surrogate {
+			return nil, fmt.Errorf("music: checkpoint surrogate kind %v != options kind %v", cp.GP.Surrogate, opts.Surrogate)
+		}
+		if cp.GP.Surrogate == gp.SparseSurrogate && cp.GP.Inducing != opts.Inducing {
+			return nil, fmt.Errorf("music: checkpoint inducing count %d != options count %d", cp.GP.Inducing, opts.Inducing)
+		}
 		raw := make([]float64, len(a.y))
 		copy(raw, a.y)
-		g, err := gp.Restore(a.x, raw, *cp.GP, opts.GP)
+		g, err := gp.RestoreSurrogate(a.x, raw, *cp.GP, opts.GP)
 		if err != nil {
 			return nil, fmt.Errorf("music: restore surrogate: %w", err)
 		}

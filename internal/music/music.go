@@ -89,6 +89,13 @@ type Options struct {
 	Seed uint64
 	// GP carries surrogate fitting options.
 	GP gp.Options
+	// Surrogate selects the surrogate implementation (default the exact
+	// dense GP). SparseSurrogate switches to the inducing-point
+	// approximation, which is what makes 10k-point budgets tractable.
+	Surrogate gp.SurrogateKind
+	// Inducing caps the sparse surrogate's inducing-point count (defaulted
+	// to gp.DefaultInducing when sparse; ignored for dense).
+	Inducing int
 }
 
 func (o *Options) defaults() error {
@@ -122,6 +129,11 @@ func (o *Options) defaults() error {
 	if o.GP.Restarts == 0 {
 		o.GP.Restarts = 1
 	}
+	if o.Surrogate == gp.SparseSurrogate && o.Inducing <= 0 {
+		// Normalize here so checkpoints record the effective count and Load
+		// can verify compatibility against defaulted options.
+		o.Inducing = gp.DefaultInducing
+	}
 	return nil
 }
 
@@ -144,7 +156,7 @@ type Algorithm struct {
 	x [][]float64
 	y []float64
 
-	surrogate   *gp.GP
+	surrogate   gp.Surrogate
 	sinceRefit  int
 	issuedInit  bool
 	history     []Snapshot
@@ -219,7 +231,7 @@ func (a *Algorithm) Observe(points [][]float64, values []float64) error {
 func (a *Algorithm) refit(added int) error {
 	a.sinceRefit += added
 	if a.surrogate == nil || a.sinceRefit >= a.opts.RefitEvery {
-		g, err := gp.Fit(a.x, a.y, a.opts.GP)
+		g, err := gp.FitSurrogate(a.x, a.y, a.opts.Surrogate, a.opts.Inducing, a.opts.GP)
 		if err != nil {
 			return fmt.Errorf("music: surrogate fit: %w", err)
 		}
@@ -372,9 +384,9 @@ func (a *Algorithm) History() []Snapshot {
 	return out
 }
 
-// Surrogate exposes the fitted GP (nil before the initial design is
+// Surrogate exposes the fitted surrogate (nil before the initial design is
 // observed), for diagnostics and ablations.
-func (a *Algorithm) Surrogate() *gp.GP { return a.surrogate }
+func (a *Algorithm) Surrogate() gp.Surrogate { return a.surrogate }
 
 // RunSequential drives one instance to completion against a synchronous
 // evaluator — the single-instance reference driver used by tests and the

@@ -446,6 +446,89 @@ func TestCheckpointResumeIsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTripSurrogateKinds runs the interrupt-checkpoint-resume
+// scheme under both surrogate implementations: for each kind, a run stopped
+// mid-refinement and resumed from its checkpoint must finish with exactly the
+// index estimates of an uninterrupted run. For the sparse kind this
+// exercises the recorded inducing indices — re-selection at load time would
+// diverge.
+func TestCheckpointRoundTripSurrogateKinds(t *testing.T) {
+	space := unitSpace(2)
+	f := func(x []float64) (float64, error) { return math.Sin(4*x[0]) + x[1]*x[1], nil }
+	for _, kind := range []gp.SurrogateKind{gp.DenseSurrogate, gp.SparseSurrogate} {
+		opts := fastOpts(space, 81)
+		opts.Budget = 32
+		opts.Surrogate = kind
+		if kind == gp.SparseSurrogate {
+			opts.Inducing = 16
+		}
+
+		ref, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSequential(ref, f); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		refIdx, _ := ref.Indices()
+
+		a, _ := New(opts)
+		pts, _ := a.InitialDesign()
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i], _ = f(p)
+		}
+		if err := a.Observe(pts, vals); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			p, err := a.NextPoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := f(p)
+			if err := a.Observe([][]float64{p}, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		// A checkpoint must not load under a different surrogate kind.
+		wrong := opts
+		if kind == gp.DenseSurrogate {
+			wrong.Surrogate = gp.SparseSurrogate
+		} else {
+			wrong.Surrogate = gp.DenseSurrogate
+			wrong.Inducing = 0
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), wrong); err == nil {
+			t.Fatalf("%v: checkpoint loaded under mismatched surrogate kind", kind)
+		}
+		b, err := Load(bytes.NewReader(buf.Bytes()), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for !b.Done() {
+			p, err := b.NextPoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := f(p)
+			if err := b.Observe([][]float64{p}, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotIdx, _ := b.Indices()
+		for j := range refIdx {
+			if gotIdx[j] != refIdx[j] {
+				t.Fatalf("%v: resumed run diverged: %v vs %v", kind, gotIdx, refIdx)
+			}
+		}
+	}
+}
+
 func TestLoadValidation(t *testing.T) {
 	space := unitSpace(2)
 	opts := fastOpts(space, 78)

@@ -1,0 +1,113 @@
+// Acceptance tests for the scalable surrogate layer: approximation quality
+// on the Figure-4 MUSIC workload and the sub-cubic fit-time contract.
+package osprey_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"osprey/internal/design"
+	"osprey/internal/gp"
+	"osprey/internal/metarvm"
+	"osprey/internal/rng"
+)
+
+// figure4Data evaluates the fixed-seed MetaRVM GSA response (the Figure 4
+// workload) on a unit-cube LHS design.
+func figure4Data(t *testing.T, n int, seed uint64) ([][]float64, []float64) {
+	t.Helper()
+	space := metarvm.GSAParameterSpace()
+	x := design.LatinHypercube(rng.New(seed), n, space.Dim())
+	y := make([]float64, n)
+	for i, u := range x {
+		v, err := metarvm.EvaluateGSA(space.Scale(u), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y[i] = v
+	}
+	return x, y
+}
+
+// TestFigure4SparseDenseRMSE pins the documented approximation tolerance:
+// on the Figure-4 MetaRVM workload, the sparse surrogate's held-out
+// normalized RMSE stays within 0.05 (5% of the response's standard
+// deviation) of the dense GP's.
+func TestFigure4SparseDenseRMSE(t *testing.T) {
+	opts := gp.Options{MaxIter: 60, Restarts: 0}
+	x, y := figure4Data(t, 300, 4)
+	tx, ty := figure4Data(t, 150, 5)
+
+	dense, err := gp.Fit(x, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := gp.FitSparse(x, y, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mean, sd float64
+	for _, v := range ty {
+		mean += v
+	}
+	mean /= float64(len(ty))
+	for _, v := range ty {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(ty)))
+
+	rmse := func(s gp.Surrogate) float64 {
+		var sum float64
+		for i, u := range tx {
+			m := s.PredictMean(u)
+			sum += (m - ty[i]) * (m - ty[i])
+		}
+		return math.Sqrt(sum/float64(len(tx))) / sd
+	}
+	nd, ns := rmse(dense), rmse(sparse)
+	t.Logf("normalized RMSE: dense %.4f, sparse %.4f", nd, ns)
+	if ns > nd+0.05 {
+		t.Fatalf("sparse normalized RMSE %.4f exceeds dense %.4f by more than the documented 0.05 tolerance", ns, nd)
+	}
+}
+
+// TestSparseFitsTenKFasterThanDenseOneK is the scalability acceptance
+// criterion: the sparse surrogate must fit a 10k-point design in less time
+// than the dense path needs at 1k points.
+func TestSparseFitsTenKFasterThanDenseOneK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	opts := gp.Options{MaxIter: 30, Restarts: 0}
+	const dim = 5
+	synth := func(n int, seed uint64) ([][]float64, []float64) {
+		x := design.LatinHypercube(rng.New(seed), n, dim)
+		y := make([]float64, n)
+		for i, u := range x {
+			y[i] = math.Sin(3*u[0]) + 2*u[1]*u[1] - u[2] + 0.5*u[3]*u[4]
+		}
+		return x, y
+	}
+
+	xd, yd := synth(1000, 1)
+	start := time.Now()
+	if _, err := gp.Fit(xd, yd, opts); err != nil {
+		t.Fatal(err)
+	}
+	denseElapsed := time.Since(start)
+
+	xs, ys := synth(10000, 2)
+	start = time.Now()
+	sp, err := gp.FitSparse(xs, ys, 256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseElapsed := time.Since(start)
+
+	t.Logf("dense fit @1k: %v, sparse fit @10k (m=%d): %v", denseElapsed, sp.M(), sparseElapsed)
+	if sparseElapsed >= denseElapsed {
+		t.Fatalf("sparse 10k fit (%v) not faster than dense 1k fit (%v)", sparseElapsed, denseElapsed)
+	}
+}
