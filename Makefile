@@ -6,7 +6,7 @@ GO ?= go
 # Coverage floor for cover-check (percent of statements in internal/...).
 COVER_FLOOR ?= 60
 
-.PHONY: all build vet fmt-check ci check-ci-mirror test test-go test-short test-shuffle test-single-core race race-lifecycle race-numerics race-all smoke-ctl soak soak-shard staticcheck bench bench-smoke bench-json bench-compare fuzz-smoke figures figures-quick cover cover-check clean
+.PHONY: all build vet fmt-check ci check-ci-mirror test test-go test-short test-shuffle test-single-core race race-lifecycle race-numerics race-all smoke-ctl soak soak-shard soak-tenant staticcheck bench bench-smoke bench-json bench-compare fuzz-smoke figures figures-quick cover cover-check clean
 
 all: build test
 
@@ -23,7 +23,7 @@ CI_STEPS := check-ci-mirror vet fmt-check build test-go test-shuffle test-single
 # it must run, as job:target pairs. scripts/check_ci_mirror.sh verifies
 # every pair has a matching `run: make <target>` line inside that job, so
 # the dedicated jobs obey the same edit-both-files rule as CI_STEPS.
-CI_JOBS := coverage:cover-check soak:soak soak-shard:soak-shard staticcheck:staticcheck
+CI_JOBS := coverage:cover-check soak:soak soak-shard:soak-shard soak-tenant:soak-tenant staticcheck:staticcheck
 
 ci: $(CI_STEPS)
 
@@ -101,6 +101,19 @@ soak:
 soak-shard:
 	$(GO) run ./cmd/osprey-loadgen -seed 73 -duration 30s -rate 150 -workers 8 -shards 3 -faults shard-failover -runs 2 -out SOAK_shard_report.json
 
+# Multi-tenant soak (the CI soak-tenant job): two same-seed runs with
+# three tenants — bearer-token auth, per-tenant quotas with a noisy
+# neighbor, private streams, live cross-tenant isolation probes, and a
+# streaming watch subscription per tenant — through the tenant fault
+# schedule (kills, refuse windows, latency, pool crash; no daemon crashes,
+# so watches stay connected). Asserts the four tenant invariants (zero
+# cross-tenant reads, quota conformance, per-tenant ledger balance,
+# no-dup watch delivery with drops accounted) on top of the base set,
+# plus identical workload digests. The report lands in
+# SOAK_tenant_report.json.
+soak-tenant:
+	$(GO) run ./cmd/osprey-loadgen -seed 91 -duration 30s -rate 150 -workers 8 -tenants 3 -faults tenant -runs 2 -out SOAK_tenant_report.json
+
 # Staticcheck over the whole module (the CI staticcheck job). The binary
 # is not vendored; install the pinned version once with
 #   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
@@ -159,4 +172,4 @@ cover-check:
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 clean:
-	rm -rf out cover.out cover.html BENCH_fresh.json bench-diff.json SOAK_report.json SOAK_shard_report.json
+	rm -rf out cover.out cover.html BENCH_fresh.json bench-diff.json SOAK_report.json SOAK_shard_report.json SOAK_tenant_report.json

@@ -7,9 +7,13 @@
 package osprey_test
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -923,4 +927,140 @@ func BenchmarkWALReplay(b *testing.B) {
 		}
 		rl.Close()
 	}
+}
+
+// BenchmarkWatchFanout measures the metadata watch path fanning one
+// version append out to 1000 subscribers over real HTTP, comparing the
+// two transports GET /watch offers. poll-1k holds one server-side
+// long-poll session per subscriber and pays a full request/response per
+// subscriber per event; sse-1k holds one persistent SSE stream per
+// subscriber and pays only the frame write. Both share the store-side
+// bounded-queue subscription hub, so the spread between them is pure
+// transport cost. Reported metric: deliveries/s (events × subscribers
+// over wall time).
+func BenchmarkWatchFanout(b *testing.B) {
+	const subscribers = 1000
+
+	b.Run("poll-1k", func(b *testing.B) {
+		store := aero.NewStore()
+		srv := httptest.NewServer(aero.NewServer(store))
+		defer srv.Close()
+		rec, err := store.CreateData("hot", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: subscribers}}
+		defer hc.CloseIdleConnections()
+		poll := func(i int, timeout string) (int, error) {
+			resp, err := hc.Get(fmt.Sprintf("%s/watch?sub=s%d&buffer=1024&timeout=%s", srv.URL, i, timeout))
+			if err != nil {
+				return 0, err
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Events []aero.DataUpdate `json:"events"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				return 0, err
+			}
+			return len(out.Events), nil
+		}
+		// Register every session before the clock starts: the first poll
+		// creates the server-side subscription.
+		for i := 0; i < subscribers; i++ {
+			if _, err := poll(i, "1ms"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		received := make([]int, subscribers)
+		start := time.Now()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := store.AppendVersion(rec.UUID, aero.Version{Checksum: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < subscribers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for received[i] <= n {
+						got, err := poll(i, "2s")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						received[i] += got
+					}
+				}(i)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*subscribers/time.Since(start).Seconds(), "deliveries/s")
+	})
+
+	b.Run("sse-1k", func(b *testing.B) {
+		store := aero.NewStore()
+		srv := httptest.NewServer(aero.NewServer(store))
+		defer srv.Close()
+		rec, err := store.CreateData("hot", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: subscribers}}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var delivered atomic.Int64
+		var ready sync.WaitGroup
+		var readers sync.WaitGroup
+		for i := 0; i < subscribers; i++ {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/watch?buffer=1024", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Accept", "text/event-stream")
+			resp, err := hc.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("watch stream: status %d", resp.StatusCode)
+			}
+			ready.Add(1)
+			readers.Add(1)
+			go func(body io.ReadCloser) {
+				defer readers.Done()
+				defer body.Close()
+				sc := bufio.NewScanner(body)
+				seenReady := false
+				for sc.Scan() {
+					switch sc.Text() {
+					case "event: ready":
+						if !seenReady {
+							seenReady = true
+							ready.Done()
+						}
+					case "event: update":
+						delivered.Add(1)
+					}
+				}
+			}(resp.Body)
+		}
+		ready.Wait()
+		start := time.Now()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := store.AppendVersion(rec.UUID, aero.Version{Checksum: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+			for want := int64(subscribers) * int64(n+1); delivered.Load() < want; {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*subscribers/time.Since(start).Seconds(), "deliveries/s")
+		cancel()
+		readers.Wait()
+	})
 }

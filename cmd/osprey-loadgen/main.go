@@ -4,12 +4,16 @@
 //
 //	osprey-loadgen -seed 42 -duration 30s -rate 150 -workers 8 -faults default -runs 2 -out report.json
 //	osprey-loadgen -shards 3 -faults shard-failover -runs 2 -out report.json
+//	osprey-loadgen -tenants 3 -faults tenant -runs 2 -out report.json
 //
 // With -shards N >= 2 the single task stack is replaced by an N-shard
 // replicated group (one WAL-backed primary plus a warm follower per
 // shard) and the "shard-failover" schedule kills primaries mid-run,
-// promoting their followers. With -runs N > 1 the harness runs N times
-// with the same seed and the
+// promoting their followers. With -tenants N >= 1 the AERO side runs
+// multi-tenant: bearer-token auth, per-tenant quotas with one noisy
+// neighbor, private streams, live isolation probes, and a streaming
+// watch subscription per tenant. With -runs N > 1 the harness runs N
+// times with the same seed and the
 // workload digests must match across runs — the determinism contract.
 // Exit codes: 0 all runs passed, 1 an invariant failed or determinism
 // broke, 2 usage or infrastructure error.
@@ -38,10 +42,14 @@ func run() int {
 		closed   = fs.Bool("closed", false, "closed-loop pacing (in-flight window instead of wall clock)")
 		popBatch = fs.Int("pop-batch", 4, "tasks leased per worker round trip (1 = single-op wire path)")
 		window   = fs.Int("window", 0, "closed-loop in-flight cap (default 2x workers)")
-		ingest   = fs.Float64("ingest-rate", 10, "AERO data-version ingests per second (<0 disables)")
+		ingest   = fs.Float64("ingest-rate", 10, "AERO data-version ingests per second, per tenant in tenant mode (<0 disables)")
 		shards   = fs.Int("shards", 1, "task-substrate shards (>= 2 runs a replicated shard group with warm followers)")
 		pinned   = fs.Bool("pinned-ports", false, "rebind fixed ports across in-run reboots (default: fresh ephemeral ports)")
-		faults   = fs.String("faults", "default", `fault schedule: "default", "shard-failover", "none", or DSL like "5s:kill;8s:refuse:1s;12s:latency:50ms:2s;15s:pool-crash:500ms;20s:crash;25s:torn-crash;30s:shard-failover:1"`)
+		tenants  = fs.Int("tenants", 0, "multi-tenant AERO mode: tenants with bearer tokens, per-tenant quotas, private streams, streaming watches (0 = legacy single-tenant)")
+		noisyF   = fs.Float64("noisy-factor", 3, "noisy tenant's ingest-rate multiplier (tenant mode)")
+		quota    = fs.Float64("tenant-quota", 0, "per-tenant ingest quota in req/s (default 2x ingest-rate)")
+		burst    = fs.Float64("tenant-burst", 0, "per-tenant quota burst (default 12)")
+		faults   = fs.String("faults", "default", `fault schedule: "default", "shard-failover", "tenant", "none", or DSL like "5s:kill;8s:refuse:1s;12s:latency:50ms:2s;15s:pool-crash:500ms;20s:crash;25s:torn-crash;30s:shard-failover:1"`)
 		dataDir  = fs.String("data-dir", "", "WAL root (default: temp dir, removed on pass)")
 		out      = fs.String("out", "", "write the JSON report here (default stdout)")
 		runs     = fs.Int("runs", 1, "repeat the run N times and require identical workload digests")
@@ -68,6 +76,10 @@ func run() int {
 		IngestRate:  *ingest,
 		Shards:      *shards,
 		PinnedPorts: *pinned,
+		Tenants:     *tenants,
+		NoisyFactor: *noisyF,
+		TenantQuota: *quota,
+		TenantBurst: *burst,
 		DataDir:     *dataDir,
 		Faults:      schedule,
 	}
@@ -88,6 +100,13 @@ func run() int {
 		topo := fmt.Sprintf("crashes=%d", report.Totals.Crashes)
 		if report.Shards > 1 {
 			topo = fmt.Sprintf("shards=%d failovers=%d", report.Shards, report.Failovers)
+		}
+		if report.TenantCount > 0 {
+			var throttled int64
+			for _, tr := range report.Tenants {
+				throttled += tr.Throttled
+			}
+			topo += fmt.Sprintf(" tenants=%d throttled=%d probes=%d", report.TenantCount, throttled, report.ProbeChecks)
 		}
 		fmt.Fprintf(os.Stderr, "osprey-loadgen: run %d/%d: pass=%v digest=%s tasks=%d complete=%d failed=%d %s throughput=%.1f/s\n",
 			i+1, *runs, report.Pass, report.Workload.Digest[:12], report.Totals.Submitted,

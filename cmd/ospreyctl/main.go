@@ -35,12 +35,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ospreyctl: ")
 	server := flag.String("server", "http://127.0.0.1:7523", "AERO metadata server URL")
+	token := flag.String("token", os.Getenv("OSPREY_TOKEN"), "bearer token for a multi-tenant server (default $OSPREY_TOKEN)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 	client := aero.NewClient(*server)
+	client.Token = *token
 
 	var err error
 	switch args[0] {
@@ -75,7 +77,7 @@ func main() {
 	case "health":
 		err = health(*server)
 	case "compact":
-		err = compact(*server)
+		err = compact(*server, *token)
 	default:
 		usage()
 	}
@@ -177,8 +179,15 @@ func health(server string) error {
 // compact asks the server to snapshot its state and truncate its WAL —
 // the manual handle on replay debt (the daemon also compacts on size and
 // at clean shutdown).
-func compact(server string) error {
-	resp, err := http.Post(server+"/admin/compact", "", nil)
+func compact(server, token string) error {
+	req, err := http.NewRequest(http.MethodPost, server+"/admin/compact", nil)
+	if err != nil {
+		return err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -189,6 +198,8 @@ func compact(server string) error {
 		return nil
 	case http.StatusNotImplemented:
 		return fmt.Errorf("server has no WAL persistence enabled (start it with -data-dir)")
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return fmt.Errorf("server requires a valid bearer token (pass -token or set $OSPREY_TOKEN)")
 	default:
 		return fmt.Errorf("server returned %d", resp.StatusCode)
 	}

@@ -52,9 +52,9 @@ type mutation struct {
 func (s *Store) applyLocked(m *mutation) error {
 	switch m.Op {
 	case opCreateData:
-		if m.Seq > s.next {
-			s.next = m.Seq
-		}
+		// The consumed counter value rides in m.Seq and the owning tenant
+		// in the ID prefix, so replay restores per-tenant allocation state.
+		s.bumpSeqLocked(tenantOf(m.UUID), m.Seq)
 		s.data[m.UUID] = &DataRecord{UUID: m.UUID, Name: m.Name, SourceURL: m.SourceURL}
 	case opAppendVersion:
 		rec, ok := s.data[m.UUID]
@@ -63,9 +63,7 @@ func (s *Store) applyLocked(m *mutation) error {
 		}
 		rec.Versions = append(rec.Versions, *m.Version)
 	case opCreateFlow:
-		if m.Seq > s.next {
-			s.next = m.Seq
-		}
+		s.bumpSeqLocked(tenantOf(m.Flow.ID), m.Seq)
 		cp := *m.Flow
 		s.flows[cp.ID] = &cp
 	case opRecordRun:

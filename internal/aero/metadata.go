@@ -117,17 +117,24 @@ var ErrNotFound = errors.New("aero: not found")
 // the same records through the same transition function.
 type Store struct {
 	mu      sync.RWMutex
-	next    int
+	next    int            // legacy-tenant ("") ID counter
+	nextT   map[string]int // per-tenant ID counters (see tenant.go)
 	data    map[string]*DataRecord
 	flows   map[string]*FlowRecord
 	prov    []ProvenanceEdge
 	backend wal.Backend // nil = in-memory only (the default)
 	wal     *wal.Log    // set by OpenStore; enables Compact
+	hub     *watchHub   // streaming watch fan-out, fed by live AppendVersion
 }
 
 // NewStore creates an empty, in-memory metadata store.
 func NewStore() *Store {
-	return &Store{data: map[string]*DataRecord{}, flows: map[string]*FlowRecord{}}
+	return &Store{
+		data:  map[string]*DataRecord{},
+		flows: map[string]*FlowRecord{},
+		nextT: map[string]int{},
+		hub:   newWatchHub(),
+	}
 }
 
 // idFor renders the ID a create op with counter value seq is assigned.
@@ -135,132 +142,60 @@ func idFor(prefix string, seq int) string {
 	return fmt.Sprintf("%s-%08d", prefix, seq)
 }
 
+// The public Store methods are the legacy-tenant ("") view of the
+// tenant-parameterized core in tenant.go — the single place namespace
+// isolation is enforced. They keep their historical signatures and
+// behavior exactly.
+
 // CreateData registers a new data identity and returns its record.
 func (s *Store) CreateData(name, sourceURL string) (*DataRecord, error) {
-	if name == "" {
-		return nil, errors.New("aero: data name required")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seq := s.next + 1
-	m := &mutation{Op: opCreateData, Seq: seq, UUID: idFor("data", seq), Name: name, SourceURL: sourceURL}
-	if err := s.commitLocked(m); err != nil {
-		return nil, err
-	}
-	return cloneData(s.data[m.UUID]), nil
+	return s.createData("", name, sourceURL)
 }
 
 // GetData returns a copy of the record for uuid.
 func (s *Store) GetData(uuid string) (*DataRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.data[uuid]
-	if !ok {
-		return nil, fmt.Errorf("%w: data %s", ErrNotFound, uuid)
-	}
-	return cloneData(rec), nil
+	return s.getData("", uuid)
 }
 
 // AppendVersion adds a version with the next version number. The Num field
 // of v is assigned by the store.
 func (s *Store) AppendVersion(uuid string, v Version) (*DataRecord, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.data[uuid]
-	if !ok {
-		return nil, fmt.Errorf("%w: data %s", ErrNotFound, uuid)
-	}
-	v.Num = len(rec.Versions) + 1
-	if v.Timestamp.IsZero() {
-		v.Timestamp = time.Now()
-	}
-	if err := s.commitLocked(&mutation{Op: opAppendVersion, UUID: uuid, Version: &v}); err != nil {
-		return nil, err
-	}
-	return cloneData(rec), nil
+	return s.appendVersion("", uuid, v)
 }
 
 // ListData returns copies of all records sorted by UUID.
 func (s *Store) ListData() ([]*DataRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*DataRecord, 0, len(s.data))
-	for _, rec := range s.data {
-		out = append(out, cloneData(rec))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
-	return out, nil
+	return s.listData("")
 }
 
 // CreateFlow registers a flow; the ID is assigned by the store.
 func (s *Store) CreateFlow(rec FlowRecord) (*FlowRecord, error) {
-	if rec.Name == "" {
-		return nil, errors.New("aero: flow name required")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seq := s.next + 1
-	rec.ID = idFor("flow", seq)
-	if err := s.commitLocked(&mutation{Op: opCreateFlow, Seq: seq, Flow: &rec}); err != nil {
-		return nil, err
-	}
-	out := rec
-	return &out, nil
+	return s.createFlow("", rec)
 }
 
 // GetFlow returns a copy of the flow record.
 func (s *Store) GetFlow(id string) (*FlowRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, ok := s.flows[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: flow %s", ErrNotFound, id)
-	}
-	cp := *f
-	return &cp, nil
+	return s.getFlow("", id)
 }
 
 // ListFlows returns copies of all flows sorted by ID.
 func (s *Store) ListFlows() ([]*FlowRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*FlowRecord, 0, len(s.flows))
-	for _, f := range s.flows {
-		cp := *f
-		out = append(out, &cp)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return s.listFlows("")
 }
 
 // RecordRun increments a flow's run counter.
 func (s *Store) RecordRun(flowID string, at time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.flows[flowID]; !ok {
-		return fmt.Errorf("%w: flow %s", ErrNotFound, flowID)
-	}
-	return s.commitLocked(&mutation{Op: opRecordRun, FlowID: flowID, At: at})
+	return s.recordRun("", flowID, at)
 }
 
 // AddProvenance appends a derivation edge.
 func (s *Store) AddProvenance(edge ProvenanceEdge) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.commitLocked(&mutation{Op: opAddProvenance, Edge: &edge})
+	return s.addProvenance("", edge)
 }
 
 // Provenance returns the edges touching uuid (as input or output).
 func (s *Store) Provenance(uuid string) ([]ProvenanceEdge, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []ProvenanceEdge
-	for _, e := range s.prov {
-		if e.InputUUID == uuid || e.OutputUUID == uuid {
-			out = append(out, e)
-		}
-	}
-	return out, nil
+	return s.provenance("", uuid)
 }
 
 // Lineage walks provenance edges backward from uuid, returning every
@@ -286,7 +221,10 @@ func (s *Store) Lineage(uuid string) ([]string, error) {
 }
 
 type storeSnapshot struct {
-	Next  int              `json:"next"`
+	Next int `json:"next"`
+	// NextT holds per-tenant ID counters; omitted while empty so legacy
+	// single-tenant snapshots stay byte-identical.
+	NextT map[string]int   `json:"next_tenants,omitempty"`
 	Data  []*DataRecord    `json:"data"`
 	Flows []*FlowRecord    `json:"flows"`
 	Prov  []ProvenanceEdge `json:"provenance"`
@@ -296,6 +234,12 @@ type storeSnapshot struct {
 // least for reading).
 func (s *Store) snapshotLocked() storeSnapshot {
 	snap := storeSnapshot{Next: s.next, Prov: append([]ProvenanceEdge(nil), s.prov...)}
+	if len(s.nextT) > 0 {
+		snap.NextT = make(map[string]int, len(s.nextT))
+		for t, n := range s.nextT {
+			snap.NextT[t] = n
+		}
+	}
 	for _, d := range s.data {
 		snap.Data = append(snap.Data, cloneData(d))
 	}
@@ -327,6 +271,10 @@ func (s *Store) Load(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next = snap.Next
+	s.nextT = map[string]int{}
+	for t, n := range snap.NextT {
+		s.nextT[t] = n
+	}
 	s.data = map[string]*DataRecord{}
 	for _, d := range snap.Data {
 		s.data[d.UUID] = cloneData(d)

@@ -27,4 +27,12 @@ var (
 
 	mHTTPRequests = obs.GetCounter("aero.http.requests")
 	mHTTPRequest  = obs.GetHistogram("aero.http.request_seconds")
+
+	// Multi-tenant service surface: admission metering (quota.go) and
+	// auth rejections (server.go middleware). Per-tenant throttle counts
+	// live under aero.tenant.<tenant>.throttled, created on demand.
+	mTenantRequests  = obs.GetCounter("aero.tenant.requests")
+	mTenantThrottled = obs.GetCounter("aero.tenant.throttled")
+	mTenantBuckets   = obs.GetGauge("aero.tenant.buckets")
+	mAuthRejected    = obs.GetCounter("aero.auth.rejected")
 )

@@ -1,0 +1,149 @@
+package aero
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"osprey/internal/obs"
+)
+
+// Per-tenant fairness quotas for the AERO server. Each (tenant, class)
+// pair owns a token bucket: requests spend one token, the bucket refills
+// at Rate tokens/second up to Burst. A dry bucket denies with the time
+// until one token refills — the server turns that into 429 + Retry-After,
+// so a well-behaved client backs off by exactly the advertised amount and
+// a noisy neighbor is throttled without starving anyone else (buckets are
+// independent; one tenant's burst never consumes another's tokens).
+//
+// Time is injected (SetNow) so tests and the deterministic loadgen drive
+// the buckets with a fake clock; refill is computed lazily on Allow, so an
+// idle Quotas does no background work.
+
+// Request classes the server meters. Reads are unmetered — the quota
+// protects the mutation paths, where one tenant's load costs the others.
+const (
+	// QuotaIngest covers data creation and version appends.
+	QuotaIngest = "ingest"
+	// QuotaAnalysis covers flow registration, run records, and provenance.
+	QuotaAnalysis = "analysis"
+)
+
+// QuotaLimit is one bucket's shape: sustained Rate tokens/second with
+// bursts up to Burst. A zero or negative Rate means the class is
+// unlimited for that tenant.
+type QuotaLimit struct {
+	Rate  float64 `json:"rate"`
+	Burst float64 `json:"burst"`
+}
+
+func (l QuotaLimit) unlimited() bool { return l.Rate <= 0 }
+
+// bucket is the live token state of one (tenant, class).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Quotas meters request admission per tenant and class.
+type Quotas struct {
+	mu        sync.Mutex
+	defaults  map[string]QuotaLimit            // class -> limit for every tenant
+	overrides map[string]map[string]QuotaLimit // tenant -> class -> limit
+	buckets   map[string]*bucket               // tenant+"\x00"+class -> state
+	now       func() time.Time
+}
+
+// NewQuotas returns an empty meter: every class unlimited until a limit is
+// set. The wall clock is the default time source.
+func NewQuotas() *Quotas {
+	return &Quotas{
+		defaults:  map[string]QuotaLimit{},
+		overrides: map[string]map[string]QuotaLimit{},
+		buckets:   map[string]*bucket{},
+		now:       time.Now,
+	}
+}
+
+// SetNow replaces the time source (fake clocks in tests and the loadgen).
+func (q *Quotas) SetNow(now func() time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.now = now
+}
+
+// SetLimit applies a limit to class for every tenant without an override.
+func (q *Quotas) SetLimit(class string, l QuotaLimit) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.defaults[class] = l
+}
+
+// SetTenantLimit overrides class for one tenant.
+func (q *Quotas) SetTenantLimit(tenant, class string, l QuotaLimit) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := q.overrides[tenant]
+	if m == nil {
+		m = map[string]QuotaLimit{}
+		q.overrides[tenant] = m
+	}
+	m[class] = l
+}
+
+// limitFor resolves the effective limit. The caller holds q.mu.
+func (q *Quotas) limitFor(tenant, class string) (QuotaLimit, bool) {
+	if m, ok := q.overrides[tenant]; ok {
+		if l, ok := m[class]; ok {
+			return l, true
+		}
+	}
+	l, ok := q.defaults[class]
+	return l, ok
+}
+
+// Allow spends one token from (tenant, class). Denials return how long
+// until a token refills — the Retry-After the server advertises. The
+// request and any throttle are counted on the aero.tenant.* metrics.
+func (q *Quotas) Allow(tenant, class string) (bool, time.Duration) {
+	mTenantRequests.Inc()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.limitFor(tenant, class)
+	if !ok || l.unlimited() {
+		return true, 0
+	}
+	key := tenant + "\x00" + class
+	b := q.buckets[key]
+	now := q.now()
+	if b == nil {
+		b = &bucket{tokens: l.Burst, last: now}
+		q.buckets[key] = b
+		mTenantBuckets.Set(int64(len(q.buckets)))
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.Burst, b.tokens+l.Rate*dt)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	mTenantThrottled.Inc()
+	obs.GetCounter(fmt.Sprintf("aero.tenant.%s.throttled", metricTenant(tenant))).Inc()
+	wait := time.Duration((1 - b.tokens) / l.Rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// metricTenant renders a tenant for metric names; the legacy empty tenant
+// gets a stable placeholder.
+func metricTenant(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}

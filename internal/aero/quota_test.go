@@ -1,0 +1,121 @@
+package aero
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives Quotas deterministically.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestQuotaTokenBucketDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQuotas()
+	q.SetNow(clk.now)
+	q.SetLimit(QuotaIngest, QuotaLimit{Rate: 1, Burst: 2})
+
+	// Burst of 2, then dry.
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Allow("alice", QuotaIngest); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := q.Allow("alice", QuotaIngest)
+	if ok {
+		t.Fatal("third request admitted from a dry bucket")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("Retry-After = %v, want (0, 1s]", retry)
+	}
+
+	// The advertised wait is exact under the fake clock: honoring it
+	// admits the retry, a hair less does not.
+	clk.advance(retry - time.Millisecond)
+	if ok, _ := q.Allow("alice", QuotaIngest); ok {
+		t.Fatal("admitted before the advertised retry time")
+	}
+	clk.advance(2 * time.Millisecond)
+	if ok, _ := q.Allow("alice", QuotaIngest); !ok {
+		t.Fatal("denied after the advertised retry time")
+	}
+}
+
+func TestQuotaTenantsIndependent(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQuotas()
+	q.SetNow(clk.now)
+	q.SetLimit(QuotaIngest, QuotaLimit{Rate: 1, Burst: 1})
+
+	if ok, _ := q.Allow("noisy", QuotaIngest); !ok {
+		t.Fatal("first noisy request denied")
+	}
+	if ok, _ := q.Allow("noisy", QuotaIngest); ok {
+		t.Fatal("noisy tenant not throttled")
+	}
+	// The neighbor's bucket is untouched by the noisy tenant's burn.
+	if ok, _ := q.Allow("quiet", QuotaIngest); !ok {
+		t.Fatal("quiet tenant starved by noisy neighbor")
+	}
+}
+
+func TestQuotaOverridesAndUnlimited(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQuotas()
+	q.SetNow(clk.now)
+
+	// No limit configured: everything admitted.
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.Allow("anyone", QuotaIngest); !ok {
+			t.Fatal("unlimited class denied")
+		}
+	}
+
+	q.SetLimit(QuotaIngest, QuotaLimit{Rate: 1, Burst: 1})
+	q.SetTenantLimit("vip", QuotaIngest, QuotaLimit{Rate: 1, Burst: 10})
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.Allow("vip", QuotaIngest); !ok {
+			t.Fatalf("vip override request %d denied", i)
+		}
+	}
+	if ok, _ := q.Allow("vip", QuotaIngest); ok {
+		t.Fatal("vip override burst not enforced")
+	}
+	// Rate <= 0 override means unlimited for that tenant.
+	q.SetTenantLimit("root", QuotaIngest, QuotaLimit{})
+	for i := 0; i < 50; i++ {
+		if ok, _ := q.Allow("root", QuotaIngest); !ok {
+			t.Fatal("unlimited override denied")
+		}
+	}
+	// Classes meter separately: ingest burn leaves analysis untouched.
+	if ok, _ := q.Allow("vip", QuotaAnalysis); !ok {
+		t.Fatal("analysis class coupled to ingest bucket")
+	}
+}
+
+func TestQuotaRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQuotas()
+	q.SetNow(clk.now)
+	q.SetLimit(QuotaIngest, QuotaLimit{Rate: 10, Burst: 3})
+	if ok, _ := q.Allow("t", QuotaIngest); !ok {
+		t.Fatal("first denied")
+	}
+	// A long idle period must not bank more than Burst tokens.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.Allow("t", QuotaIngest); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d after idle, want burst cap 3", admitted)
+	}
+}

@@ -2,14 +2,19 @@ package aero
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"osprey/internal/globus"
 	"osprey/internal/obs"
 )
 
@@ -28,24 +33,40 @@ import (
 //	GET  /flows/{id}                                     -> FlowRecord
 //	POST /flows/{id}/runs      {at}                      -> 204
 //	POST /provenance           ProvenanceEdge            -> 204
+//	GET  /watch?uuid=&timeout=&buffer=&sub=              -> SSE stream or long-poll JSON
 //	GET  /healthz                                        -> 200 "ok"
 //	GET  /metrics                                        -> obs.Snapshot JSON
 //	GET  /trace                                          -> obs.TraceSnapshot JSON
 //	POST /admin/compact                                  -> 204 (501 without WAL)
+//
+// With SetAuth installed, every route except /healthz, /metrics, and
+// /trace requires a bearer token carrying globus.ScopeAero; the token's
+// identity is the tenant whose namespace the request operates in. With
+// SetQuotas installed, mutating requests are admission-metered per tenant
+// (429 + Retry-After on a dry bucket). Without either, the server is the
+// legacy single-tenant API, byte-identical to what it always was.
 type Server struct {
 	store   *Store
 	mux     *http.ServeMux
 	compact func() error // set by SetCompact; nil = persistence disabled
+	auth    *globus.Auth // set by SetAuth; nil = single-tenant, no auth
+	quotas  *Quotas      // set by SetQuotas; nil = unmetered
+
+	// Long-poll watch sessions (sub= parameter), keyed tenant+"\x00"+id so
+	// session IDs cannot collide across tenants.
+	sessMu   sync.Mutex
+	sessions map[string]*watchSession
 }
 
 // NewServer wraps a store in the HTTP API.
 func NewServer(store *Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), sessions: map[string]*watchSession{}}
 	s.mux.HandleFunc("/data", s.handleData)
 	s.mux.HandleFunc("/data/", s.handleDataItem)
 	s.mux.HandleFunc("/flows", s.handleFlows)
 	s.mux.HandleFunc("/flows/", s.handleFlowItem)
 	s.mux.HandleFunc("/provenance", s.handleProvenance)
+	s.mux.HandleFunc("/watch", s.handleWatch)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "ok")
 	})
@@ -54,6 +75,14 @@ func NewServer(store *Store) *Server {
 	s.mux.HandleFunc("/admin/compact", s.handleCompact)
 	return s
 }
+
+// SetAuth turns on bearer-token authentication: requests must present a
+// token Validate accepts for globus.ScopeAero, and the token's identity
+// becomes the request's tenant namespace.
+func (s *Server) SetAuth(a *globus.Auth) { s.auth = a }
+
+// SetQuotas installs per-tenant admission metering on mutating routes.
+func (s *Server) SetQuotas(q *Quotas) { s.quotas = q }
 
 // SetCompact installs the snapshot+truncate hook behind POST
 // /admin/compact (typically Store.Compact, or a closure compacting every
@@ -76,12 +105,129 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// ServeHTTP implements http.Handler, counting and timing every request.
+// ServeHTTP implements http.Handler: count and time every request, then
+// run the auth and quota middleware before routing. Auth and quotas live
+// HERE, once, in front of the mux — handlers never re-check them.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mHTTPRequests.Inc()
 	start := time.Now()
+	defer mHTTPRequest.ObserveSince(start)
+
+	if !openRoute(r.URL.Path) {
+		if s.auth != nil {
+			tenant, ok := s.authenticate(w, r)
+			if !ok {
+				return
+			}
+			r = r.WithContext(context.WithValue(r.Context(), tenantKey, tenant))
+		}
+		if s.quotas != nil {
+			if class := quotaClass(r); class != "" {
+				ok, retry := s.quotas.Allow(tenantFrom(r), class)
+				if !ok {
+					w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+					http.Error(w, "quota exceeded for class "+class, http.StatusTooManyRequests)
+					return
+				}
+			}
+		}
+	}
 	s.mux.ServeHTTP(w, r)
-	mHTTPRequest.ObserveSince(start)
+}
+
+// openRoute lists the paths that skip auth and quotas: liveness and
+// observability, which operators scrape without tenant credentials.
+func openRoute(path string) bool {
+	return path == "/healthz" || path == "/metrics" || path == "/trace"
+}
+
+// authenticate resolves the request's tenant from its bearer token,
+// writing the 401/403 itself when the credential fails.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (string, bool) {
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if !strings.HasPrefix(h, prefix) {
+		mAuthRejected.Inc()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="aero"`)
+		http.Error(w, "missing bearer token", http.StatusUnauthorized)
+		return "", false
+	}
+	tok, err := s.auth.Validate(strings.TrimPrefix(h, prefix), globus.ScopeAero)
+	if err != nil {
+		mAuthRejected.Inc()
+		code := http.StatusUnauthorized
+		if errors.Is(err, globus.ErrForbidden) {
+			code = http.StatusForbidden
+		}
+		http.Error(w, err.Error(), code)
+		return "", false
+	}
+	return tok.Identity, true
+}
+
+// quotaClass maps a request to its admission class ("" = unmetered).
+// Reads are free; the metered classes are the mutation paths.
+func quotaClass(r *http.Request) string {
+	if r.Method != http.MethodPost {
+		return ""
+	}
+	p := r.URL.Path
+	switch {
+	case p == "/data",
+		strings.HasPrefix(p, "/data/") && strings.HasSuffix(p, "/versions"):
+		return QuotaIngest
+	case p == "/flows",
+		strings.HasPrefix(p, "/flows/") && strings.HasSuffix(p, "/runs"),
+		p == "/provenance":
+		return QuotaAnalysis
+	}
+	return ""
+}
+
+// tenantKey carries the authenticated tenant through the request context.
+type ctxKey int
+
+const tenantKey ctxKey = iota
+
+func tenantFrom(r *http.Request) string {
+	t, _ := r.Context().Value(tenantKey).(string)
+	return t
+}
+
+// viewOf returns the metadata view the request operates in: the
+// authenticated tenant's namespace, or the legacy "" namespace when auth
+// is off (tenantFrom returns "" then, and Tenant("") IS the legacy API).
+func (s *Server) viewOf(r *http.Request) *TenantView {
+	return s.store.Tenant(tenantFrom(r))
+}
+
+// maxBodyBytes caps every JSON request body; metadata records are small,
+// so anything near this is hostile or broken.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON reads one JSON value from a capped request body, rejecting
+// trailing data. Every POST handler decodes through here.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("aero: trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeBodyErr maps decodeJSON failures: an over-cap body is 413,
+// anything else malformed is 400.
+func writeBodyErr(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -101,7 +247,7 @@ func writeErr(w http.ResponseWriter, err error) {
 func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		recs, err := s.store.ListData()
+		recs, err := s.viewOf(r).ListData()
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -112,11 +258,11 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 			Name      string `json:"name"`
 			SourceURL string `json:"source_url"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeBodyErr(w, err)
 			return
 		}
-		rec, err := s.store.CreateData(req.Name, req.SourceURL)
+		rec, err := s.viewOf(r).CreateData(req.Name, req.SourceURL)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -133,7 +279,7 @@ func (s *Server) handleDataItem(w http.ResponseWriter, r *http.Request) {
 	uuid := parts[0]
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		rec, err := s.store.GetData(uuid)
+		rec, err := s.viewOf(r).GetData(uuid)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -141,18 +287,18 @@ func (s *Server) handleDataItem(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rec)
 	case len(parts) == 2 && parts[1] == "versions" && r.Method == http.MethodPost:
 		var v Version
-		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := decodeJSON(w, r, &v); err != nil {
+			writeBodyErr(w, err)
 			return
 		}
-		rec, err := s.store.AppendVersion(uuid, v)
+		rec, err := s.viewOf(r).AppendVersion(uuid, v)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, rec)
 	case len(parts) == 2 && parts[1] == "provenance" && r.Method == http.MethodGet:
-		edges, err := s.store.Provenance(uuid)
+		edges, err := s.viewOf(r).Provenance(uuid)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -166,7 +312,7 @@ func (s *Server) handleDataItem(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		flows, err := s.store.ListFlows()
+		flows, err := s.viewOf(r).ListFlows()
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -174,11 +320,11 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, flows)
 	case http.MethodPost:
 		var rec FlowRecord
-		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := decodeJSON(w, r, &rec); err != nil {
+			writeBodyErr(w, err)
 			return
 		}
-		out, err := s.store.CreateFlow(rec)
+		out, err := s.viewOf(r).CreateFlow(rec)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -195,7 +341,7 @@ func (s *Server) handleFlowItem(w http.ResponseWriter, r *http.Request) {
 	id := parts[0]
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		rec, err := s.store.GetFlow(id)
+		rec, err := s.viewOf(r).GetFlow(id)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -205,11 +351,11 @@ func (s *Server) handleFlowItem(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			At time.Time `json:"at"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeBodyErr(w, err)
 			return
 		}
-		if err := s.store.RecordRun(id, req.At); err != nil {
+		if err := s.viewOf(r).RecordRun(id, req.At); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -225,11 +371,11 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var edge ProvenanceEdge
-	if err := json.NewDecoder(r.Body).Decode(&edge); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeJSON(w, r, &edge); err != nil {
+		writeBodyErr(w, err)
 		return
 	}
-	if err := s.store.AddProvenance(edge); err != nil {
+	if err := s.viewOf(r).AddProvenance(edge); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -238,9 +384,13 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 
 // Client is the HTTP implementation of Metadata, so a Platform can run
 // against a remote AERO server exactly as it does against a local Store.
+// Token, when set, is presented as a bearer credential on every request —
+// required against a server running with SetAuth, where it selects the
+// tenant namespace the client operates in.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	Token   string
 }
 
 // NewClient points a metadata client at an AERO server.
@@ -265,6 +415,9 @@ func (c *Client) do(method, path string, body, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

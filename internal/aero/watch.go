@@ -4,88 +4,220 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // DataUpdate is delivered to subscribers when a data identity gains a new
 // version — the push-style counterpart of registering an analysis flow,
-// used by dashboards and external notification hooks.
+// used by dashboards, streaming /watch clients, and external notification
+// hooks. Seq is a per-hub monotone publish sequence (assigned under the
+// hub lock, so sequence order matches version-append order); subscribers
+// use it to reconcile delivery against drops.
 type DataUpdate struct {
-	UUID    string
-	Version int
-	Time    time.Time
+	UUID    string    `json:"uuid"`
+	Version int       `json:"version"`
+	Time    time.Time `json:"time"`
+	Seq     int64     `json:"seq"`
 }
 
-// subscriber holds one watch channel.
-type subscriber struct {
-	uuid string // empty = all data
-	ch   chan DataUpdate
+// Subscription is one streaming watch: a bounded queue of updates drained
+// by Next. Publishing never blocks — when the queue is full the OLDEST
+// queued update is discarded to make room (drop-oldest backpressure), the
+// drop is counted on the subscription and on aero.watch.dropped, and the
+// newest update always lands. A slow consumer therefore converges to the
+// most recent events plus an honest count of what it missed, instead of
+// stalling the platform or silently losing the tail.
+type Subscription struct {
+	hub  *watchHub
+	id   int
+	uuid string // empty = all data the subscription's tenant can see
+	// tenant scoping: when scoped, only updates whose UUID belongs to
+	// tenant are delivered. The store-level hub subscribes scoped (the
+	// /watch API boundary); the platform hub is single-user and does not.
+	tenant string
+	scoped bool
+
+	mu      sync.Mutex
+	queue   []DataUpdate
+	cap     int
+	dropped int64
+	closed  bool
+	notify  chan struct{} // 1-buffered wakeup for Next
 }
 
-// watchHub fans data-update events out to subscribers. Delivery is
-// non-blocking: a subscriber that does not drain its channel misses events
-// (and the drop is counted) rather than stalling the platform.
+func (s *Subscription) matches(u DataUpdate) bool {
+	if s.uuid != "" && s.uuid != u.UUID {
+		return false
+	}
+	return !s.scoped || tenantOf(u.UUID) == s.tenant
+}
+
+// offer enqueues u, dropping the oldest queued update when full. Never
+// blocks; called by the hub under its own lock (ordering), taking only the
+// subscription lock inside.
+func (s *Subscription) offer(u DataUpdate) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.queue) >= s.cap {
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.dropped++
+		s.hub.addDropped(1)
+	}
+	s.queue = append(s.queue, u)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next drains the queue: it returns every queued update (delivery order)
+// plus the cumulative drop count, waiting up to timeout for the first one.
+// A non-positive timeout polls without waiting. ok is false once the
+// subscription is canceled and its queue has fully drained.
+func (s *Subscription) Next(timeout time.Duration) (events []DataUpdate, dropped int64, ok bool) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			events = s.queue
+			s.queue = nil
+			dropped = s.dropped
+			s.mu.Unlock()
+			return events, dropped, true
+		}
+		closed := s.closed
+		dropped = s.dropped
+		s.mu.Unlock()
+		if closed {
+			return nil, dropped, false
+		}
+		if timeout <= 0 {
+			return nil, dropped, true
+		}
+		select {
+		case <-s.notify:
+		case <-deadline:
+			return nil, dropped, true
+		}
+	}
+}
+
+// Dropped reports how many updates this subscription discarded under
+// backpressure.
+func (s *Subscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel releases the subscription. Queued updates remain readable via
+// Next until drained; further publishes are discarded without counting.
+func (s *Subscription) Cancel() {
+	s.hub.unsubscribe(s.id)
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// watchHub fans data-update events out to bounded-queue subscriptions and
+// assigns the publish sequence.
 type watchHub struct {
 	mu      sync.Mutex
-	subs    map[int]*subscriber
+	subs    map[int]*Subscription
 	next    int
-	dropped int
+	seq     int64
+	dropped atomic.Int64 // atomic: bumped from offer while publish holds mu
 }
 
-func newWatchHub() *watchHub { return &watchHub{subs: map[int]*subscriber{}} }
+func newWatchHub() *watchHub { return &watchHub{subs: map[int]*Subscription{}} }
 
-func (h *watchHub) subscribe(uuid string, buffer int) (int, <-chan DataUpdate) {
+func (h *watchHub) subscribe(tenant, uuid string, buffer int, scoped bool) *Subscription {
 	if buffer <= 0 {
 		buffer = 16
 	}
+	s := &Subscription{
+		hub: h, uuid: uuid, tenant: tenant, scoped: scoped,
+		cap: buffer, notify: make(chan struct{}, 1),
+	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.next++
-	s := &subscriber{uuid: uuid, ch: make(chan DataUpdate, buffer)}
-	h.subs[h.next] = s
+	s.id = h.next
+	h.subs[s.id] = s
+	h.mu.Unlock()
 	mWatchSubscribers.Inc()
-	return h.next, s.ch
+	return s
 }
 
 func (h *watchHub) unsubscribe(id int) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s, ok := h.subs[id]; ok {
-		close(s.ch)
-		delete(h.subs, id)
+	_, ok := h.subs[id]
+	delete(h.subs, id)
+	h.mu.Unlock()
+	if ok {
 		mWatchSubscribers.Dec()
 	}
 }
 
+// publish assigns the next sequence number and fans u out. Holding the hub
+// lock across the fan-out keeps sequence order and delivery order aligned
+// for every subscriber; each offer is non-blocking, so the hold is bounded.
 func (h *watchHub) publish(u DataUpdate) {
 	mWatchPublished.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.seq++
+	u.Seq = h.seq
 	for _, s := range h.subs {
-		if s.uuid != "" && s.uuid != u.UUID {
-			continue
-		}
-		select {
-		case s.ch <- u:
-		default:
-			h.dropped++
-			mWatchDropped.Inc()
+		if s.matches(u) {
+			s.offer(u)
 		}
 	}
 }
 
-func (h *watchHub) droppedCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.dropped
+func (h *watchHub) addDropped(n int64) {
+	mWatchDropped.Add(n)
+	h.dropped.Add(n)
 }
+
+func (h *watchHub) droppedCount() int { return int(h.dropped.Load()) }
 
 // Subscribe returns a channel receiving an event for every new version of
 // uuid (empty uuid = every data identity). Call the returned cancel
 // function to release the subscription; the channel is closed on cancel.
+// The channel is a pump over a bounded drop-oldest Subscription, so a
+// consumer that stops draining loses the oldest undelivered events (the
+// drop is counted) rather than stalling the publisher.
 func (p *Platform) Subscribe(uuid string, buffer int) (<-chan DataUpdate, func()) {
-	id, ch := p.watch.subscribe(uuid, buffer)
-	return ch, func() { p.watch.unsubscribe(id) }
+	sub := p.watch.subscribe("", uuid, buffer, false)
+	ch := make(chan DataUpdate, buffer)
+	go func() {
+		defer close(ch)
+		for {
+			events, _, ok := sub.Next(time.Hour)
+			for _, u := range events {
+				ch <- u
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+	return ch, sub.Cancel
 }
 
 // DroppedUpdates reports how many watch events were discarded because a

@@ -1,0 +1,192 @@
+package aero
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Streaming watch over HTTP: GET /watch delivers DataUpdate events for
+// the request's tenant namespace, as a Server-Sent Events stream when the
+// client accepts text/event-stream, or as a long-poll batch otherwise.
+//
+// Query parameters:
+//
+//	uuid=     watch one identity (default: the whole namespace)
+//	buffer=   per-subscriber queue bound (default 64; drop-oldest past it)
+//	timeout=  long-poll wait / SSE keep-alive interval (default 30s, cap 5m)
+//	sub=      long-poll session ID: reuse one server-side subscription
+//	          across polls so no event between polls is lost
+//
+// SSE frames:
+//
+//	event: ready              sent once, before any update — subscribers
+//	data: {"dropped":0}       that need every event wait for it before
+//	                          causing the writes they want to observe
+//	event: update
+//	data: {"uuid":...,"version":N,"time":...,"seq":S,"dropped":D}
+//
+// where dropped is the subscription's cumulative drop-oldest count — the
+// honest record of what a slow consumer missed.
+
+// watchDefaultBuffer bounds a subscriber queue when buffer= is absent.
+const watchDefaultBuffer = 64
+
+// watchSessionTTL reclaims a long-poll session no poll has touched.
+const watchSessionTTL = 2 * time.Minute
+
+type watchSession struct {
+	sub      *Subscription
+	lastPoll time.Time
+}
+
+// sseUpdate is the wire form of one update event.
+type sseUpdate struct {
+	UUID    string    `json:"uuid"`
+	Version int       `json:"version"`
+	Time    time.Time `json:"time"`
+	Seq     int64     `json:"seq"`
+	Dropped int64     `json:"dropped"`
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	uuid := q.Get("uuid")
+	buffer := watchDefaultBuffer
+	if b, err := strconv.Atoi(q.Get("buffer")); err == nil && b > 0 {
+		buffer = b
+	}
+	timeout := 30 * time.Second
+	if d, err := time.ParseDuration(q.Get("timeout")); err == nil && d > 0 {
+		timeout = d
+	}
+	if timeout > 5*time.Minute {
+		timeout = 5 * time.Minute
+	}
+	tenant := tenantFrom(r)
+
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.watchSSE(w, r, tenant, uuid, buffer, timeout)
+		return
+	}
+	s.watchPoll(w, r, tenant, uuid, buffer, timeout, q.Get("sub"))
+}
+
+// watchSSE streams updates until the client disconnects. The subscription
+// lives exactly as long as the connection.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, tenant, uuid string, buffer int, keepAlive time.Duration) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	sub, err := s.store.SubscribeUpdates(tenant, uuid, buffer)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// The ready frame commits the subscription: every update published
+	// after the client reads it is either delivered or counted dropped.
+	fmt.Fprintf(w, "event: ready\ndata: {\"dropped\":0}\n\n")
+	flusher.Flush()
+
+	ctx := r.Context()
+	// Wake at least this often to notice client disconnects and to send
+	// keep-alive comments through idle proxies.
+	wait := keepAlive
+	if wait > time.Second {
+		wait = time.Second
+	}
+	idle := time.Duration(0)
+	for {
+		events, dropped, ok := sub.Next(wait)
+		if ctx.Err() != nil || !ok {
+			return
+		}
+		if len(events) == 0 {
+			idle += wait
+			if idle >= keepAlive {
+				fmt.Fprint(w, ": keep-alive\n\n")
+				flusher.Flush()
+				idle = 0
+			}
+			continue
+		}
+		idle = 0
+		for _, u := range events {
+			b, err := json.Marshal(sseUpdate{UUID: u.UUID, Version: u.Version, Time: u.Time, Seq: u.Seq, Dropped: dropped})
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: update\ndata: %s\n\n", b)
+		}
+		flusher.Flush()
+	}
+}
+
+// watchPoll is the long-poll fallback: wait up to timeout for events and
+// return them as one JSON batch. With sub= the subscription persists
+// server-side between polls (events between polls queue, bounded,
+// drop-oldest); without it the subscription lives for this poll only.
+func (s *Server) watchPoll(w http.ResponseWriter, r *http.Request, tenant, uuid string, buffer int, timeout time.Duration, sessID string) {
+	var sub *Subscription
+	if sessID != "" {
+		var err error
+		if sub, err = s.watchSessionSub(tenant, uuid, buffer, sessID); err != nil {
+			writeErr(w, err)
+			return
+		}
+	} else {
+		var err error
+		if sub, err = s.store.SubscribeUpdates(tenant, uuid, buffer); err != nil {
+			writeErr(w, err)
+			return
+		}
+		defer sub.Cancel()
+	}
+	events, dropped, _ := sub.Next(timeout)
+	if events == nil {
+		events = []DataUpdate{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Events  []DataUpdate `json:"events"`
+		Dropped int64        `json:"dropped"`
+	}{events, dropped})
+}
+
+// watchSessionSub finds or creates the persistent subscription behind a
+// long-poll session, expiring idle sessions as a side effect.
+func (s *Server) watchSessionSub(tenant, uuid string, buffer int, sessID string) (*Subscription, error) {
+	key := tenant + "\x00" + sessID
+	now := time.Now()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for k, sess := range s.sessions {
+		if now.Sub(sess.lastPoll) > watchSessionTTL {
+			sess.sub.Cancel()
+			delete(s.sessions, k)
+		}
+	}
+	if sess, ok := s.sessions[key]; ok {
+		sess.lastPoll = now
+		return sess.sub, nil
+	}
+	sub, err := s.store.SubscribeUpdates(tenant, uuid, buffer)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[key] = &watchSession{sub: sub, lastPoll: now}
+	return sub, nil
+}

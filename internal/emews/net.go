@@ -217,6 +217,8 @@ type Server struct {
 	ln         net.Listener
 	wg         sync.WaitGroup
 	dispatchWG sync.WaitGroup // in-flight requests whose responses are not yet flushed
+	drainMu    sync.RWMutex   // guards draining vs dispatchWG.Add (see beginDispatch)
+	draining   bool
 	ctx        context.Context
 	cancel     context.CancelFunc
 	legacyOnly bool
@@ -270,6 +272,14 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.ln.Close()
+	// Publish draining before waiting: beginDispatch registers new
+	// requests under drainMu.RLock, so after this barrier every Add
+	// either happened-before the Wait or was refused — the WaitGroup
+	// counter can no longer be re-raised from zero mid-Wait (a race
+	// the detector rightly flags).
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
 	flushed := make(chan struct{})
 	go func() {
 		s.dispatchWG.Wait()
@@ -283,6 +293,21 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.wg.Wait()
+}
+
+// beginDispatch registers one in-flight request with dispatchWG, or
+// reports false once Close has begun draining. The RLock pairs with the
+// write barrier in Close so an Add can never race the drain Wait; a
+// refused request simply dies with its connection, which Close is about
+// to tear down anyway.
+func (s *Server) beginDispatch() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.dispatchWG.Add(1)
+	return true
 }
 
 func (s *Server) acceptLoop() {
@@ -373,7 +398,9 @@ func (s *Server) handleLegacy(conn net.Conn, r *bufio.Reader, claims *connClaims
 		}
 		mNetRequests.Inc()
 		reqStart := time.Now()
-		s.dispatchWG.Add(1)
+		if !s.beginDispatch() {
+			return
+		}
 		resp := s.dispatch(s.ctx, req, claims)
 		mNetRequest.ObserveSince(reqStart)
 		err = enc.Encode(resp)

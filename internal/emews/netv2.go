@@ -73,13 +73,17 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader, claims *connClaim
 		req, derr := decodeRequestPayload(code, payload)
 		putWireBuf(payload)
 		if derr != nil {
-			s.dispatchWG.Add(1)
+			if !s.beginDispatch() {
+				break
+			}
 			out <- respFrame{buf: appendResponseFrame(getWireBuf(), code, id, &wireResponse{Error: "bad request: " + derr.Error()})}
 			continue
 		}
+		if !s.beginDispatch() {
+			break
+		}
 		sem <- struct{}{}
 		reqWG.Add(1)
-		s.dispatchWG.Add(1)
 		go func(code byte, id uint64, req wireRequest) {
 			defer reqWG.Done()
 			defer func() { <-sem }()

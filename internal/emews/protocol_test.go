@@ -456,6 +456,51 @@ func TestServerCloseYieldsCleanEmptyPop(t *testing.T) {
 	}
 }
 
+// Regression (race): Close waits on the in-flight dispatch WaitGroup
+// while live connections keep registering requests; an Add racing that
+// Wait through zero is WaitGroup misuse the race detector flags. The
+// drain barrier (beginDispatch) must make the storm below clean under
+// -race: requests arriving mid-Close are refused, not registered.
+func TestCloseDuringRequestStorm(t *testing.T) {
+	for _, mode := range framingModes {
+		t.Run(mode.name, func(t *testing.T) {
+			db := NewDB()
+			defer db.Close()
+			srv, err := Serve(db, "127.0.0.1:0", mode.serverOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := Dial(srv.Addr(), append([]ClientOption{WithRetries(0)}, mode.clientOpts...)...)
+					if err != nil {
+						return
+					}
+					defer c.Close()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Errors are expected once Close lands; the
+						// point is that the server side stays race-free.
+						_, _ = c.Submit("m", 1, "p")
+					}
+				}()
+			}
+			time.Sleep(50 * time.Millisecond)
+			srv.Close()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
 // The DB-side batch primitive: PopBatch leases up to max in one call,
 // returns fewer when the queue is shorter, and blocks until work arrives.
 func TestDBPopBatchLeasesUpToMax(t *testing.T) {

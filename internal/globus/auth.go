@@ -30,6 +30,8 @@ const (
 	ScopeCompute  Scope = "urn:globus:auth:scope:compute.api:all"
 	ScopeTimers   Scope = "urn:globus:auth:scope:timers.api:all"
 	ScopeFlows    Scope = "urn:globus:auth:scope:flows.api:all"
+	// ScopeAero guards the AERO metadata server's tenant API.
+	ScopeAero Scope = "urn:globus:auth:scope:aero.api:all"
 )
 
 // Token is a bearer credential bound to an identity and scope set.
@@ -78,7 +80,9 @@ func (a *Auth) Issue(identity string, lifetime time.Duration, scopes ...Scope) *
 }
 
 // Validate checks a presented token ID and required scope, returning the
-// registered token.
+// registered token. Unknown, revoked, and expired tokens are all
+// ErrUnauthorized (the credential itself is invalid — the caller must
+// reauthenticate); a live token lacking the scope is ErrForbidden.
 func (a *Auth) Validate(tokenID string, scope Scope) (*Token, error) {
 	a.mu.RLock()
 	t := a.tokens[tokenID]
@@ -86,10 +90,28 @@ func (a *Auth) Validate(tokenID string, scope Scope) (*Token, error) {
 	if t == nil {
 		return nil, ErrUnauthorized
 	}
+	if !t.Expiry.IsZero() && time.Now().After(t.Expiry) {
+		return nil, fmt.Errorf("%w: token expired", ErrUnauthorized)
+	}
 	if !t.HasScope(scope) {
 		return nil, fmt.Errorf("%w: token lacks scope %s", ErrForbidden, scope)
 	}
 	return t, nil
+}
+
+// RegisterToken installs a pre-built token (static credential files for
+// daemons; tests). The token must carry an ID.
+func (a *Auth) RegisterToken(t *Token) error {
+	if t == nil || t.ID == "" {
+		return errors.New("globus: token needs an ID")
+	}
+	if t.Scopes == nil {
+		t.Scopes = map[Scope]bool{}
+	}
+	a.mu.Lock()
+	a.tokens[t.ID] = t
+	a.mu.Unlock()
+	return nil
 }
 
 // Revoke invalidates a token.

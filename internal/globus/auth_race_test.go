@@ -1,0 +1,94 @@
+package globus
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidateExpiredIsUnauthorized(t *testing.T) {
+	a := NewAuth()
+	tok := &Token{ID: "tok-old", Identity: "x",
+		Scopes: map[Scope]bool{ScopeAero: true},
+		Expiry: time.Now().Add(-time.Second)}
+	if err := a.RegisterToken(tok); err != nil {
+		t.Fatal(err)
+	}
+	// An expired credential is invalid, not merely under-scoped: the
+	// caller must reauthenticate, so the error is ErrUnauthorized (401),
+	// never ErrForbidden (403).
+	if _, err := a.Validate(tok.ID, ScopeAero); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("expired token: %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestRegisterTokenValidation(t *testing.T) {
+	a := NewAuth()
+	if err := a.RegisterToken(nil); err == nil {
+		t.Fatal("nil token accepted")
+	}
+	if err := a.RegisterToken(&Token{}); err == nil {
+		t.Fatal("ID-less token accepted")
+	}
+	if err := a.RegisterToken(&Token{ID: "tok-1", Identity: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Validate("tok-1", ScopeAero); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("scope-less token: %v, want ErrForbidden", err)
+	}
+}
+
+// TestAuthConcurrentValidateRevoke hammers Validate against concurrent
+// Issue/Revoke/expiry. Run under -race; the assertion is that every
+// outcome is one of the defined errors and nothing tears.
+func TestAuthConcurrentValidateRevoke(t *testing.T) {
+	a := NewAuth()
+	const tenants = 8
+	tokens := make([]*Token, tenants)
+	for i := range tokens {
+		// Half the tokens expire mid-test, so validators cross the
+		// valid->expired edge while revokers delete their neighbors.
+		lifetime := time.Duration(0)
+		if i%2 == 0 {
+			lifetime = 10 * time.Millisecond
+		}
+		tokens[i] = a.Issue("tenant", lifetime, ScopeAero)
+	}
+
+	var wg sync.WaitGroup
+	stop := time.Now().Add(100 * time.Millisecond)
+	for i := 0; i < tenants; i++ {
+		wg.Add(2)
+		go func(tok *Token) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				_, err := a.Validate(tok.ID, ScopeAero)
+				if err != nil && !errors.Is(err, ErrUnauthorized) && !errors.Is(err, ErrForbidden) {
+					t.Errorf("unexpected validate error: %v", err)
+					return
+				}
+			}
+		}(tokens[i])
+		go func(i int) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if i%4 == 3 {
+					a.Revoke(tokens[i].ID)
+				}
+				a.Issue("churn", time.Millisecond, ScopeAero)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// After the dust settles: revoked and expired tokens are dead.
+	time.Sleep(15 * time.Millisecond)
+	if _, err := a.Validate(tokens[0].ID, ScopeAero); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("expired token after race: %v", err)
+	}
+	a.Revoke(tokens[1].ID)
+	if _, err := a.Validate(tokens[1].ID, ScopeAero); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("revoked token after race: %v", err)
+	}
+}

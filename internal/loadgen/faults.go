@@ -209,30 +209,53 @@ func ShardFailoverFaults(d time.Duration) []FaultEvent {
 	}
 }
 
+// TenantFaults builds the multi-tenant chaos schedule for a run of
+// length d: the network and pool faults from DefaultFaults, without the
+// daemon crash faults. A crash reboot would sever the run-long streaming
+// watch subscriptions whose delivery accounting the tenant invariants
+// assert; the noisy-neighbor pressure itself comes from the plan (the
+// noisy tenant's ingest rate), not from the schedule.
+func TenantFaults(d time.Duration) []FaultEvent {
+	return []FaultEvent{
+		{At: fracOf(d, 0.15), Kind: FaultKill},
+		{At: fracOf(d, 0.30), Kind: FaultRefuse, Value: winOf(d, 0.04, 100*time.Millisecond, time.Second)},
+		{At: fracOf(d, 0.50), Kind: FaultLatency, Value: defaultLatency, Dur: winOf(d, 0.08, 200*time.Millisecond, 2*time.Second)},
+		{At: fracOf(d, 0.68), Kind: FaultPoolCrash, Value: defaultPoolRestart},
+		{At: fracOf(d, 0.88), Kind: FaultKill},
+	}
+}
+
 // ParseFaultsFor resolves a -faults flag value: "default" expands to
-// DefaultFaults(d), "shard-failover" to ShardFailoverFaults(d), "none"/""
-// to an empty schedule, anything else is parsed as the DSL.
+// DefaultFaults(d), "shard-failover" to ShardFailoverFaults(d), "tenant"
+// to TenantFaults(d), "none"/"" to an empty schedule, anything else is
+// parsed as the DSL.
 func ParseFaultsFor(s string, d time.Duration) ([]FaultEvent, error) {
 	switch strings.TrimSpace(s) {
 	case "default":
 		return DefaultFaults(d), nil
 	case "shard-failover":
 		return ShardFailoverFaults(d), nil
+	case "tenant":
+		return TenantFaults(d), nil
 	}
 	return ParseFaults(s)
 }
 
 // validateFaults rejects schedule/topology mismatches up front: the crash
 // faults reboot the single stack in place and have no meaning for a shard
-// group, shard-failover needs a group, a real target, and an unspent
-// standby (each shard has exactly one).
-func validateFaults(faults []FaultEvent, shards int) error {
+// group (and would sever the run-long watch subscriptions a multi-tenant
+// run audits), shard-failover needs a group, a real target, and an
+// unspent standby (each shard has exactly one).
+func validateFaults(faults []FaultEvent, shards, tenants int) error {
 	failedOver := map[int]bool{}
 	for _, f := range faults {
 		switch f.Kind {
 		case FaultCrash, FaultTornCrash:
 			if shards > 1 {
 				return fmt.Errorf("loadgen: fault %s targets the single-stack recovery path; not supported with %d shards", f, shards)
+			}
+			if tenants > 0 {
+				return fmt.Errorf("loadgen: fault %s reboots the metadata server; not supported with %d tenants (streaming watches must stay connected)", f, tenants)
 			}
 		case FaultShardFailover:
 			if shards <= 1 {

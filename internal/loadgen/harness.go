@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +13,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +22,7 @@ import (
 	"osprey/internal/aero"
 	"osprey/internal/chaos"
 	"osprey/internal/emews"
+	"osprey/internal/globus"
 	"osprey/internal/obs"
 	"osprey/internal/wal"
 )
@@ -54,8 +58,23 @@ type Config struct {
 	WorkMean  time.Duration // mean simulated model work per attempt
 	PopBatch  int           // tasks leased per worker round trip; 1 = single-op path
 
-	IngestRate    float64 // AERO data-version ingests per second (<0 disables)
-	IngestStreams int     // data items the ingests round-robin over
+	IngestRate    float64 // AERO data-version ingests per second, per tenant in tenant mode (<0 disables)
+	IngestStreams int     // data items the ingests round-robin over (per tenant in tenant mode)
+
+	// Tenants switches the AERO side to multi-tenant mode: the harness
+	// issues one bearer token per tenant, wires token auth and per-tenant
+	// token-bucket quotas into the metadata server, splits the ingest
+	// plan into per-tenant private streams (tenant NoisyTenant ingests at
+	// NoisyFactor× the base rate — the noisy neighbor), holds one
+	// streaming watch subscription per tenant for the whole run, and
+	// probes cross-tenant isolation while the workload is live. 0 runs
+	// the legacy single-tenant mode: no auth, no quotas, plans
+	// byte-identical to pre-tenancy runs.
+	Tenants     int
+	NoisyTenant int     // index of the noisy neighbor; default 0
+	NoisyFactor float64 // noisy tenant's ingest-rate multiplier; default 3
+	TenantQuota float64 // per-tenant ingest admission rate (req/s); default 2×IngestRate
+	TenantBurst float64 // per-tenant token-bucket burst; default 12
 
 	ScrapeEvery time.Duration // metrics-scrape interval
 
@@ -105,6 +124,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestStreams <= 0 {
 		c.IngestStreams = 2
+	}
+	if c.Tenants < 0 {
+		c.Tenants = 0
+	}
+	if c.Tenants > 0 {
+		if c.NoisyTenant < 0 || c.NoisyTenant >= c.Tenants {
+			c.NoisyTenant = 0
+		}
+		if c.NoisyFactor <= 0 {
+			c.NoisyFactor = 3
+		}
+		if c.TenantQuota <= 0 && c.IngestRate > 0 {
+			c.TenantQuota = 2 * c.IngestRate
+		}
+		if c.TenantBurst <= 0 {
+			c.TenantBurst = 12
+		}
 	}
 	if c.ScrapeEvery <= 0 {
 		c.ScrapeEvery = 500 * time.Millisecond
@@ -184,6 +220,20 @@ type harness struct {
 
 	streams map[string]string // stream name -> data UUID (durable across crashes)
 
+	// Tenant mode (cfg.Tenants > 0): bearer credentials, per-tenant
+	// counters, and the run-long streaming watch subscriptions.
+	auth         *globus.Auth
+	tokens       map[string]string // tenant name -> bearer token ID
+	streamTenant map[string]string // stream name -> owning tenant ("" legacy)
+	watchers     []*sseWatcher
+
+	tmu    sync.Mutex
+	tstats map[string]*tenantStat
+
+	probeChecks     int64
+	probeViolations int64
+	probeFirstBad   atomic.Value // string: first unexpected probe status
+
 	faultMu     sync.Mutex
 	faultCounts map[string]int
 	crashes     int
@@ -197,6 +247,45 @@ type harness struct {
 	scrapeBad     int64 // scrapes that returned bytes that don't parse as a Snapshot
 
 	fatal atomic.Value // error: first unrecoverable infrastructure failure
+}
+
+// tenantStat is one tenant's harness-side admission ledger: how many
+// ingests the server accepted, how many it pushed back with 429, and
+// when the last acceptance happened (the end of the tenant's admission
+// window, used by the quota-conformance invariant).
+type tenantStat struct {
+	admitted  int64
+	throttled int64
+	lastAdmit time.Time
+}
+
+func (h *harness) tenantStatFor(tenant string) *tenantStat {
+	s := h.tstats[tenant]
+	if s == nil {
+		s = &tenantStat{}
+		h.tstats[tenant] = s
+	}
+	return s
+}
+
+func (h *harness) tenantAdmitted(tenant string) {
+	if h.cfg.Tenants == 0 {
+		return
+	}
+	h.tmu.Lock()
+	s := h.tenantStatFor(tenant)
+	s.admitted++
+	s.lastAdmit = time.Now()
+	h.tmu.Unlock()
+}
+
+func (h *harness) tenantThrottled(tenant string) {
+	if h.cfg.Tenants == 0 {
+		return
+	}
+	h.tmu.Lock()
+	h.tenantStatFor(tenant).throttled++
+	h.tmu.Unlock()
 }
 
 func (h *harness) fail(err error) {
@@ -319,6 +408,12 @@ func (h *harness) bootAero() error {
 	}
 	as := aero.NewServer(store)
 	as.SetCompact(store.Compact)
+	if h.cfg.Tenants > 0 {
+		as.SetAuth(h.auth)
+		q := aero.NewQuotas()
+		q.SetLimit(aero.QuotaIngest, aero.QuotaLimit{Rate: h.cfg.TenantQuota, Burst: h.cfg.TenantBurst})
+		as.SetQuotas(q)
+	}
 	httpSrv := &http.Server{Handler: as}
 	go httpSrv.Serve(ln)
 
@@ -697,14 +792,17 @@ func (h *harness) tasksByPlanIndex() map[int][]int64 {
 	return out
 }
 
-// ingestDriver walks the ingest plan, appending data versions over the
+// ingestDriver walks one tenant's slice of the ingest plan ("" = the
+// whole plan in single-tenant mode), appending data versions over the
 // real HTTP API with presence-check reconciliation (a version whose POST
-// response was lost must not be appended twice).
-func (h *harness) ingestDriver() {
+// response was lost must not be appended twice). Tenant mode runs one
+// driver per tenant so a throttled noisy neighbor backing off on 429s
+// never head-of-line-blocks its well-behaved neighbors' pacing.
+func (h *harness) ingestDriver(tenant string) {
 	hc := &http.Client{Timeout: 5 * time.Second}
 	for i := range h.plan {
 		ev := &h.plan[i]
-		if ev.Kind != EventIngest {
+		if ev.Kind != EventIngest || ev.Tenant != tenant {
 			continue
 		}
 		if h.fatalErr() != nil {
@@ -728,32 +826,62 @@ func (h *harness) ensureIngested(hc *http.Client, ev *PlanEvent) {
 		h.fail(err)
 		return
 	}
+	throttled := false
 	for attempt := 0; ; attempt++ {
 		if h.fatalErr() != nil {
 			return
 		}
-		if attempt > 0 {
+		if attempt > 0 && !throttled {
 			atomic.AddInt64(&h.ingestRetries, 1)
 			time.Sleep(20 * time.Millisecond)
 		}
+		throttled = false
 		if h.ingestPresent(ev) {
 			return
 		}
-		resp, err := hc.Post("http://"+h.currentHTTPAddr()+"/data/"+uuid+"/versions",
-			"application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost,
+			"http://"+h.currentHTTPAddr()+"/data/"+uuid+"/versions", bytes.NewReader(body))
+		if err != nil {
+			h.fail(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tok := h.tokens[ev.Tenant]; tok != "" {
+			req.Header.Set("Authorization", "Bearer "+tok)
+		}
+		resp, err := hc.Do(req)
 		if err != nil {
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusCreated {
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			h.tenantAdmitted(ev.Tenant)
 			return
+		case http.StatusTooManyRequests:
+			// Quota pushback: honor the advertised backoff (capped — the
+			// server rounds up to whole seconds) and try again. These are
+			// expected for the noisy tenant, so they are counted per
+			// tenant, not as infrastructure retries.
+			h.tenantThrottled(ev.Tenant)
+			throttled = true
+			d := 100 * time.Millisecond
+			if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s > 0 {
+				d = time.Duration(s) * time.Second
+			}
+			if d > time.Second {
+				d = time.Second
+			}
+			time.Sleep(d)
 		}
 	}
 }
 
 func (h *harness) ingestPresent(ev *PlanEvent) bool {
-	rec, err := h.currentStore().GetData(h.streams[ev.Stream])
+	// Tenant("") is the legacy single-tenant view, so this one lookup
+	// serves both modes.
+	rec, err := h.currentStore().Tenant(ev.Tenant).GetData(h.streams[ev.Stream])
 	if err != nil {
 		return false
 	}
@@ -795,6 +923,203 @@ func (h *harness) scrapeLoop(ctx context.Context) {
 			continue
 		}
 		atomic.AddInt64(&h.scrapeOK, 1)
+	}
+}
+
+// sseWatcher holds one tenant's streaming watch subscription (SSE over
+// GET /watch) for the whole run and records exactly what was delivered:
+// the watch-delivery invariant proves no event arrived twice and that
+// delivered + dropped accounts for every version the tenant published.
+type sseWatcher struct {
+	tenant string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	delivered map[string]int // "uuid@version" -> delivery count
+	events    int64          // update frames received
+	dropped   int64          // cumulative drop counter from the last frame
+	readErr   error          // stream death before cancel (keep-alives make EOF impossible mid-run)
+}
+
+// startWatcher opens the subscription and blocks until the server's
+// ready frame commits it — only then may the drivers start publishing,
+// or early versions could legally be missed rather than dropped.
+func (h *harness) startWatcher(tenant string) (*sseWatcher, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &sseWatcher{tenant: tenant, cancel: cancel, done: make(chan struct{}),
+		delivered: map[string]int{}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+h.currentHTTPAddr()+"/watch?buffer=64", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Authorization", "Bearer "+h.tokens[tenant])
+	resp, err := (&http.Client{}).Do(req) // no client timeout: the stream lives all run
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("loadgen: watch for %s: %w", tenant, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("loadgen: watch for %s: status %d", tenant, resp.StatusCode)
+	}
+	ready := make(chan struct{})
+	go w.consume(resp.Body, ready)
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		cancel()
+		return nil, fmt.Errorf("loadgen: watch for %s: no ready frame", tenant)
+	}
+	return w, nil
+}
+
+func (w *sseWatcher) consume(body io.ReadCloser, ready chan struct{}) {
+	defer close(w.done)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var event, data string
+	readyOnce := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "": // blank line dispatches the frame
+			switch event {
+			case "ready":
+				if !readyOnce {
+					readyOnce = true
+					close(ready)
+				}
+			case "update":
+				var u struct {
+					UUID    string `json:"uuid"`
+					Version int    `json:"version"`
+					Dropped int64  `json:"dropped"`
+				}
+				if err := json.Unmarshal([]byte(data), &u); err == nil {
+					w.mu.Lock()
+					w.delivered[fmt.Sprintf("%s@%d", u.UUID, u.Version)]++
+					w.events++
+					w.dropped = u.Dropped // cumulative, monotone
+					w.mu.Unlock()
+				}
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		w.mu.Lock()
+		w.readErr = err
+		w.mu.Unlock()
+	}
+}
+
+// accounted reports delivered update frames + dropped so far.
+func (w *sseWatcher) accounted() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.events + w.dropped
+}
+
+// plannedIngests counts the plan's ingest events per tenant — the number
+// of versions each tenant's watcher must eventually account for.
+func (h *harness) plannedIngests() map[string]int {
+	out := map[string]int{}
+	for i := range h.plan {
+		if h.plan[i].Kind == EventIngest {
+			out[h.plan[i].Tenant]++
+		}
+	}
+	return out
+}
+
+// awaitWatchers gives the streaming subscriptions time to finish
+// draining after the last ingest landed: every published version must
+// end up delivered or counted dropped before the accounting is read.
+func (h *harness) awaitWatchers(timeout time.Duration) {
+	if len(h.watchers) == 0 {
+		return
+	}
+	planned := h.plannedIngests()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		settled := true
+		for _, w := range h.watchers {
+			if w.accounted() < int64(planned[w.tenant]) {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// stopWatchers tears the subscriptions down (idempotent).
+func (h *harness) stopWatchers() {
+	for _, w := range h.watchers {
+		w.cancel()
+	}
+	for _, w := range h.watchers {
+		select {
+		case <-w.done:
+		case <-time.After(5 * time.Second):
+		}
+	}
+}
+
+// probeDriver hammers the isolation boundary while the workload is
+// live: a cross-tenant read with a valid neighbor token must 404
+// (indistinguishable from a miss) and an unauthenticated read must 401.
+// Transport errors are not isolation signals and are skipped.
+func (h *harness) probeDriver() {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	end := h.start.Add(h.cfg.Duration)
+	for i := 0; time.Now().Before(end); i++ {
+		if h.fatalErr() != nil {
+			return
+		}
+		victim := (i + 1) % h.cfg.Tenants
+		target := h.streams[TenantStreamName(victim, 0)]
+		if h.cfg.Tenants > 1 {
+			prober := TenantName(i % h.cfg.Tenants)
+			h.probe(hc, target, h.tokens[prober], http.StatusNotFound,
+				"cross-tenant read by "+prober)
+		}
+		h.probe(hc, target, "", http.StatusUnauthorized, "unauthenticated read")
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (h *harness) probe(hc *http.Client, uuid, token string, want int, desc string) {
+	req, err := http.NewRequest(http.MethodGet, "http://"+h.currentHTTPAddr()+"/data/"+uuid, nil)
+	if err != nil {
+		return
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	atomic.AddInt64(&h.probeChecks, 1)
+	if resp.StatusCode != want {
+		atomic.AddInt64(&h.probeViolations, 1)
+		h.probeFirstBad.CompareAndSwap(nil, fmt.Sprintf("%s: got %d, want %d", desc, resp.StatusCode, want))
 	}
 }
 
@@ -909,7 +1234,7 @@ func sleepUntil(t time.Time) {
 // violations make Report.Pass false.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if err := validateFaults(cfg.Faults, cfg.Shards); err != nil {
+	if err := validateFaults(cfg.Faults, cfg.Shards, cfg.Tenants); err != nil {
 		return nil, err
 	}
 	plan := BuildPlan(cfg)
@@ -925,17 +1250,29 @@ func Run(cfg Config) (*Report, error) {
 		ownDir = true
 	}
 	h := &harness{
-		cfg:         cfg,
-		plan:        plan,
-		tracker:     newTracker(),
-		dirTasks:    filepath.Join(dataDir, "tasks"),
-		dirAero:     filepath.Join(dataDir, "aero"),
-		streams:     map[string]string{},
-		faultCounts: map[string]int{},
+		cfg:          cfg,
+		plan:         plan,
+		tracker:      newTracker(),
+		dirTasks:     filepath.Join(dataDir, "tasks"),
+		dirAero:      filepath.Join(dataDir, "aero"),
+		streams:      map[string]string{},
+		streamTenant: map[string]string{},
+		tokens:       map[string]string{},
+		tstats:       map[string]*tenantStat{},
+		faultCounts:  map[string]int{},
 	}
 	for _, d := range []string{h.dirTasks, h.dirAero} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Tenants > 0 {
+		// One bearer token per tenant, minted before the metadata server
+		// boots so bootAero can wire the validator in.
+		h.auth = globus.NewAuth()
+		for t := 0; t < cfg.Tenants; t++ {
+			name := TenantName(t)
+			h.tokens[name] = h.auth.Issue(name, 0, globus.ScopeAero).ID
 		}
 	}
 
@@ -965,13 +1302,40 @@ func Run(cfg Config) (*Report, error) {
 		h.proxy = proxy
 		defer proxy.Close()
 	}
-	for i := 0; i < cfg.IngestStreams; i++ {
-		name := StreamName(i)
-		rec, err := h.currentStore().CreateData(name, "loadgen://"+name)
-		if err != nil {
-			return nil, err
+	if cfg.Tenants > 0 {
+		for t := 0; t < cfg.Tenants; t++ {
+			tn := TenantName(t)
+			for i := 0; i < cfg.IngestStreams; i++ {
+				name := TenantStreamName(t, i)
+				rec, err := h.currentStore().Tenant(tn).CreateData(name, "loadgen://"+name)
+				if err != nil {
+					return nil, err
+				}
+				h.streams[name] = rec.UUID
+				h.streamTenant[name] = tn
+			}
 		}
-		h.streams[name] = rec.UUID
+		// Subscriptions must be committed (ready frame seen) before the
+		// first version is published, or early events would be misses
+		// rather than deliveries/drops and the accounting could not close.
+		for t := 0; t < cfg.Tenants; t++ {
+			w, err := h.startWatcher(TenantName(t))
+			if err != nil {
+				h.stopWatchers()
+				return nil, err
+			}
+			h.watchers = append(h.watchers, w)
+		}
+		defer h.stopWatchers()
+	} else {
+		for i := 0; i < cfg.IngestStreams; i++ {
+			name := StreamName(i)
+			rec, err := h.currentStore().CreateData(name, "loadgen://"+name)
+			if err != nil {
+				return nil, err
+			}
+			h.streams[name] = rec.UUID
+		}
 	}
 
 	h.start = time.Now()
@@ -979,8 +1343,18 @@ func Run(cfg Config) (*Report, error) {
 	scrapeCtx, stopScrape := context.WithCancel(context.Background())
 	go h.scrapeLoop(scrapeCtx)
 
+	drivers := []func(){h.submitDriver, h.faultRunner}
+	if cfg.Tenants > 0 {
+		for t := 0; t < cfg.Tenants; t++ {
+			tn := TenantName(t)
+			drivers = append(drivers, func() { h.ingestDriver(tn) })
+		}
+		drivers = append(drivers, h.probeDriver)
+	} else {
+		drivers = append(drivers, func() { h.ingestDriver("") })
+	}
 	var wg sync.WaitGroup
-	for _, f := range []func(){h.submitDriver, h.ingestDriver, h.faultRunner} {
+	for _, f := range drivers {
 		f := f
 		wg.Add(1)
 		go func() { defer wg.Done(); f() }()
@@ -1002,9 +1376,11 @@ func Run(cfg Config) (*Report, error) {
 		p.SetAcceptDelay(0)
 	}
 	h.drain(cfg.DrainTimeout)
+	h.awaitWatchers(10 * time.Second)
 	elapsed := time.Since(h.start)
 	stopScrape()
 	h.currentPool().stop()
+	h.stopWatchers()
 
 	// Graceful teardown: capture final state, then close the stack and
 	// audit the durable history.
@@ -1012,7 +1388,7 @@ func Run(cfg Config) (*Report, error) {
 	stats := h.statsAll()
 	streams := map[string]*aero.DataRecord{}
 	for name, uuid := range h.streams {
-		rec, err := h.currentStore().GetData(uuid)
+		rec, err := h.currentStore().Tenant(h.streamTenant[name]).GetData(uuid)
 		if err != nil {
 			return nil, err
 		}

@@ -106,11 +106,17 @@ func TestValidateShardFaults(t *testing.T) {
 			}
 		})
 	}
-	if err := validateFaults(ShardFailoverFaults(time.Second), 3); err != nil {
+	if err := validateFaults(ShardFailoverFaults(time.Second), 3, 0); err != nil {
 		t.Fatalf("named schedule rejected for 3 shards: %v", err)
 	}
-	if err := validateFaults(DefaultFaults(time.Second), 1); err != nil {
+	if err := validateFaults(DefaultFaults(time.Second), 1, 0); err != nil {
 		t.Fatalf("default schedule rejected for the single stack: %v", err)
+	}
+	if err := validateFaults(TenantFaults(time.Second), 1, 3); err != nil {
+		t.Fatalf("tenant schedule rejected for a tenant run: %v", err)
+	}
+	if err := validateFaults(DefaultFaults(time.Second), 1, 3); err == nil {
+		t.Fatal("crash schedule accepted for a tenant run")
 	}
 }
 
@@ -231,6 +237,98 @@ func TestShardedSoakFailoverDeterminism(t *testing.T) {
 	b, _ := json.Marshal(reports[1].Workload.Events)
 	if !bytes.Equal(a, b) {
 		t.Fatal("same-seed sharded runs produced different event sequences")
+	}
+}
+
+// Tenant plans: the legacy encoding must not grow a tenant key (older
+// same-seed digests stay valid), and the multi-tenant plan must give the
+// noisy neighbor its rate multiplier on private streams.
+func TestTenantPlanShape(t *testing.T) {
+	legacy := BuildPlan(Config{Seed: 5, Duration: time.Second, IngestRate: 10})
+	b, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"tenant"`)) {
+		t.Fatal("legacy plan encoding grew a tenant key")
+	}
+
+	cfg := Config{Seed: 5, Duration: time.Second, IngestRate: 10, Tenants: 3, NoisyTenant: 1}
+	plan := BuildPlan(cfg)
+	if PlanDigest(plan) != PlanDigest(BuildPlan(cfg)) {
+		t.Fatal("same-seed tenant plans differ")
+	}
+	counts := map[string]int{}
+	for _, ev := range plan {
+		if ev.Kind != EventIngest {
+			continue
+		}
+		counts[ev.Tenant]++
+		if ev.Tenant == "" {
+			t.Fatal("tenant-mode ingest event without a tenant")
+		}
+		wantPrefix := ev.Tenant[len("tenant-"):]
+		if ev.Stream[:len("t"+wantPrefix)] != "t"+wantPrefix {
+			t.Fatalf("stream %s not private to %s", ev.Stream, ev.Tenant)
+		}
+	}
+	quiet, noisy := counts[TenantName(0)], counts[TenantName(1)]
+	if quiet != 10 || noisy != 30 {
+		t.Fatalf("ingest counts quiet=%d noisy=%d, want 10/30 (3× noisy factor)", quiet, noisy)
+	}
+}
+
+// The multi-tenant soak: two same-seed runs with a noisy neighbor through
+// the tenant fault schedule. Every invariant must hold — including zero
+// cross-tenant reads, quota conformance with the noisy tenant actually
+// throttled, per-tenant ledger balance, and exactly-once watch delivery —
+// and the workload digests must match.
+func TestTenantSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak harness in -short mode")
+	}
+	d := 1500 * time.Millisecond
+	cfg := Config{
+		Seed:         19,
+		Duration:     d,
+		Rate:         100,
+		Workers:      6,
+		IngestRate:   20, // per tenant; the noisy neighbor runs at 3× and must hit the quota
+		Tenants:      3,
+		ScrapeEvery:  200 * time.Millisecond,
+		Faults:       TenantFaults(d),
+		DrainTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	}
+	var reports [2]*Report
+	for i := range reports {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !r.Pass {
+			t.Fatalf("run %d failed invariants: %v", i, r.FailedInvariants())
+		}
+		if r.TenantCount != 3 || len(r.Tenants) != 3 {
+			t.Fatalf("run %d: tenant accounting missing: %+v", i, r.Tenants)
+		}
+		noisy := r.Tenants[TenantName(0)]
+		if noisy.Throttled == 0 {
+			t.Fatalf("run %d: noisy tenant never throttled: %+v", i, noisy)
+		}
+		if r.ProbeChecks == 0 || r.ProbeViolations != 0 {
+			t.Fatalf("run %d: probes=%d violations=%d", i, r.ProbeChecks, r.ProbeViolations)
+		}
+		for tn, tr := range r.Tenants {
+			if tr.WatchDelivered+tr.WatchDropped != int64(tr.PlanIngests) || tr.WatchDuplicates != 0 {
+				t.Fatalf("run %d: %s watch accounting: %+v", i, tn, tr)
+			}
+		}
+		reports[i] = r
+	}
+	if reports[0].Workload.Digest != reports[1].Workload.Digest {
+		t.Fatalf("same-seed tenant runs produced different workload digests: %s != %s",
+			reports[0].Workload.Digest, reports[1].Workload.Digest)
 	}
 }
 

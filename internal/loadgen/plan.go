@@ -54,6 +54,7 @@ type PlanEvent struct {
 	MaxAttempts int    `json:"max_attempts,omitempty"`
 	Stream      string `json:"stream,omitempty"`
 	Checksum    string `json:"checksum,omitempty"`
+	Tenant      string `json:"tenant,omitempty"` // owning tenant; "" in single-tenant plans
 }
 
 // payloadSpec is the directive encoded into a submit event's payload: the
@@ -116,26 +117,60 @@ func BuildPlan(cfg Config) []PlanEvent {
 		})
 	}
 
-	// AERO data-version ingests, round-robined over the streams.
-	ing := root.Split("loadgen.ingest")
-	nIng := int(cfg.IngestRate * cfg.Duration.Seconds())
-	if cfg.IngestRate > 0 && nIng < 1 {
-		nIng = 1
-	}
-	if nIng > 0 {
-		iperiod := float64(cfg.Duration.Milliseconds()) / float64(nIng)
-		for i := 0; i < nIng; i++ {
-			at := int64((float64(i) + 0.5 + 0.3*(2*ing.Float64()-1)) * iperiod)
-			if at < 0 {
-				at = 0
+	// AERO data-version ingests. Single-tenant plans round-robin one
+	// event sequence over the shared streams — byte-identical to every
+	// pre-tenancy plan. Multi-tenant plans derive one independent ingest
+	// sequence per tenant from its own labeled rng stream, each over the
+	// tenant's private streams; the noisy tenant runs at NoisyFactor×
+	// the base rate so the quota layer has something to push back on.
+	if cfg.Tenants > 0 {
+		for t := 0; t < cfg.Tenants; t++ {
+			ing := root.Split(fmt.Sprintf("loadgen.ingest.t%02d", t))
+			rate := cfg.IngestRate
+			if t == cfg.NoisyTenant {
+				rate *= cfg.NoisyFactor
 			}
-			events = append(events, PlanEvent{
-				Index:    i,
-				AtMS:     at,
-				Kind:     EventIngest,
-				Stream:   StreamName(i % cfg.IngestStreams),
-				Checksum: fmt.Sprintf("plan-%06d", i),
-			})
+			nIng := int(rate * cfg.Duration.Seconds())
+			if rate > 0 && nIng < 1 {
+				nIng = 1
+			}
+			iperiod := float64(cfg.Duration.Milliseconds()) / float64(max(nIng, 1))
+			for i := 0; i < nIng; i++ {
+				at := int64((float64(i) + 0.5 + 0.3*(2*ing.Float64()-1)) * iperiod)
+				if at < 0 {
+					at = 0
+				}
+				events = append(events, PlanEvent{
+					Index:    i,
+					AtMS:     at,
+					Kind:     EventIngest,
+					Tenant:   TenantName(t),
+					Stream:   TenantStreamName(t, i%cfg.IngestStreams),
+					Checksum: fmt.Sprintf("plan-t%02d-%06d", t, i),
+				})
+			}
+		}
+	} else {
+		ing := root.Split("loadgen.ingest")
+		nIng := int(cfg.IngestRate * cfg.Duration.Seconds())
+		if cfg.IngestRate > 0 && nIng < 1 {
+			nIng = 1
+		}
+		if nIng > 0 {
+			iperiod := float64(cfg.Duration.Milliseconds()) / float64(nIng)
+			for i := 0; i < nIng; i++ {
+				at := int64((float64(i) + 0.5 + 0.3*(2*ing.Float64()-1)) * iperiod)
+				if at < 0 {
+					at = 0
+				}
+				events = append(events, PlanEvent{
+					Index:    i,
+					AtMS:     at,
+					Kind:     EventIngest,
+					Stream:   StreamName(i % cfg.IngestStreams),
+					Checksum: fmt.Sprintf("plan-%06d", i),
+				})
+			}
 		}
 	}
 
@@ -147,6 +182,9 @@ func BuildPlan(cfg Config) []PlanEvent {
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
 		return a.Index < b.Index
 	})
 	return events
@@ -154,6 +192,13 @@ func BuildPlan(cfg Config) []PlanEvent {
 
 // StreamName names ingest stream n ("stream-00", ...).
 func StreamName(n int) string { return fmt.Sprintf("stream-%02d", n) }
+
+// TenantName names tenant t ("tenant-00", ...); it doubles as the
+// bearer-token identity the harness issues for that tenant.
+func TenantName(t int) string { return fmt.Sprintf("tenant-%02d", t) }
+
+// TenantStreamName names tenant t's private ingest stream n.
+func TenantStreamName(t, n int) string { return fmt.Sprintf("t%02d-stream-%02d", t, n) }
 
 // PlanDigest is the SHA-256 of the canonical JSON encoding of the plan —
 // the value two same-seed runs must agree on.

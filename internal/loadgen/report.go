@@ -48,6 +48,18 @@ type Totals struct {
 	ScrapesBad    int64 `json:"scrapes_bad"`
 }
 
+// TenantReport is one tenant's slice of a multi-tenant run: what its
+// ingest plan demanded, what the quota layer admitted and pushed back,
+// and what its run-long streaming watch subscription accounted for.
+type TenantReport struct {
+	PlanIngests     int   `json:"plan_ingests"`
+	Admitted        int64 `json:"admitted"`
+	Throttled       int64 `json:"throttled"`
+	WatchDelivered  int64 `json:"watch_delivered"`
+	WatchDropped    int64 `json:"watch_dropped"`
+	WatchDuplicates int64 `json:"watch_duplicates"`
+}
+
 // Workload identifies the deterministic plan: same seed, same shape →
 // same Digest and the same Events, byte for byte.
 type Workload struct {
@@ -71,6 +83,13 @@ type Report struct {
 
 	Workload Workload `json:"workload"`
 	Totals   Totals   `json:"totals"`
+
+	// Multi-tenant runs only: per-tenant admission/watch accounting and
+	// the live isolation-probe tallies.
+	TenantCount     int                      `json:"tenant_count,omitempty"`
+	Tenants         map[string]*TenantReport `json:"tenants,omitempty"`
+	ProbeChecks     int64                    `json:"probe_checks,omitempty"`
+	ProbeViolations int64                    `json:"probe_violations,omitempty"`
 
 	ThroughputPerSec float64 `json:"throughput_per_sec"` // terminal tasks / elapsed
 
@@ -165,6 +184,35 @@ func (h *harness) buildReport(plan []PlanEvent, dump []emews.Task, stats emews.S
 	terminal := stats.Complete + stats.Failed + stats.Canceled
 	if elapsed > 0 {
 		r.ThroughputPerSec = float64(terminal) / elapsed.Seconds()
+	}
+
+	if h.cfg.Tenants > 0 {
+		r.TenantCount = h.cfg.Tenants
+		r.Tenants = map[string]*TenantReport{}
+		planned := h.plannedIngests()
+		h.tmu.Lock()
+		for i := 0; i < h.cfg.Tenants; i++ {
+			tn := TenantName(i)
+			tr := &TenantReport{PlanIngests: planned[tn]}
+			if s := h.tstats[tn]; s != nil {
+				tr.Admitted, tr.Throttled = s.admitted, s.throttled
+			}
+			r.Tenants[tn] = tr
+		}
+		h.tmu.Unlock()
+		for _, w := range h.watchers {
+			tr := r.Tenants[w.tenant]
+			w.mu.Lock()
+			tr.WatchDelivered, tr.WatchDropped = w.events, w.dropped
+			for _, n := range w.delivered {
+				if n > 1 {
+					tr.WatchDuplicates += int64(n - 1)
+				}
+			}
+			w.mu.Unlock()
+		}
+		r.ProbeChecks = atomic.LoadInt64(&h.probeChecks)
+		r.ProbeViolations = atomic.LoadInt64(&h.probeViolations)
 	}
 
 	r.Invariants = h.checkInvariants(plan, dump, stats, streams, audit)
@@ -395,6 +443,120 @@ func (h *harness) checkInvariants(plan []PlanEvent, dump []emews.Task, stats eme
 		atomic.LoadInt64(&h.scrapeOK) >= 1 && atomic.LoadInt64(&h.scrapeBad) == 0,
 		"ok=%d failed=%d bad=%d",
 		atomic.LoadInt64(&h.scrapeOK), atomic.LoadInt64(&h.scrapeFailed), atomic.LoadInt64(&h.scrapeBad))
+
+	// 12-15. Multi-tenant properties; vacuous in single-tenant mode.
+	if h.cfg.Tenants == 0 {
+		for _, name := range []string{"tenant-isolation", "tenant-quota-enforced",
+			"tenant-ledger-balance", "watch-delivery"} {
+			skip(name, "single-tenant run")
+		}
+		return invs
+	}
+	planned := h.plannedIngests()
+
+	// 12. Isolation: every live probe saw the right refusal (404 for a
+	// cross-tenant read with a valid neighbor token, 401 unauthenticated),
+	// and each tenant's final listing holds exactly its own streams.
+	isoBad := ""
+	if v := atomic.LoadInt64(&h.probeViolations); v > 0 {
+		first, _ := h.probeFirstBad.Load().(string)
+		isoBad = fmt.Sprintf("%d/%d probes violated isolation (%s)",
+			v, atomic.LoadInt64(&h.probeChecks), first)
+	} else if atomic.LoadInt64(&h.probeChecks) == 0 {
+		isoBad = "no isolation probes ran"
+	}
+	for i := 0; i < h.cfg.Tenants && isoBad == ""; i++ {
+		tn := TenantName(i)
+		recs, err := h.currentStore().Tenant(tn).ListData()
+		if err != nil {
+			isoBad = fmt.Sprintf("list %s: %v", tn, err)
+			break
+		}
+		if len(recs) != h.cfg.IngestStreams {
+			isoBad = fmt.Sprintf("%s lists %d records, want %d own streams", tn, len(recs), h.cfg.IngestStreams)
+			break
+		}
+		for _, rec := range recs {
+			if h.streamTenant[rec.Name] != tn {
+				isoBad = fmt.Sprintf("%s lists foreign record %s", tn, rec.UUID)
+				break
+			}
+		}
+	}
+	add("tenant-isolation", isoBad == "", "checks=%d %s", atomic.LoadInt64(&h.probeChecks), isoBad)
+
+	// 13. Quota conformance: no tenant was admitted faster than its
+	// token bucket allows (burst + rate×window, with half a second of
+	// slack for clock edges), and the noisy neighbor — whenever its plan
+	// actually exceeds the bucket — was throttled at least once while
+	// the quiet tenants' demand stayed under quota.
+	quotaBad := ""
+	h.tmu.Lock()
+	for i := 0; i < h.cfg.Tenants; i++ {
+		tn := TenantName(i)
+		s := h.tstats[tn]
+		if s == nil || s.admitted == 0 {
+			quotaBad = fmt.Sprintf("tenant %s had nothing admitted", tn)
+			continue
+		}
+		window := s.lastAdmit.Sub(h.start).Seconds()
+		if window < 0 {
+			window = 0
+		}
+		bound := h.cfg.TenantBurst + h.cfg.TenantQuota*(window+0.5)
+		if float64(s.admitted) > bound {
+			quotaBad = fmt.Sprintf("tenant %s admitted %d in %.2fs, quota bound %.1f", tn, s.admitted, window, bound)
+		}
+	}
+	noisyName := TenantName(h.cfg.NoisyTenant)
+	noisyDemand := float64(planned[noisyName])
+	noisyCapacity := h.cfg.TenantBurst + h.cfg.TenantQuota*h.cfg.Duration.Seconds()
+	if s := h.tstats[noisyName]; noisyDemand > noisyCapacity && (s == nil || s.throttled == 0) {
+		quotaBad = fmt.Sprintf("noisy tenant planned %d > capacity %.0f but saw no 429", planned[noisyName], noisyCapacity)
+	}
+	h.tmu.Unlock()
+	add("tenant-quota-enforced", quotaBad == "", "%s", quotaBad)
+
+	// 14. Per-tenant ledger balance: the versions that landed in each
+	// tenant's streams are exactly the tenant's planned ingests —
+	// throttling delays events, it never sheds or double-applies them.
+	ledBad := ""
+	gotVersions := map[string]int{}
+	for name, rec := range streams {
+		gotVersions[h.streamTenant[name]] += len(rec.Versions)
+	}
+	for tn, want := range planned {
+		if gotVersions[tn] != want {
+			ledBad = fmt.Sprintf("tenant %s has %d versions, plan says %d", tn, gotVersions[tn], want)
+		}
+	}
+	add("tenant-ledger-balance", ledBad == "", "%s", ledBad)
+
+	// 15. Watch delivery: each tenant's run-long streaming subscription
+	// saw no event twice, its stream never died, and delivered + dropped
+	// accounts for every version the tenant published.
+	watchBad := ""
+	for _, w := range h.watchers {
+		w.mu.Lock()
+		dups := 0
+		for _, n := range w.delivered {
+			if n > 1 {
+				dups += n - 1
+			}
+		}
+		events, dropped, readErr := w.events, w.dropped, w.readErr
+		w.mu.Unlock()
+		want := int64(planned[w.tenant])
+		switch {
+		case readErr != nil:
+			watchBad = fmt.Sprintf("%s stream died: %v", w.tenant, readErr)
+		case dups > 0:
+			watchBad = fmt.Sprintf("%s saw %d duplicate deliveries", w.tenant, dups)
+		case events+dropped != want:
+			watchBad = fmt.Sprintf("%s delivered %d + dropped %d != published %d", w.tenant, events, dropped, want)
+		}
+	}
+	add("watch-delivery", watchBad == "", "watchers=%d %s", len(h.watchers), watchBad)
 
 	return invs
 }

@@ -63,4 +63,26 @@ for pair in $ci_jobs; do
     fi
 done
 
+# Reverse direction: every dedicated job actually present in ci.yml must
+# be declared in CI_JOBS. Without this, someone can add a ci.yml job with
+# no Makefile counterpart — it runs in CI but `make ci` users never see
+# it, which is exactly the drift the mirror rule exists to prevent.
+yml_jobs=$(awk '
+    /^jobs:/ { in_jobs = 1; next }
+    /^[a-zA-Z_-]+:/ { in_jobs = 0 }
+    in_jobs && /^  [a-zA-Z_-]+:[ ]*$/ { sub(/:$/, "", $1); print $1 }
+' .github/workflows/ci.yml)
+for job in $yml_jobs; do
+    [ "$job" = "test" ] && continue
+    found=no
+    for pair in $ci_jobs; do
+        [ "${pair%%:*}" = "$job" ] && found=yes
+    done
+    if [ "$found" != "yes" ]; then
+        echo "check_ci_mirror: ci.yml job '$job' has no CI_JOBS entry in the Makefile" >&2
+        echo "Add '$job:<make-target>' to CI_JOBS (and the target) or remove the job." >&2
+        exit 1
+    fi
+done
+
 echo "ci mirror ok: $(echo "$make_steps" | wc -l | tr -d ' ') steps + $(echo "$ci_jobs" | wc -l | tr -d ' ') dedicated jobs match"
